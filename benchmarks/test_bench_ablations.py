@@ -1,0 +1,160 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+Three ablations, each regenerating a small comparison series:
+
+* **Channel noise composition** — Fig. 3 accuracy with depolarizing-only
+  versus depolarizing + thermal relaxation per identity gate, showing that
+  decoherence (not just gate error) drives the decay at long channel lengths.
+* **DI-check sample size** — CHSH estimate spread and false-abort rate versus
+  the number of check pairs ``d`` (the paper's "several hundred to a few
+  thousand pairs" guidance).
+* **Check-bit fraction** — probability that the integrity check catches a
+  tampered message as a function of the number of check bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.chsh_analysis import chsh_vs_channel_length
+from repro.analysis.statistics import chsh_standard_error
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.protocol.chsh import DISecurityCheck
+from repro.quantum.bell import BellState, bell_state
+from repro.utils.bits import hamming_distance, random_bits
+from repro.utils.rng import as_rng
+
+
+def test_bench_ablation_channel_noise_composition(benchmark, record, capsys):
+    """Depolarizing-only vs depolarizing + thermal relaxation channel models."""
+
+    def run():
+        etas = [10, 200, 700, 1500, 3000]
+        with_relaxation = chsh_vs_channel_length(etas, include_thermal_relaxation=True)
+        without_relaxation = chsh_vs_channel_length(etas, include_thermal_relaxation=False)
+        return etas, with_relaxation, without_relaxation
+
+    etas, with_relaxation, without_relaxation = run_once(benchmark, run)
+
+    with capsys.disabled():
+        print()
+        print("Ablation — channel noise composition (analytic CHSH of |Φ+⟩):")
+        print("  eta    depol+relaxation   depol only")
+        for (eta, s_full), (_, s_depol) in zip(with_relaxation, without_relaxation):
+            print(f"  {eta:>5d}      {s_full:.3f}            {s_depol:.3f}")
+
+    full_values = dict(with_relaxation)
+    depol_values = dict(without_relaxation)
+    # Thermal relaxation is negligible at η=10 but dominates at η=3000.
+    assert abs(full_values[10] - depol_values[10]) < 0.05
+    assert depol_values[3000] - full_values[3000] > 0.5
+
+    record(
+        etas=etas,
+        chsh_with_relaxation=with_relaxation,
+        chsh_depolarizing_only=without_relaxation,
+    )
+
+
+def test_bench_ablation_di_check_sample_size(benchmark, record, capsys):
+    """False-abort rate of the honest DI check versus the check-pair budget d."""
+
+    def run():
+        channel = IdentityChainChannel(eta=10)
+        pair = channel.transmit(bell_state(BellState.PHI_PLUS).density_matrix(), 0)
+        check = DISecurityCheck()
+        generator = as_rng(17)
+        rows = []
+        for budget in (16, 32, 64, 128, 256, 512):
+            values = [
+                check.estimate([pair] * budget, rng=generator).value for _ in range(20)
+            ]
+            false_aborts = sum(1 for value in values if value <= 2.0) / len(values)
+            rows.append(
+                {
+                    "d": budget,
+                    "mean": float(np.mean(values)),
+                    "std": float(np.std(values, ddof=1)),
+                    "predicted_std": chsh_standard_error(budget),
+                    "false_abort_rate": false_aborts,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    with capsys.disabled():
+        print()
+        print("Ablation — DI-check sample size (honest η=10 channel, 20 repetitions):")
+        print("  d      mean S   std    predicted std   false-abort rate")
+        for row in rows:
+            print(
+                f"  {row['d']:<6d} {row['mean']:.3f}   {row['std']:.3f}      "
+                f"{row['predicted_std']:.3f}          {row['false_abort_rate']:.2f}"
+            )
+
+    # The spread shrinks roughly as 1/sqrt(d) and false aborts disappear for
+    # the budgets the paper recommends (several hundred pairs).
+    assert rows[-1]["std"] < rows[0]["std"]
+    assert rows[-1]["false_abort_rate"] == 0.0
+
+    record(rows=rows)
+
+
+def test_bench_ablation_check_bit_fraction(benchmark, record, capsys):
+    """Probability that the check bits catch a tampered message vs their number."""
+
+    def run():
+        generator = as_rng(23)
+        message_pairs = 32  # 64-bit combined string
+        tamper_fraction = 0.25
+        rows = []
+        for num_check in (2, 4, 8, 16, 32):
+            caught = 0
+            trials = 200
+            for _ in range(trials):
+                combined_length = 2 * message_pairs
+                check_positions = generator.choice(
+                    combined_length, size=num_check, replace=False
+                )
+                check_bits = random_bits(num_check, rng=generator)
+                # Channel/eavesdropper flips each combined bit independently.
+                flips = generator.random(combined_length) < tamper_fraction
+                received_check = tuple(
+                    int(check_bits[i]) ^ int(flips[position])
+                    for i, position in enumerate(check_positions)
+                )
+                if hamming_distance(received_check, check_bits) > 0:
+                    caught += 1
+            theoretical = 1.0 - (1.0 - tamper_fraction) ** num_check
+            rows.append(
+                {
+                    "check_bits": num_check,
+                    "empirical_detection": caught / trials,
+                    "theoretical_detection": theoretical,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    with capsys.disabled():
+        print()
+        print("Ablation — check-bit fraction (25% bit-flip tampering, 64-bit string):")
+        print("  c     empirical detection   1-(1-q)^c")
+        for row in rows:
+            print(
+                f"  {row['check_bits']:<5d} {row['empirical_detection']:.3f}"
+                f"                 {row['theoretical_detection']:.3f}"
+            )
+
+    assert all(
+        later["empirical_detection"] >= earlier["empirical_detection"] - 0.05
+        for earlier, later in zip(rows, rows[1:])
+    )
+    assert rows[-1]["empirical_detection"] > 0.99
+    for row in rows:
+        assert abs(row["empirical_detection"] - row["theoretical_detection"]) < 0.12
+
+    record(rows=rows)

@@ -1,0 +1,80 @@
+"""Bench ``atk-entangle``: entangle-and-measure detection (paper §III-D, §IV).
+
+Eve couples an ancilla to every transmitted qubit.  By the monogamy of
+entanglement, the stronger her probe the more the Alice–Bob entanglement is
+disturbed: the bench sweeps the probe strength and shows the CHSH value of the
+second security check falling from ≈ 2√2 (no probe) through the classical
+bound (strength ≈ 0.5) to ≈ 0 (full CNOT probe), at which point detection is
+certain.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.attacks import EntangleMeasureAttack, evaluate_attack
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.protocol.config import ProtocolConfig
+
+
+def _run():
+    config = ProtocolConfig.default(
+        message_length=16, identity_pairs=12, check_pairs_per_round=96, eta=10
+    ).with_channel(IdentityChainChannel(eta=10))
+    config.authentication_tolerance = 0.95
+
+    sweep = []
+    for index, strength in enumerate((0.0, 0.25, 0.5, 0.75, 1.0)):
+        evaluation = evaluate_attack(
+            config,
+            lambda rng, s=strength: EntangleMeasureAttack(strength=s, rng=rng),
+            "1011001110001111",
+            trials=6,
+            rng=31 + index,
+        )
+        sweep.append((strength, evaluation))
+    return sweep
+
+
+def test_bench_attack_entangle_measure(benchmark, record, capsys):
+    sweep = run_once(benchmark, _run)
+
+    with capsys.disabled():
+        print()
+        print("probe strength | predicted CHSH | measured round-2 CHSH | detection rate")
+        for strength, evaluation in sweep:
+            predicted = 2 * math.sqrt(2) * math.sqrt(1 - strength)
+            measured = evaluation.mean_chsh_round2
+            print(
+                f"      {strength:.2f}     |     {predicted:.3f}      |        "
+                f"{measured if measured is None else round(measured, 3)}          |     "
+                f"{evaluation.detection_rate:.2f}"
+            )
+
+    by_strength = dict(sweep)
+    # No probe: the protocol behaves honestly (little or no detection).
+    assert by_strength[0.0].detection_rate <= 0.5
+    # Full probe: always detected, nothing delivered, CHSH collapses to ≈ 0.
+    assert by_strength[1.0].detection_rate == 1.0
+    assert by_strength[1.0].messages_delivered == 0
+    assert abs(by_strength[1.0].mean_chsh_round2) < 1.0
+    # The information/disturbance trade-off is monotonic: stronger probes give
+    # lower CHSH values.
+    chsh_series = [
+        evaluation.mean_chsh_round2
+        for _, evaluation in sweep
+        if evaluation.mean_chsh_round2 is not None
+    ]
+    assert all(a >= b - 0.35 for a, b in zip(chsh_series, chsh_series[1:]))
+
+    record(
+        sweep=[
+            {
+                "strength": strength,
+                "detection_rate": evaluation.detection_rate,
+                "mean_round2_chsh": evaluation.mean_chsh_round2,
+            }
+            for strength, evaluation in sweep
+        ]
+    )

@@ -1,0 +1,58 @@
+"""Bench ``sec-chsh``: the DI security check on honest noisy channels.
+
+Paper artefact: §II (both security-check rounds) and the §IV requirement that
+the sampled CHSH value satisfy ``S = 2√2 − ε > 2`` for the protocol to
+proceed.  Regenerates the estimator-convergence table (mean S, spread and pass
+rate versus the check-pair budget ``d``) and the analytic CHSH-versus-η curve,
+including the maximum channel length over which device independence can still
+be certified.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_chsh_experiment
+from repro.quantum.bell import TSIRELSON_BOUND
+
+
+def test_bench_chsh_security_check(benchmark, record, capsys):
+    result = run_once(
+        benchmark,
+        run_chsh_experiment,
+        pair_budgets=(64, 128, 256, 512, 1024),
+        repetitions=12,
+        eta=10,
+        eta_sweep=(0, 100, 200, 400, 700, 1000, 2000),
+        seed=11,
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Shape checks: the estimator converges to ~2√2 at η=10, its spread shrinks
+    # as 1/sqrt(d), the pass rate approaches 1 with larger budgets, and the
+    # analytic CHSH-vs-η curve decays monotonically through the classical bound.
+    largest = result.convergence[-1]
+    assert abs(largest.mean_value - TSIRELSON_BOUND) < 0.15
+    assert largest.pass_rate == 1.0
+    spreads = [point.empirical_standard_deviation for point in result.convergence]
+    assert spreads[-1] < spreads[0]
+
+    chsh_values = [value for _, value in result.chsh_vs_eta]
+    assert all(a >= b for a, b in zip(chsh_values, chsh_values[1:]))
+    assert result.max_di_channel_length is not None
+
+    record(
+        convergence=[
+            {
+                "d": point.num_pairs,
+                "mean": point.mean_value,
+                "std": point.empirical_standard_deviation,
+                "pass_rate": point.pass_rate,
+            }
+            for point in result.convergence
+        ],
+        chsh_vs_eta=result.chsh_vs_eta,
+        max_di_channel_length=result.max_di_channel_length,
+    )

@@ -1,0 +1,38 @@
+"""Bench ``fig2``: regenerate Fig. 2 (decoded-outcome histograms at η = 10).
+
+Paper artefact: Fig. 2(a)–(d).  Runs the two-qubit emulation circuit for each
+of the four 2-bit messages on the ``ibm_brisbane`` device model with 1024
+shots and compares the histograms with the paper's (dominant outcome = the
+encoded message, dominant-outcome probability ≈ 0.93–0.95).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import PAPER_FIG2_COUNTS, render_result, run_fig2
+
+
+def test_bench_fig2_message_counts(benchmark, record, capsys):
+    result = run_once(benchmark, run_fig2, eta=10, shots=1024, seed=2024)
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+        print("  paper counts for reference:")
+        for message, counts in PAPER_FIG2_COUNTS.items():
+            print(f"    message {message}: {counts}")
+
+    # Shape checks: every panel is dominated by the encoded message and the
+    # dominant-outcome probability is in the paper's ballpark.
+    for panel in result.panels:
+        assert max(panel.counts, key=panel.counts.get) == panel.message
+        paper_accuracy = PAPER_FIG2_COUNTS[panel.message][panel.message] / 1024
+        assert abs(panel.accuracy - paper_accuracy) < 0.06
+
+    assert result.average_fidelity > 0.9  # paper: ≥ 0.95 (their fidelity metric)
+
+    record(
+        average_fidelity=result.average_fidelity,
+        minimum_accuracy=result.minimum_accuracy,
+        counts={panel.message: panel.counts for panel in result.panels},
+    )

@@ -1,0 +1,48 @@
+"""Bench ``fig3``: regenerate Fig. 3 (accuracy versus channel length).
+
+Paper artefact: Fig. 3.  Sweeps the η-identity-gate channel on the
+``ibm_brisbane`` device model and reports the accuracy of Bob's Bell-state
+measurement per channel length, the exponential-decay fit and the threshold
+crossing.  The paper observes a monotonic decay that falls below 60 % around
+η ≈ 700 on hardware; the device model reproduces the decay shape, with the
+crossing in the several-hundred-to-thousand-gate regime (see EXPERIMENTS.md
+for the quantitative comparison).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_fig3
+from repro.experiments.fig3_channel_length import PAPER_FIG3_THRESHOLD
+
+
+def test_bench_fig3_channel_length(benchmark, record, capsys):
+    etas = [10, 50, 100, 150, 200, 300, 400, 500, 600, 700, 850, 1000, 1200, 1500, 2000]
+    result = run_once(
+        benchmark,
+        run_fig3,
+        etas=etas,
+        shots=512,
+        messages=("00", "01", "10", "11"),
+        seed=2024,
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Shape checks: monotonic decay from >0.9 at η=10 towards the 1/4 floor,
+    # crossing the paper's 60 % threshold within the swept range.
+    assert result.points[0].accuracy > 0.9
+    assert result.is_monotonically_decreasing(tolerance=0.05)
+    crossing = result.crossing(PAPER_FIG3_THRESHOLD)
+    assert crossing is not None and 400 < crossing < 2000
+    fit = result.decay_fit()
+    assert fit["eta0"] > 0
+
+    record(
+        etas=result.etas,
+        accuracies=result.accuracies,
+        crossing_eta_60pct=crossing,
+        decay_fit=fit,
+    )

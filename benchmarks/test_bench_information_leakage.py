@@ -1,0 +1,66 @@
+"""Bench ``atk-leakage``: classical-channel information leakage (paper §III-E).
+
+A passive eavesdropper records every public announcement of repeated protocol
+sessions run with two different secret messages.  The bench reports the
+total-variation distance between her view distributions (statistically
+indistinguishable from 0 for the honest protocol) and verifies structurally
+that message-pair measurement outcomes are never announced.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.attacks import ClassicalEavesdropper, run_leakage_experiment
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.runner import UADIQSDCProtocol
+
+
+def _run():
+    config = ProtocolConfig.default(
+        message_length=16, identity_pairs=4, check_pairs_per_round=48, eta=10
+    ).with_channel(IdentityChainChannel(eta=10))
+    report = run_leakage_experiment(
+        config,
+        message_a="1011001110001111",
+        message_b="0100110001110000",
+        sessions_per_message=12,
+        rng=77,
+    )
+
+    # One full session with the eavesdropper attached, to inspect her view.
+    eve = ClassicalEavesdropper(rng=78)
+    result = UADIQSDCProtocol(config.with_seed(123), attack=eve).run("1011001110001111")
+    return report, eve, result
+
+
+def test_bench_information_leakage(benchmark, record, capsys):
+    report, eve, session_result = run_once(benchmark, _run)
+
+    with capsys.disabled():
+        print()
+        print(
+            "information leakage: between-message TV distance = "
+            f"{report.total_variation_distance:.3f}, within-message null = "
+            f"{report.within_message_tv_distance:.3f}, excess = "
+            f"{report.excess_tv_distance:.3f} "
+            f"(MI upper bound {report.mutual_information_upper_bound:.3f} bits)"
+        )
+        print(f"  topics Eve overheard: {eve.overheard_topics()}")
+
+    # The passive listener does not disturb the protocol ...
+    assert session_result.success
+    # ... never hears message-pair outcomes ...
+    assert not eve.heard_message_outcomes()
+    assert not report.message_outcomes_announced
+    # ... and her view does not distinguish the messages beyond the sampling null.
+    assert report.excess_tv_distance <= 0.4
+    assert report.mutual_information_upper_bound <= 0.4
+
+    record(
+        tv_distance=report.total_variation_distance,
+        within_message_tv_distance=report.within_message_tv_distance,
+        excess_tv_distance=report.excess_tv_distance,
+        mi_upper_bound=report.mutual_information_upper_bound,
+        overheard_topics=eve.overheard_topics(),
+    )

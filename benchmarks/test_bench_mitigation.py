@@ -1,0 +1,50 @@
+"""Bench ``mitigation``: error mitigation on the Fig. 3 channel (paper §IV-B outlook).
+
+The paper suggests error mitigation as the way to keep the protocol reliable
+over longer channels without error-correcting codes.  This bench regenerates
+the mitigation study: raw versus readout-mitigated versus zero-noise-
+extrapolated accuracy for several channel lengths.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_mitigation_study
+
+
+def test_bench_mitigation_study(benchmark, record, capsys):
+    result = run_once(
+        benchmark,
+        run_mitigation_study,
+        etas=(100, 300, 500, 700),
+        shots=512,
+        messages=("00", "01", "10", "11"),
+        noise_scales=(1.0, 1.5, 2.0, 3.0),
+        seed=2025,
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Both techniques must help on average, and ZNE must recover most of the
+    # accuracy lost to the channel at every studied length.
+    assert result.improvement("readout") > 0.0
+    assert result.improvement("zne") > 0.05
+    for point in result.points:
+        assert point.readout_mitigated_accuracy >= point.raw_accuracy - 0.02
+        assert point.zne_accuracy >= point.raw_accuracy
+
+    record(
+        points=[
+            {
+                "eta": point.eta,
+                "raw": point.raw_accuracy,
+                "readout_mitigated": point.readout_mitigated_accuracy,
+                "zne": point.zne_accuracy,
+            }
+            for point in result.points
+        ],
+        mean_gain_readout=result.improvement("readout"),
+        mean_gain_zne=result.improvement("zne"),
+    )

@@ -1,0 +1,43 @@
+"""Bench ``e2e``: full UA-DI-QSDC sessions on ideal and η=10 channels (paper §II).
+
+Regenerates the end-to-end behaviour every other experiment relies on: the
+protocol delivers the message on both channels, the CHSH checks sit near
+2√2 − ε, the identity verifications report (near-)zero error for honest
+parties, and the residual message bit-error rate on the noisy channel is
+small.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_end_to_end
+from repro.quantum.bell import CLASSICAL_CHSH_BOUND
+
+
+def test_bench_protocol_end_to_end(benchmark, record, capsys):
+    result = run_once(
+        benchmark,
+        run_end_to_end,
+        num_sessions=5,
+        message_length=32,
+        eta=10,
+        identity_pairs=8,
+        check_pairs=192,
+        seed=42,
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    assert result.ideal_delivery_rate >= 0.8
+    assert result.noisy_delivery_rate >= 0.6
+    assert result.mean_chsh_round1 > CLASSICAL_CHSH_BOUND
+    assert result.mean_noisy_message_error < 0.05
+
+    record(
+        ideal_delivery_rate=result.ideal_delivery_rate,
+        noisy_delivery_rate=result.noisy_delivery_rate,
+        mean_chsh_round1=result.mean_chsh_round1,
+        mean_noisy_message_error=result.mean_noisy_message_error,
+    )

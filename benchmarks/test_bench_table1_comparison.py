@@ -1,0 +1,37 @@
+"""Bench ``table1``: regenerate Table I (protocol feature comparison).
+
+Paper artefact: Table I.  Regenerates the feature matrix from the baseline
+implementations and backs every row with a functional run of the protocol on
+the same η=10 identity-gate channel.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_table1
+
+
+def test_bench_table1_comparison(benchmark, record, capsys):
+    result = run_once(
+        benchmark, run_table1, functional=True, check_pairs=96, eta=10, seed=7
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Shape checks against the paper's Table I.
+    assert len(result.features) == 5
+    assert result.only_proposed_has_authentication
+    qubit_costs = {row.name: row.qubits_per_message_bit for row in result.features}
+    assert qubit_costs["Zeng et al. 2023 (hyper-encoding)"] == 0.5
+    assert qubit_costs["Zhou et al. 2023 (single-photon)"] == 2.0
+    assert qubit_costs["Proposed protocol (UA-DI-QSDC)"] == 1.0
+
+    delivered = result.functional.delivered_correctly()
+    record(
+        delivered_per_protocol=delivered,
+        rows=[row.as_row() for row in result.features],
+    )
+    # On a short (η=10) channel every protocol implementation must work.
+    assert all(delivered.values())

@@ -1,0 +1,53 @@
+"""Channel-length study: how far can the protocol reach on NISQ hardware?
+
+Reproduces the spirit of Fig. 3 through the public API and extends it with the
+DI-security viewpoint: besides the accuracy of Bob's Bell measurement, the
+analytic CHSH value of the transmitted pairs is tracked, showing that the
+device-independent checks constrain the usable channel length *before* the
+60 %-accuracy criterion does.
+
+Run with::
+
+    python examples/channel_length_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chsh_analysis import chsh_threshold_eta, chsh_vs_channel_length
+from repro.experiments import run_fig3
+
+
+def main() -> None:
+    etas = [10, 100, 200, 300, 400, 500, 600, 700, 1000, 1500]
+
+    print("Channel-length study (ibm_brisbane device model)")
+    print("================================================")
+    result = run_fig3(etas=etas, shots=384, messages=("00", "11"), seed=11)
+    chsh_curve = dict(chsh_vs_channel_length(etas))
+
+    print(f"{'eta':>6s} {'duration (µs)':>14s} {'accuracy':>9s} {'analytic CHSH':>14s}")
+    for point in result.points:
+        marker = "  <-- CHSH below classical bound" if chsh_curve[point.eta] <= 2 else ""
+        print(
+            f"{point.eta:>6d} {point.duration * 1e6:>14.1f} {point.accuracy:>9.3f} "
+            f"{chsh_curve[point.eta]:>14.3f}{marker}"
+        )
+
+    crossing = result.crossing(threshold=0.6)
+    di_limit = chsh_threshold_eta(max_eta=20000, step=50)
+    fit = result.decay_fit()
+
+    print()
+    print(f"accuracy decay constant (fit)     : eta0 ≈ {fit['eta0']:.0f} gates")
+    print(f"accuracy drops below 60% at       : eta ≈ "
+          f"{crossing:.0f}" if crossing else "accuracy stays above 60% in this sweep")
+    print(f"CHSH reaches classical bound at   : eta ≈ {di_limit} gates")
+    print()
+    print("Interpretation: the DI security checks (CHSH > 2) limit the channel")
+    print("length more strictly than the raw decoding accuracy does, so a")
+    print("deployment should budget its channel below the CHSH limit and use")
+    print("error mitigation to push both limits outward (paper §IV-B).")
+
+
+if __name__ == "__main__":
+    main()

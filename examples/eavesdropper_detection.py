@@ -1,0 +1,64 @@
+"""Eavesdropper detection: run every attack of the paper against the protocol.
+
+Reproduces, at example scale, the §III/§IV security story: impersonation of
+either party is caught by identity verification with probability
+``1 − (1/4)^l``, and every channel attack (intercept-and-resend,
+man-in-the-middle, entangle-and-measure) collapses the CHSH value of the DI
+security check below the classical bound of 2.
+
+Run with::
+
+    python examples/eavesdropper_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import (
+    EntangleMeasureAttack,
+    ImpersonationAttack,
+    InterceptResendAttack,
+    ManInTheMiddleAttack,
+    evaluate_attack,
+)
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.protocol import ProtocolConfig
+
+MESSAGE = "1011001110001111"
+
+
+def main() -> None:
+    config = ProtocolConfig.default(
+        message_length=len(MESSAGE),
+        identity_pairs=8,
+        check_pairs_per_round=96,
+        eta=10,
+    ).with_channel(IdentityChainChannel(eta=10))
+
+    scenarios = {
+        "honest session (no attack)": None,
+        "Eve impersonates Bob": lambda rng: ImpersonationAttack("bob", rng=rng),
+        "Eve impersonates Alice": lambda rng: ImpersonationAttack("alice", rng=rng),
+        "intercept-and-resend": lambda rng: InterceptResendAttack(rng=rng),
+        "man-in-the-middle": lambda rng: ManInTheMiddleAttack(rng=rng),
+        "entangle-and-measure": lambda rng: EntangleMeasureAttack(strength=1.0, rng=rng),
+    }
+
+    print("Eavesdropper detection with UA-DI-QSDC")
+    print("======================================")
+    print(f"{'scenario':<30s} {'detected':>9s} {'delivered':>10s}  abort reasons")
+    for index, (name, factory) in enumerate(scenarios.items()):
+        evaluation = evaluate_attack(config, factory, MESSAGE, trials=6, rng=100 + index)
+        print(
+            f"{name:<30s} {evaluation.detection_rate:>8.0%} "
+            f"{evaluation.messages_delivered:>10d}  {evaluation.abort_reasons or '-'}"
+        )
+
+    print()
+    print("impersonation detection probability vs identity length l  (theory 1-(1/4)^l):")
+    for identity_pairs in (1, 2, 4, 8):
+        theoretical = ImpersonationAttack.detection_probability(identity_pairs)
+        print(f"  l = {identity_pairs:<2d}  ->  {theoretical:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP 660 editable-wheel
+dependencies; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of the UA-DI-QSDC protocol (Das, Basu, Paul, Rao, 2024).
+
+The package is organised in layers:
+
+* :mod:`repro.quantum` — from-scratch quantum simulation substrate
+  (statevectors, density matrices, circuits, noise channels, CHSH).
+* :mod:`repro.device` — NISQ device model emulating ``ibm_brisbane``.
+* :mod:`repro.channel` — quantum (η-identity-gate) and classical channels.
+* :mod:`repro.protocol` — the paper's contribution: the user-authenticated
+  device-independent QSDC protocol.
+* :mod:`repro.attacks` — the five attack models analysed in the paper.
+* :mod:`repro.baselines` — prior DI-QSDC protocols compared in Table I.
+* :mod:`repro.analysis` — fidelity, QBER, CHSH statistics.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro.protocol import ProtocolConfig, UADIQSDCProtocol
+
+    config = ProtocolConfig.default(message_length=16, seed=7)
+    result = UADIQSDCProtocol(config).run("1011001110001111")
+    assert result.delivered_message == "1011001110001111"
+"""
+
+from repro.exceptions import (
+    AuthenticationFailure,
+    ProtocolAbort,
+    ReproError,
+    SecurityCheckFailure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationFailure",
+    "ProtocolAbort",
+    "ReproError",
+    "SecurityCheckFailure",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Metrics and statistics used by the evaluation harness.
+
+* :mod:`repro.analysis.fidelity` — distribution and state fidelities;
+* :mod:`repro.analysis.qber` — bit-error-rate metrics for decoded messages;
+* :mod:`repro.analysis.statistics` — confidence intervals, standard errors
+  and sample-size rules for sampled estimates (CHSH, accuracy);
+* :mod:`repro.analysis.accuracy` — the accuracy-versus-channel-length metric
+  of Fig. 3, including the exponential-decay fit and threshold crossing;
+* :mod:`repro.analysis.chsh_analysis` — analytic CHSH curves versus noise and
+  channel length.
+"""
+
+from repro.analysis.accuracy import (
+    AccuracyPoint,
+    crossing_eta,
+    exponential_decay_fit,
+)
+from repro.analysis.chsh_analysis import (
+    chsh_threshold_eta,
+    chsh_vs_channel_length,
+    chsh_vs_depolarizing,
+)
+from repro.analysis.fidelity import (
+    distribution_fidelity,
+    hellinger_distance,
+    state_fidelity,
+)
+from repro.analysis.qber import bit_error_rate, quantum_bit_error_rate
+from repro.analysis.statistics import (
+    binomial_standard_error,
+    chsh_standard_error,
+    mean_and_confidence_interval,
+    required_shots_for_accuracy,
+    wilson_interval,
+)
+
+__all__ = [
+    "AccuracyPoint",
+    "crossing_eta",
+    "exponential_decay_fit",
+    "chsh_threshold_eta",
+    "chsh_vs_channel_length",
+    "chsh_vs_depolarizing",
+    "distribution_fidelity",
+    "hellinger_distance",
+    "state_fidelity",
+    "bit_error_rate",
+    "quantum_bit_error_rate",
+    "binomial_standard_error",
+    "chsh_standard_error",
+    "mean_and_confidence_interval",
+    "required_shots_for_accuracy",
+    "wilson_interval",
+]

@@ -1,0 +1,109 @@
+"""Accuracy-versus-channel-length analysis (Fig. 3 of the paper).
+
+Fig. 3 plots the accuracy of Bob's Bell-state measurement against the number
+``η`` of identity gates in the quantum channel and observes that beyond
+roughly 700 gates (42 µs) the accuracy drops below 60 %.  This module provides
+the data structures and curve analysis for that figure: the per-point record,
+an exponential-decay fit ``a(η) = (1 − c) · exp(−η / η0) + c`` (the form the
+physical noise model predicts, with ``c = 1/4`` the fully-depolarised floor of
+a four-outcome Bell measurement), and the crossing finder that reports where
+the accuracy falls below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.exceptions import ReproError
+
+__all__ = ["AccuracyPoint", "exponential_decay_fit", "crossing_eta"]
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One point of the Fig. 3 curve.
+
+    Attributes
+    ----------
+    eta:
+        Number of identity gates in the channel.
+    duration:
+        Channel duration in seconds (``eta * 60 ns`` on ``ibm_brisbane``).
+    accuracy:
+        Probability that Bob's Bell measurement decodes the encoded symbol.
+    shots:
+        Number of shots behind the estimate.
+    fidelity:
+        Classical fidelity of the full outcome distribution to the ideal one.
+    """
+
+    eta: int
+    duration: float
+    accuracy: float
+    shots: int
+    fidelity: float
+
+
+def _decay_model(eta: np.ndarray, eta0: float, floor: float) -> np.ndarray:
+    return (1.0 - floor) * np.exp(-eta / eta0) + floor
+
+
+def exponential_decay_fit(
+    points: Sequence[AccuracyPoint], floor: float | None = None
+) -> dict[str, float]:
+    """Fit ``a(η) = (1 − c) exp(−η/η0) + c`` to Fig. 3 data.
+
+    Returns a dict with the fitted decay constant ``eta0``, the floor ``c``
+    (fixed to *floor* when supplied, fitted otherwise) and the RMS residual.
+    """
+    if len(points) < 3:
+        raise ReproError("need at least three points to fit the decay curve")
+    etas = np.array([p.eta for p in points], dtype=float)
+    accuracies = np.array([p.accuracy for p in points], dtype=float)
+
+    if floor is not None:
+        def model(eta, eta0):
+            return _decay_model(eta, eta0, floor)
+
+        popt, _ = curve_fit(model, etas, accuracies, p0=[500.0], maxfev=10000)
+        eta0, fitted_floor = float(popt[0]), float(floor)
+    else:
+        popt, _ = curve_fit(
+            _decay_model, etas, accuracies, p0=[500.0, 0.25],
+            bounds=([1.0, 0.0], [1e6, 1.0]), maxfev=10000,
+        )
+        eta0, fitted_floor = float(popt[0]), float(popt[1])
+
+    residuals = accuracies - _decay_model(etas, eta0, fitted_floor)
+    return {
+        "eta0": eta0,
+        "floor": fitted_floor,
+        "rms_residual": float(np.sqrt(np.mean(residuals**2))),
+    }
+
+
+def crossing_eta(points: Sequence[AccuracyPoint], threshold: float = 0.6) -> float | None:
+    """First channel length at which the accuracy falls below *threshold*.
+
+    Interpolates linearly between the neighbouring measured points; returns
+    ``None`` if the accuracy never crosses the threshold within the sweep.
+    """
+    if not points:
+        raise ReproError("need at least one accuracy point")
+    ordered = sorted(points, key=lambda p: p.eta)
+    previous = ordered[0]
+    if previous.accuracy < threshold:
+        return float(previous.eta)
+    for point in ordered[1:]:
+        if point.accuracy < threshold <= previous.accuracy:
+            span = point.accuracy - previous.accuracy
+            if abs(span) < 1e-12:
+                return float(point.eta)
+            fraction = (threshold - previous.accuracy) / span
+            return float(previous.eta + fraction * (point.eta - previous.eta))
+        previous = point
+    return None

@@ -1,0 +1,81 @@
+"""Analytic CHSH curves versus noise strength and channel length.
+
+These closed-form curves back up the sampled estimates of the protocol's DI
+security checks: they predict how the CHSH value decays as the η-identity-gate
+channel lengthens (or as depolarizing noise grows) and where it crosses the
+classical bound of 2 — the point beyond which the honest protocol can no
+longer certify device independence and must abort.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.exceptions import ReproError
+from repro.quantum.bell import BellState, bell_state, chsh_value, CLASSICAL_CHSH_BOUND
+from repro.quantum.channels import depolarizing_channel
+
+__all__ = ["chsh_vs_depolarizing", "chsh_vs_channel_length", "chsh_threshold_eta"]
+
+
+def chsh_vs_depolarizing(probabilities: Sequence[float]) -> list[tuple[float, float]]:
+    """Analytic CHSH value of ``|Φ+⟩`` after single-qubit depolarizing noise.
+
+    Returns ``[(p, S(p)), ...]``; analytically ``S(p) = (1 − p) · 2√2``.
+    """
+    curve = []
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ReproError(f"probability {p} out of range")
+        state = depolarizing_channel(p).apply(
+            bell_state(BellState.PHI_PLUS).density_matrix(), [0]
+        )
+        curve.append((float(p), chsh_value(state)))
+    return curve
+
+
+def chsh_vs_channel_length(
+    etas: Sequence[int],
+    gate_error: float | None = None,
+    include_thermal_relaxation: bool = True,
+) -> list[tuple[int, float]]:
+    """Analytic CHSH value of ``|Φ+⟩`` after the η-identity-gate channel.
+
+    Returns ``[(eta, S(eta)), ...]`` using the same channel model as the
+    protocol (per-gate depolarizing plus optional thermal relaxation).
+    """
+    curve = []
+    for eta in etas:
+        kwargs = {"eta": int(eta), "include_thermal_relaxation": include_thermal_relaxation}
+        if gate_error is not None:
+            kwargs["gate_error"] = gate_error
+        channel = IdentityChainChannel(**kwargs)
+        state = channel.transmit(bell_state(BellState.PHI_PLUS).density_matrix(), 0)
+        curve.append((int(eta), chsh_value(state)))
+    return curve
+
+
+def chsh_threshold_eta(
+    max_eta: int = 20000,
+    threshold: float = CLASSICAL_CHSH_BOUND,
+    gate_error: float | None = None,
+    include_thermal_relaxation: bool = True,
+    step: int = 50,
+) -> int | None:
+    """Smallest channel length whose analytic CHSH value drops to *threshold* or below.
+
+    Returns ``None`` if the CHSH value stays above the threshold up to
+    *max_eta*.  This is the maximum channel length over which the honest
+    protocol can still pass its DI security checks.
+    """
+    if max_eta < 1 or step < 1:
+        raise ReproError("max_eta and step must be positive")
+    for eta in range(0, max_eta + 1, step):
+        (_, value), = chsh_vs_channel_length(
+            [eta], gate_error=gate_error,
+            include_thermal_relaxation=include_thermal_relaxation,
+        )
+        if value <= threshold:
+            return eta
+    return None

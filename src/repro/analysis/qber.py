@@ -1,0 +1,62 @@
+"""Bit-error-rate metrics for decoded messages.
+
+Two related quantities appear in the evaluation:
+
+* the *classical* bit error rate between the message Alice sent and the
+  message Bob decoded (:func:`bit_error_rate`);
+* the *quantum* bit error rate (QBER) of a stream of dense-coded pairs, i.e.
+  the per-two-bit-symbol error probability estimated from repeated Bell
+  measurements (:func:`quantum_bit_error_rate`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import ReproError
+from repro.utils.bits import hamming_distance, validate_bits
+
+__all__ = ["bit_error_rate", "quantum_bit_error_rate", "symbol_error_rate"]
+
+
+def bit_error_rate(sent: Iterable[int], received: Iterable[int]) -> float:
+    """Fraction of bit positions where *received* differs from *sent*."""
+    sent_bits = validate_bits(sent)
+    received_bits = validate_bits(received)
+    if len(sent_bits) != len(received_bits):
+        raise ReproError(
+            f"cannot compare messages of different lengths "
+            f"({len(sent_bits)} vs {len(received_bits)})"
+        )
+    if not sent_bits:
+        raise ReproError("cannot compute a bit error rate on empty messages")
+    return hamming_distance(sent_bits, received_bits) / len(sent_bits)
+
+
+def symbol_error_rate(counts: Mapping[str, int], expected: str) -> float:
+    """Fraction of measurement shots whose outcome differs from *expected*."""
+    total = sum(int(v) for v in counts.values())
+    if total <= 0:
+        raise ReproError("counts are empty")
+    return 1.0 - counts.get(expected, 0) / total
+
+
+def quantum_bit_error_rate(counts: Mapping[str, int], expected: str) -> float:
+    """Per-bit error rate of a dense-coded two-bit symbol.
+
+    *counts* maps decoded two-bit outcomes to shot counts and *expected* is
+    the encoded symbol.  Each wrong symbol contributes the number of wrong
+    bits it contains (1 or 2), so the result is the average fraction of wrong
+    bits per transmitted bit — the QBER the protocol's check-bit comparison
+    estimates.
+    """
+    total = sum(int(v) for v in counts.values())
+    if total <= 0:
+        raise ReproError("counts are empty")
+    if any(len(outcome) != len(expected) for outcome in counts):
+        raise ReproError("all outcomes must have the same width as the expected symbol")
+    wrong_bits = 0
+    for outcome, count in counts.items():
+        mismatches = sum(1 for a, b in zip(outcome, expected) if a != b)
+        wrong_bits += mismatches * int(count)
+    return wrong_bits / (total * len(expected))

@@ -1,0 +1,131 @@
+"""Statistical helpers for sampled estimates.
+
+Every quantity the evaluation section reports — accuracy per channel length,
+CHSH values, detection rates — is estimated from a finite number of shots or
+protocol runs.  This module provides the standard error and confidence
+interval machinery so the experiment harness can report uncertainties instead
+of bare point estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "binomial_standard_error",
+    "wilson_interval",
+    "mean_and_confidence_interval",
+    "chsh_standard_error",
+    "required_shots_for_accuracy",
+    "empirical_mutual_information",
+]
+
+
+def binomial_standard_error(successes: int, trials: int) -> float:
+    """Standard error of a binomial proportion ``sqrt(p (1 - p) / n)``."""
+    if trials <= 0:
+        raise ReproError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ReproError("successes must lie in [0, trials]")
+    p = successes / trials
+    return math.sqrt(p * (1 - p) / trials)
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    More reliable than the normal approximation near 0 or 1, which matters for
+    detection probabilities like ``1 − (1/4)**l`` that sit very close to 1.
+    """
+    if trials <= 0:
+        raise ReproError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ReproError("successes must lie in [0, trials]")
+    if not 0 < confidence < 1:
+        raise ReproError("confidence must lie in (0, 1)")
+    z = stats.norm.ppf(0.5 + confidence / 2)
+    p = successes / trials
+    denominator = 1 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denominator
+    margin = (
+        z * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2)) / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def mean_and_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Sample mean and a Student-t confidence interval ``(mean, low, high)``."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ReproError("need at least one sample")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean, mean
+    sem = float(stats.sem(values))
+    if sem == 0:
+        return mean, mean, mean
+    low, high = stats.t.interval(confidence, values.size - 1, loc=mean, scale=sem)
+    return mean, float(low), float(high)
+
+
+def chsh_standard_error(num_pairs: int) -> float:
+    """Standard error of a sampled CHSH estimate over *num_pairs* check pairs.
+
+    Each of the four correlations is estimated from roughly ``num_pairs / 4``
+    ±1 samples with per-sample variance at most 1, and the four estimates are
+    independent, so ``std(S) ≈ sqrt(4 · 4 / num_pairs) = 4 / sqrt(num_pairs)``.
+    """
+    if num_pairs <= 0:
+        raise ReproError("num_pairs must be positive")
+    return 4.0 / math.sqrt(num_pairs)
+
+
+def required_shots_for_accuracy(margin: float, confidence: float = 0.95) -> int:
+    """Shots needed so a binomial proportion is known to within ±margin.
+
+    Uses the worst case ``p = 1/2``: ``n = (z / (2 margin))^2``.
+    """
+    if not 0 < margin < 1:
+        raise ReproError("margin must lie in (0, 1)")
+    if not 0 < confidence < 1:
+        raise ReproError("confidence must lie in (0, 1)")
+    z = stats.norm.ppf(0.5 + confidence / 2)
+    return int(math.ceil((z / (2 * margin)) ** 2))
+
+
+def empirical_mutual_information(
+    xs: Sequence, ys: Sequence
+) -> float:
+    """Plug-in estimate of the mutual information I(X; Y) in bits.
+
+    Used by the information-leakage analysis to quantify how much an
+    eavesdropper's classical view (Y) reveals about the message (X).  Both
+    sequences are treated as categorical.
+    """
+    if len(xs) != len(ys):
+        raise ReproError("sequences must have the same length")
+    if not xs:
+        raise ReproError("need at least one observation")
+    n = len(xs)
+    joint: dict[tuple, int] = {}
+    marginal_x: dict = {}
+    marginal_y: dict = {}
+    for x, y in zip(xs, ys):
+        joint[(x, y)] = joint.get((x, y), 0) + 1
+        marginal_x[x] = marginal_x.get(x, 0) + 1
+        marginal_y[y] = marginal_y.get(y, 0) + 1
+    information = 0.0
+    for (x, y), count in joint.items():
+        p_xy = count / n
+        p_x = marginal_x[x] / n
+        p_y = marginal_y[y] / n
+        information += p_xy * math.log2(p_xy / (p_x * p_y))
+    return max(0.0, information)

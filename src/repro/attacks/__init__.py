@@ -1,0 +1,45 @@
+"""Eavesdropping strategies analysed by the paper and their detection statistics.
+
+The five attack families of §III each have a concrete model here:
+
+* :class:`ImpersonationAttack` — Eve pretends to be Alice or Bob without the
+  pre-shared identity (§III-A);
+* :class:`InterceptResendAttack` — measure-and-resend on the quantum channel
+  (§III-B);
+* :class:`ManInTheMiddleAttack` — substitution of Alice's qubits with fresh
+  uncorrelated qubits (§III-C);
+* :class:`EntangleMeasureAttack` — an entangling probe traced out by Eve
+  (§III-D);
+* :class:`ClassicalEavesdropper` + :func:`run_leakage_experiment` — passive
+  reading of the classical channel and the statistical statement that it
+  carries no message information (§III-E).
+
+:func:`evaluate_attack` runs the protocol repeatedly under any of these and
+aggregates detection rates, which is what the §IV attack simulations report.
+"""
+
+from repro.attacks.base import Attack
+from repro.attacks.detection import AttackEvaluation, detection_rate, evaluate_attack
+from repro.attacks.entangle_measure import EntangleMeasureAttack
+from repro.attacks.impersonation import ImpersonationAttack
+from repro.attacks.information_leakage import (
+    ClassicalEavesdropper,
+    LeakageReport,
+    run_leakage_experiment,
+)
+from repro.attacks.intercept_resend import InterceptResendAttack
+from repro.attacks.man_in_the_middle import ManInTheMiddleAttack
+
+__all__ = [
+    "Attack",
+    "AttackEvaluation",
+    "detection_rate",
+    "evaluate_attack",
+    "EntangleMeasureAttack",
+    "ImpersonationAttack",
+    "ClassicalEavesdropper",
+    "LeakageReport",
+    "run_leakage_experiment",
+    "InterceptResendAttack",
+    "ManInTheMiddleAttack",
+]

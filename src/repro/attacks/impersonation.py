@@ -1,0 +1,57 @@
+"""Impersonation attack (paper §III-A).
+
+Eve pretends to be Alice (to inject a message) or Bob (to receive the secret
+message).  Because she does not know the impersonated party's pre-shared
+identity, the best she can do is apply uniformly random Pauli operators on the
+identity pairs; the honest verifier, who knows the genuine secret, observes a
+wrong Bell state on each pair independently with probability 3/4, so the
+attack survives verification only with probability ``(1/4)**l``.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.exceptions import AttackError
+
+__all__ = ["ImpersonationAttack"]
+
+
+class ImpersonationAttack(Attack):
+    """Eve impersonates one of the legitimate parties.
+
+    Parameters
+    ----------
+    target:
+        ``"alice"`` — Eve plays the sender without knowing ``id_A`` (Bob's
+        verification of the ``C_A`` pairs catches her); or ``"bob"`` — Eve
+        plays the receiver without knowing ``id_B`` (Alice's verification of
+        the announced ``(D_A, D_B)`` results catches her).
+    rng:
+        Seed or generator for Eve's random Pauli guesses.
+    """
+
+    def __init__(self, target: str = "bob", rng=None):
+        super().__init__(rng=rng)
+        target = target.lower()
+        if target not in ("alice", "bob"):
+            raise AttackError(f"impersonation target must be 'alice' or 'bob', got {target!r}")
+        self.impersonates = target
+        self.name = f"impersonation({target})"
+
+    # -- analytic predictions -------------------------------------------------------------
+    @staticmethod
+    def detection_probability(identity_pairs: int) -> float:
+        """Paper's detection probability ``1 − (1/4)**l``."""
+        if identity_pairs < 0:
+            raise AttackError("identity_pairs must be non-negative")
+        return 1.0 - 0.25**identity_pairs
+
+    @staticmethod
+    def survival_probability(identity_pairs: int) -> float:
+        """Probability Eve's random guesses pass verification: ``(1/4)**l``."""
+        return 1.0 - ImpersonationAttack.detection_probability(identity_pairs)
+
+    @staticmethod
+    def expected_mismatch_fraction() -> float:
+        """Expected fraction of identity pairs flagged as wrong: 3/4."""
+        return 0.75

@@ -1,0 +1,100 @@
+"""Intercept-and-resend attack (paper §III-B).
+
+Eve intercepts the qubits of ``S_A`` that Alice sends to Bob, measures each in
+some orthonormal basis ``{|u⟩, |v⟩}`` and resends the collapsed state.  The
+measurement destroys the entanglement — the joint state becomes separable
+(``|uu⟩`` or ``|vv⟩`` in the paper's notation for an attack before encoding) —
+so the second DI security check finds a CHSH value at or below the classical
+bound of 2 and the parties abort.
+
+The measurement basis is parameterised by Bloch angles ``(theta, phi)``:
+``|u⟩ = cos(θ/2)|0⟩ + e^{iφ} sin(θ/2)|1⟩`` and ``|v⟩`` its orthogonal
+complement.  ``theta = 0`` is the computational basis; ``theta = π/2, phi = 0``
+is the ``|±⟩`` basis.  Eve may also choose to attack only a fraction of the
+transmitted qubits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.exceptions import AttackError
+from repro.quantum.density import DensityMatrix
+
+__all__ = ["InterceptResendAttack"]
+
+
+class InterceptResendAttack(Attack):
+    """Measure-and-resend on the Alice→Bob quantum channel.
+
+    Parameters
+    ----------
+    theta, phi:
+        Bloch angles of the measurement basis.
+    attack_fraction:
+        Probability with which each transmitted qubit is attacked (1.0 = every
+        qubit, the paper's full-strength attack).
+    rng:
+        Seed or generator for Eve's measurement outcomes and attack decisions.
+    """
+
+    def __init__(self, theta: float = 0.0, phi: float = 0.0, attack_fraction: float = 1.0, rng=None):
+        super().__init__(rng=rng)
+        if not 0.0 <= attack_fraction <= 1.0:
+            raise AttackError("attack_fraction must lie in [0, 1]")
+        self.theta = float(theta)
+        self.phi = float(phi)
+        self.attack_fraction = float(attack_fraction)
+        self.name = f"intercept_resend(theta={self.theta:.3f}, fraction={self.attack_fraction:g})"
+        self.measurement_record: list[tuple[int, int]] = []
+
+    # -- basis -----------------------------------------------------------------------------
+    def basis_states(self) -> tuple[np.ndarray, np.ndarray]:
+        """The measurement basis ``(|u⟩, |v⟩)`` as state vectors."""
+        u = np.array(
+            [math.cos(self.theta / 2), np.exp(1j * self.phi) * math.sin(self.theta / 2)],
+            dtype=complex,
+        )
+        v = np.array(
+            [-np.exp(-1j * self.phi) * math.sin(self.theta / 2), math.cos(self.theta / 2)],
+            dtype=complex,
+        )
+        return u, v
+
+    # -- hook -------------------------------------------------------------------------------
+    def intercept_transmission(self, position: int, state: DensityMatrix) -> DensityMatrix:
+        """Measure Alice's qubit (qubit 0) in the ``{|u⟩, |v⟩}`` basis and resend it."""
+        if self.attack_fraction < 1.0 and self.rng.random() > self.attack_fraction:
+            return state
+        self.intercepted_pairs += 1
+        u, v = self.basis_states()
+        projectors = [np.outer(u, u.conj()), np.outer(v, v.conj())]
+        probabilities = []
+        for projector in projectors:
+            probabilities.append(
+                max(float(np.real(state.expectation_value(projector, [0]))), 0.0)
+            )
+        total = sum(probabilities)
+        if total <= 0:
+            raise AttackError("interception hit a zero-probability branch")
+        probabilities = [p / total for p in probabilities]
+        outcome = int(self.rng.choice(2, p=probabilities))
+        self.measurement_record.append((position, outcome))
+        chosen = projectors[outcome]
+        # Project qubit 0 onto the observed basis state and renormalise: this is
+        # exactly "measure and resend the result".
+        from repro.quantum.operators import embed_operator
+
+        full_projector = embed_operator(chosen, [0], state.num_qubits)
+        projected = full_projector @ state.matrix @ full_projector
+        norm = float(np.real(np.trace(projected)))
+        return DensityMatrix(projected / norm, validate=False)
+
+    # -- analytic predictions --------------------------------------------------------------------
+    @staticmethod
+    def expected_chsh_after_full_attack() -> float:
+        """Upper bound on the CHSH value once every pair has been measured (classical: 2)."""
+        return 2.0

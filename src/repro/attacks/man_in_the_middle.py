@@ -1,0 +1,71 @@
+"""Man-in-the-middle attack (paper §III-C).
+
+Eve removes Alice's transmitted qubits from the channel, keeps them, and
+forwards a freshly prepared sequence ``Q_E`` of single-qubit states to Bob
+instead.  Bob's halves are then completely uncorrelated with what he receives,
+so the CHSH value estimated in the second DI security check cannot exceed the
+classical bound and the substitution is detected.
+
+The fresh states Eve sends are configurable: random pure states (default),
+the fixed ``|0⟩`` state, or maximally mixed qubits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.exceptions import AttackError
+from repro.quantum.density import DensityMatrix
+from repro.quantum.random import haar_random_state
+from repro.quantum.states import Statevector
+
+__all__ = ["ManInTheMiddleAttack"]
+
+_STRATEGIES = ("random_pure", "zero", "maximally_mixed")
+
+
+class ManInTheMiddleAttack(Attack):
+    """Substitute Alice's transmitted qubits with Eve's own fresh qubits.
+
+    Parameters
+    ----------
+    substitute:
+        What Eve sends to Bob: ``"random_pure"`` (Haar-random pure states),
+        ``"zero"`` (all ``|0⟩``) or ``"maximally_mixed"``.
+    rng:
+        Seed or generator for Eve's random state preparation.
+    """
+
+    def __init__(self, substitute: str = "random_pure", rng=None):
+        super().__init__(rng=rng)
+        if substitute not in _STRATEGIES:
+            raise AttackError(
+                f"substitute must be one of {_STRATEGIES}, got {substitute!r}"
+            )
+        self.substitute = substitute
+        self.name = f"man_in_the_middle({substitute})"
+        self.kept_states: list[DensityMatrix] = []
+
+    def _fresh_qubit(self) -> DensityMatrix:
+        if self.substitute == "random_pure":
+            return haar_random_state(1, rng=self.rng).density_matrix()
+        if self.substitute == "zero":
+            return DensityMatrix(Statevector.from_label("0"))
+        return DensityMatrix.maximally_mixed(1)
+
+    def intercept_transmission(self, position: int, state: DensityMatrix) -> DensityMatrix:
+        """Keep Alice's qubit and forward a fresh uncorrelated qubit to Bob."""
+        self.intercepted_pairs += 1
+        # Eve keeps the qubit Alice sent (its reduced state, from her point of view).
+        self.kept_states.append(state.partial_trace([0]))
+        # Bob's half keeps its own marginal; the forwarded qubit replaces Alice's.
+        bob_half = state.partial_trace([1])
+        fresh = self._fresh_qubit()
+        return DensityMatrix(np.kron(fresh.matrix, bob_half.matrix), validate=False)
+
+    # -- analytic predictions --------------------------------------------------------------
+    @staticmethod
+    def expected_chsh_after_full_attack() -> float:
+        """With uncorrelated qubits the CHSH correlations vanish entirely."""
+        return 0.0

@@ -1,0 +1,34 @@
+"""Prior DI-QSDC protocols compared against in Table I, plus the comparison harness."""
+
+from repro.baselines.base import BaselineResult, DIQSDCBaseline
+from repro.baselines.comparison import (
+    FunctionalComparison,
+    PROPOSED_FEATURES,
+    all_baselines,
+    render_table1,
+    run_functional_comparison,
+    table1_features,
+)
+from repro.baselines.features import DecodingMeasurement, ProtocolFeatures, ResourceType
+from repro.baselines.zeng2023_hyperencoding import Zeng2023HyperEncodingDIQSDC
+from repro.baselines.zhou2020 import Zhou2020DIQSDC
+from repro.baselines.zhou2022_onestep import Zhou2022OneStepDIQSDC
+from repro.baselines.zhou2023_single_photon import Zhou2023SinglePhotonDIQSDC
+
+__all__ = [
+    "BaselineResult",
+    "DIQSDCBaseline",
+    "FunctionalComparison",
+    "PROPOSED_FEATURES",
+    "all_baselines",
+    "render_table1",
+    "run_functional_comparison",
+    "table1_features",
+    "DecodingMeasurement",
+    "ProtocolFeatures",
+    "ResourceType",
+    "Zeng2023HyperEncodingDIQSDC",
+    "Zhou2020DIQSDC",
+    "Zhou2022OneStepDIQSDC",
+    "Zhou2023SinglePhotonDIQSDC",
+]

@@ -1,0 +1,135 @@
+"""Common interface for the DI-QSDC baselines compared in Table I.
+
+Each baseline implements a *functional* (if simplified) simulation of its
+protocol on top of the same quantum substrate the proposed protocol uses, so
+that feature claims of Table I — resource type, decoding measurement, qubit
+cost per message bit, presence of user authentication — are backed by running
+code, and so that the comparison benches can put all protocols on the same
+channel models.
+
+The baseline simulations intentionally skip the engineering details that do
+not affect the compared features (e.g. exact photon-loss bookkeeping of the
+original papers); every simplification is documented in the respective
+module's docstring.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.baselines.features import ProtocolFeatures
+from repro.channel.quantum_channel import NoiselessChannel, QuantumChannel
+from repro.exceptions import ProtocolError
+from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits, hamming_distance, validate_bits
+
+__all__ = ["BaselineResult", "DIQSDCBaseline"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline protocol run.
+
+    Attributes
+    ----------
+    protocol:
+        Baseline name.
+    sent_message / delivered_message:
+        The message the sender encoded and the message the receiver decoded.
+    bit_error_rate:
+        Fraction of delivered bits differing from the sent bits.
+    chsh_values:
+        The CHSH estimates of the protocol's DI security checks (empty for
+        aborted runs that never reached a check).
+    aborted:
+        True if a DI check failed and the run terminated early.
+    qubits_transmitted:
+        Number of qubits that crossed the quantum channel.
+    authenticated:
+        Whether the run performed any user authentication (always False for
+        the prior protocols — the feature the paper adds).
+    metadata:
+        Baseline-specific extras.
+    """
+
+    protocol: str
+    sent_message: Bits
+    delivered_message: Bits | None
+    bit_error_rate: float | None
+    chsh_values: list[float] = field(default_factory=list)
+    aborted: bool = False
+    qubits_transmitted: int = 0
+    authenticated: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def delivered_message_string(self) -> str | None:
+        """Delivered message as a bitstring."""
+        return None if self.delivered_message is None else bits_to_str(self.delivered_message)
+
+    def message_delivered_correctly(self) -> bool:
+        """True if the delivered message equals the sent message."""
+        return self.delivered_message is not None and tuple(self.delivered_message) == tuple(
+            self.sent_message
+        )
+
+
+class DIQSDCBaseline(ABC):
+    """Base class of the Table I baselines.
+
+    Parameters
+    ----------
+    check_pairs:
+        Number of resource states sampled per DI security-check round.
+    chsh_threshold:
+        Abort threshold for the CHSH estimate.
+    """
+
+    #: Feature row of Table I; concrete baselines override this class attribute.
+    features: ProtocolFeatures
+
+    def __init__(self, check_pairs: int = 128, chsh_threshold: float = 2.0):
+        if check_pairs < 1:
+            raise ProtocolError("check_pairs must be at least 1")
+        if not 0 < chsh_threshold < 2.83:
+            raise ProtocolError("chsh_threshold must lie in (0, 2√2)")
+        self.check_pairs = int(check_pairs)
+        self.chsh_threshold = float(chsh_threshold)
+
+    # -- shared helpers -----------------------------------------------------------------
+    @staticmethod
+    def _coerce_message(message: "str | Bits") -> Bits:
+        bits = (
+            bitstring_to_bits(message) if isinstance(message, str) else validate_bits(message)
+        )
+        if not bits:
+            raise ProtocolError("cannot transmit an empty message")
+        return bits
+
+    @staticmethod
+    def _bit_error_rate(sent: Bits, delivered: Bits) -> float:
+        if len(sent) != len(delivered):
+            raise ProtocolError("sent and delivered messages differ in length")
+        return hamming_distance(sent, delivered) / len(sent)
+
+    # -- interface -----------------------------------------------------------------------
+    @abstractmethod
+    def transmit(
+        self,
+        message: "str | Bits",
+        channel: QuantumChannel | None = None,
+        rng=None,
+    ) -> BaselineResult:
+        """Run the baseline protocol to send *message* over *channel*."""
+
+    def name(self) -> str:
+        """Short protocol name (defaults to the feature row's name)."""
+        return self.features.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(check_pairs={self.check_pairs})"
+
+
+def default_channel(channel: QuantumChannel | None) -> QuantumChannel:
+    """Use the supplied channel or fall back to a noiseless one."""
+    return channel if channel is not None else NoiselessChannel()

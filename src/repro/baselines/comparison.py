@@ -1,0 +1,137 @@
+"""Table I: feature comparison of DI-QSDC protocols.
+
+:func:`table1_features` assembles the feature rows of the four prior DI-QSDC
+protocols plus the proposed UA-DI-QSDC protocol, in the order of the paper's
+Table I; :func:`render_table1` renders them as a fixed-width text table; and
+:func:`run_functional_comparison` actually runs every baseline plus the
+proposed protocol on the same channel so the feature claims (and message
+delivery) are backed by executing code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineResult, DIQSDCBaseline
+from repro.baselines.features import DecodingMeasurement, ProtocolFeatures, ResourceType
+from repro.baselines.zeng2023_hyperencoding import Zeng2023HyperEncodingDIQSDC
+from repro.baselines.zhou2020 import Zhou2020DIQSDC
+from repro.baselines.zhou2022_onestep import Zhou2022OneStepDIQSDC
+from repro.baselines.zhou2023_single_photon import Zhou2023SinglePhotonDIQSDC
+from repro.channel.quantum_channel import QuantumChannel
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.runner import UADIQSDCProtocol
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "PROPOSED_FEATURES",
+    "all_baselines",
+    "table1_features",
+    "render_table1",
+    "FunctionalComparison",
+    "run_functional_comparison",
+]
+
+#: Feature row of the proposed UA-DI-QSDC protocol (last row of Table I).
+PROPOSED_FEATURES = ProtocolFeatures(
+    name="Proposed protocol (UA-DI-QSDC)",
+    reference="Das, Basu, Paul, Rao (2024)",
+    resource_type=ResourceType.ENTANGLEMENT,
+    decoding_measurement=DecodingMeasurement.BSM,
+    qubits_per_message_bit=1.0,
+    user_authentication=True,
+)
+
+
+def all_baselines(check_pairs: int = 128) -> list[DIQSDCBaseline]:
+    """Instantiate the four prior DI-QSDC protocols in Table I order."""
+    return [
+        Zhou2020DIQSDC(check_pairs=check_pairs),
+        Zhou2022OneStepDIQSDC(check_pairs=check_pairs),
+        Zhou2023SinglePhotonDIQSDC(check_pairs=check_pairs),
+        Zeng2023HyperEncodingDIQSDC(check_pairs=check_pairs),
+    ]
+
+
+def table1_features() -> list[ProtocolFeatures]:
+    """Feature rows of Table I: the four baselines followed by the proposed protocol."""
+    return [baseline.features for baseline in all_baselines()] + [PROPOSED_FEATURES]
+
+
+def render_table1(rows: list[ProtocolFeatures] | None = None) -> str:
+    """Render the Table I comparison as a fixed-width text table."""
+    rows = rows if rows is not None else table1_features()
+    rendered = [features.as_row() for features in rows]
+    headers = list(rendered[0].keys())
+    widths = {
+        header: max(len(header), *(len(row[header]) for row in rendered))
+        for header in headers
+    }
+    lines = [
+        " | ".join(header.ljust(widths[header]) for header in headers),
+        "-+-".join("-" * widths[header] for header in headers),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(row[header].ljust(widths[header]) for header in headers))
+    return "\n".join(lines)
+
+
+@dataclass
+class FunctionalComparison:
+    """Result of running every protocol in Table I on the same channel.
+
+    Attributes
+    ----------
+    features:
+        The static feature rows (Table I proper).
+    baseline_results:
+        One :class:`~repro.baselines.base.BaselineResult` per prior protocol.
+    proposed_result_summary:
+        Summary dict of the proposed protocol's run on the same channel.
+    """
+
+    features: list[ProtocolFeatures]
+    baseline_results: list[BaselineResult] = field(default_factory=list)
+    proposed_result_summary: dict = field(default_factory=dict)
+
+    def delivered_correctly(self) -> dict[str, bool]:
+        """Which protocol delivered the message without bit errors."""
+        outcome = {
+            result.protocol: result.message_delivered_correctly()
+            for result in self.baseline_results
+        }
+        outcome[PROPOSED_FEATURES.name] = bool(
+            self.proposed_result_summary.get("success")
+            and self.proposed_result_summary.get("delivered_message")
+            == self.proposed_result_summary.get("sent_message")
+        )
+        return outcome
+
+
+def run_functional_comparison(
+    message: str = "1011001110001111",
+    channel: QuantumChannel | None = None,
+    check_pairs: int = 96,
+    seed: int | None = 7,
+) -> FunctionalComparison:
+    """Run every Table I protocol once on the same message and channel."""
+    generator = as_rng(seed)
+    baseline_results = [
+        baseline.transmit(message, channel=channel, rng=generator)
+        for baseline in all_baselines(check_pairs=check_pairs)
+    ]
+
+    config = ProtocolConfig.default(
+        message_length=len(message),
+        seed=None if seed is None else seed + 1,
+        check_pairs_per_round=check_pairs,
+    )
+    if channel is not None:
+        config = config.with_channel(channel)
+    proposed_result = UADIQSDCProtocol(config).run(message)
+
+    return FunctionalComparison(
+        features=table1_features(),
+        baseline_results=baseline_results,
+        proposed_result_summary=proposed_result.summary(),
+    )

@@ -1,0 +1,75 @@
+"""Feature descriptions of DI-QSDC protocols (the columns of Table I).
+
+Table I of the paper compares the proposed UA-DI-QSDC protocol with four
+existing DI-QSDC protocols along four axes: the quantum resource type, the
+measurement used for decoding, the number of qubits consumed per message bit
+and whether user authentication is provided.  :class:`ProtocolFeatures` is the
+row type; each baseline module exposes its own instance, and
+:mod:`repro.baselines.comparison` assembles the full table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["ResourceType", "DecodingMeasurement", "ProtocolFeatures"]
+
+
+class ResourceType(Enum):
+    """Quantum resource consumed by a DI-QSDC protocol."""
+
+    ENTANGLEMENT = "Entanglement"
+    HYPERENTANGLEMENT = "Hyper-entanglement"
+    SINGLE_QUBITS = "Single qubits"
+
+
+class DecodingMeasurement(Enum):
+    """Measurement the receiver uses to decode the message."""
+
+    BSM = "BSM"
+    HYPER_BSM = "HBSM"
+
+
+@dataclass(frozen=True)
+class ProtocolFeatures:
+    """One row of Table I.
+
+    Attributes
+    ----------
+    name:
+        Short protocol name used in reports.
+    reference:
+        Citation string (author, year).
+    resource_type:
+        Quantum resource the protocol consumes.
+    decoding_measurement:
+        Measurement used by the receiver to decode.
+    qubits_per_message_bit:
+        Transmitted qubits consumed per useful message bit (1/2 for the
+        hyper-encoding protocol, 2 for the single-photon-source protocol).
+    user_authentication:
+        Whether the protocol authenticates the communicating parties.
+    """
+
+    name: str
+    reference: str
+    resource_type: ResourceType
+    decoding_measurement: DecodingMeasurement
+    qubits_per_message_bit: float
+    user_authentication: bool
+
+    def as_row(self) -> dict[str, str]:
+        """Render the features as the strings Table I prints."""
+        ratio = self.qubits_per_message_bit
+        if ratio == int(ratio):
+            qubits = str(int(ratio))
+        else:
+            qubits = f"{ratio.as_integer_ratio()[0]}/{ratio.as_integer_ratio()[1]}"
+        return {
+            "Protocol": self.name,
+            "Resource type": self.resource_type.value,
+            "Measurement for decoding": self.decoding_measurement.value,
+            "No. of qubits per message bit": qubits,
+            "UA": "Yes" if self.user_authentication else "No",
+        }

@@ -1,0 +1,131 @@
+"""Zhou, Sheng, Long (2020): the original entanglement-based DI-QSDC protocol.
+
+Reference: L. Zhou, Y.-B. Sheng, G.-L. Long, "Device-independent quantum
+secure direct communication against collective attacks", Science Bulletin 65,
+12–20 (2020).
+
+Model implemented here (the structure the paper's Table I compares against):
+
+1. Alice and Bob share ``|Φ+⟩`` pairs.
+2. A first CHSH check over a random subset certifies device-independent
+   security of the distribution.
+3. Alice dense-codes two message bits per pair with a Pauli operation and
+   sends her qubits to Bob through the quantum channel.
+4. A second CHSH check over a reserved subset certifies the transmission.
+5. Bob decodes by Bell-state measurement.
+
+There is **no user authentication** — that is exactly the gap the proposed
+UA-DI-QSDC protocol fills.  Simplifications relative to the original paper:
+photon loss and the entanglement-purification subroutine are not modelled
+(they do not change the Table I features), and the message is padded with a
+random bit when its length is odd.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, DIQSDCBaseline, default_channel
+from repro.baselines.features import DecodingMeasurement, ProtocolFeatures, ResourceType
+from repro.channel.quantum_channel import QuantumChannel
+from repro.protocol.chsh import CHSHSettings, DISecurityCheck
+from repro.protocol.encoding import decode_bell_state_to_bits, encode_bits_to_pauli, pauli_operator
+from repro.quantum.bell import BellState, bell_state
+from repro.quantum.measurement import bell_measurement
+from repro.utils.bits import chunk_bits, random_bits
+from repro.utils.rng import as_rng
+
+__all__ = ["Zhou2020DIQSDC"]
+
+
+class Zhou2020DIQSDC(DIQSDCBaseline):
+    """Entanglement-based DI-QSDC without user authentication."""
+
+    features = ProtocolFeatures(
+        name="Zhou et al. 2020",
+        reference="Zhou, Sheng, Long, Science Bulletin 65, 12 (2020)",
+        resource_type=ResourceType.ENTANGLEMENT,
+        decoding_measurement=DecodingMeasurement.BSM,
+        qubits_per_message_bit=1.0,
+        user_authentication=False,
+    )
+
+    def __init__(self, check_pairs: int = 128, chsh_threshold: float = 2.0,
+                 chsh_settings: CHSHSettings | None = None):
+        super().__init__(check_pairs=check_pairs, chsh_threshold=chsh_threshold)
+        self.chsh_settings = chsh_settings or CHSHSettings()
+
+    def transmit(
+        self,
+        message: "str | tuple[int, ...]",
+        channel: QuantumChannel | None = None,
+        rng=None,
+    ) -> BaselineResult:
+        """Send *message* through *channel* with the 2020 DI-QSDC flow."""
+        generator = as_rng(rng)
+        channel = default_channel(channel)
+        bits = self._coerce_message(message)
+        padded = bits if len(bits) % 2 == 0 else bits + random_bits(1, rng=generator)
+
+        security_check = DISecurityCheck(self.chsh_settings)
+
+        # Round 1: check the freshly distributed pairs.
+        round1_pairs = [
+            bell_state(BellState.PHI_PLUS).density_matrix() for _ in range(self.check_pairs)
+        ]
+        chsh_round1 = security_check.estimate(round1_pairs, rng=generator)
+        if chsh_round1.value <= self.chsh_threshold:
+            return BaselineResult(
+                protocol=self.features.name,
+                sent_message=bits,
+                delivered_message=None,
+                bit_error_rate=None,
+                chsh_values=[chsh_round1.value],
+                aborted=True,
+                qubits_transmitted=0,
+                metadata={"abort": "round1_chsh"},
+            )
+
+        # Encoding + transmission of Alice's qubits.
+        message_pairs = []
+        for chunk in chunk_bits(padded, 2):
+            pair = bell_state(BellState.PHI_PLUS).density_matrix()
+            label = encode_bits_to_pauli(chunk)
+            if label != "I":
+                pair = pair.evolve(pauli_operator(label), [0])
+            message_pairs.append(channel.transmit(pair, 0))
+
+        # Round 2: check a reserved subset after transmission.
+        round2_pairs = [
+            channel.transmit(bell_state(BellState.PHI_PLUS).density_matrix(), 0)
+            for _ in range(self.check_pairs)
+        ]
+        chsh_round2 = security_check.estimate(round2_pairs, rng=generator)
+        if chsh_round2.value <= self.chsh_threshold:
+            return BaselineResult(
+                protocol=self.features.name,
+                sent_message=bits,
+                delivered_message=None,
+                bit_error_rate=None,
+                chsh_values=[chsh_round1.value, chsh_round2.value],
+                aborted=True,
+                qubits_transmitted=len(message_pairs) + self.check_pairs,
+                metadata={"abort": "round2_chsh"},
+            )
+
+        # Bell-state decoding.
+        decoded: list[int] = []
+        for pair in message_pairs:
+            outcome = bell_measurement(pair, [0, 1], rng=generator)
+            decoded.extend(decode_bell_state_to_bits(outcome.bell_state))
+        delivered = tuple(decoded)[: len(bits)]
+
+        return BaselineResult(
+            protocol=self.features.name,
+            sent_message=bits,
+            delivered_message=delivered,
+            bit_error_rate=self._bit_error_rate(bits, delivered),
+            chsh_values=[chsh_round1.value, chsh_round2.value],
+            aborted=False,
+            qubits_transmitted=len(message_pairs) + 2 * self.check_pairs,
+            authenticated=False,
+            metadata={"pairs_used": len(message_pairs)},
+        )

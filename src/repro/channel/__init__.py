@@ -1,0 +1,28 @@
+"""Communication channels: the η-identity-gate quantum channel, classical channel, memory.
+
+The paper models the quantum channel between Alice and Bob as a chain of
+``η`` identity gates executed on the device (each 60 ns long with error
+probability ``2.41e-4`` on ``ibm_brisbane``), the classical channel as an
+authenticated public channel, and assumes an ideal quantum memory.  This
+subpackage implements all three, plus a fibre-loss channel as an extension
+for channel-length studies expressed in kilometres rather than gate counts.
+"""
+
+from repro.channel.classical_channel import Announcement, ClassicalChannel
+from repro.channel.memory import QuantumMemory
+from repro.channel.quantum_channel import (
+    FiberLossChannel,
+    IdentityChainChannel,
+    NoiselessChannel,
+    QuantumChannel,
+)
+
+__all__ = [
+    "Announcement",
+    "ClassicalChannel",
+    "QuantumMemory",
+    "FiberLossChannel",
+    "IdentityChainChannel",
+    "NoiselessChannel",
+    "QuantumChannel",
+]

@@ -1,0 +1,102 @@
+"""Quantum memory.
+
+The protocol requires Alice to store her halves of the EPR pairs between the
+first DI security check and the encoding step.  The paper assumes an ideal
+memory; :class:`QuantumMemory` models that by default but can also apply a
+storage decoherence channel per stored time unit, which supports the
+extension experiments on imperfect memories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ChannelError
+from repro.quantum.channels import KrausChannel
+from repro.quantum.density import DensityMatrix
+
+__all__ = ["QuantumMemory", "StoredItem"]
+
+
+@dataclass
+class StoredItem:
+    """One stored register: an identifier plus the qubit indices it occupies."""
+
+    key: Any
+    qubits: tuple[int, ...]
+    stored_at: float
+
+
+class QuantumMemory:
+    """Keyed storage of qubit registers with optional storage decoherence.
+
+    Parameters
+    ----------
+    decoherence_channel:
+        Optional single-qubit :class:`~repro.quantum.channels.KrausChannel`
+        applied to every stored qubit per unit of storage time when
+        :meth:`retrieve` is called.  ``None`` models the paper's ideal memory.
+    """
+
+    def __init__(self, decoherence_channel: KrausChannel | None = None):
+        if decoherence_channel is not None and decoherence_channel.num_qubits != 1:
+            raise ChannelError("memory decoherence must be a single-qubit channel")
+        self.decoherence_channel = decoherence_channel
+        self._items: dict[Any, StoredItem] = {}
+        self._clock = 0.0
+
+    # -- clock -------------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Current memory time (arbitrary units advanced by :meth:`advance_time`)."""
+        return self._clock
+
+    def advance_time(self, delta: float) -> None:
+        """Advance the memory clock (e.g. while the DI check round runs)."""
+        if delta < 0:
+            raise ChannelError("time can only move forward")
+        self._clock += delta
+
+    # -- storage --------------------------------------------------------------------------
+    def store(self, key: Any, qubits: tuple[int, ...] | list[int]) -> StoredItem:
+        """Record that the register *qubits* is now held in memory under *key*."""
+        if key in self._items:
+            raise ChannelError(f"memory already holds an item with key {key!r}")
+        item = StoredItem(key=key, qubits=tuple(int(q) for q in qubits), stored_at=self._clock)
+        self._items[key] = item
+        return item
+
+    def contains(self, key: Any) -> bool:
+        """True if an item with the given key is stored."""
+        return key in self._items
+
+    def keys(self) -> list[Any]:
+        """Keys of all stored items."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def retrieve(self, key: Any, state: DensityMatrix | None = None) -> tuple[StoredItem, DensityMatrix | None]:
+        """Remove an item from memory, applying storage decoherence if configured.
+
+        If *state* is given, the decoherence channel is applied to each stored
+        qubit once per unit of elapsed storage time (rounded down), and the
+        evolved state is returned alongside the stored record.
+        """
+        if key not in self._items:
+            raise ChannelError(f"memory holds no item with key {key!r}")
+        item = self._items.pop(key)
+        if state is None or self.decoherence_channel is None:
+            return item, state
+        elapsed = int(self._clock - item.stored_at)
+        evolved = state
+        for _ in range(elapsed):
+            for qubit in item.qubits:
+                evolved = self.decoherence_channel.apply(evolved, [qubit])
+        return item, evolved
+
+    def __repr__(self) -> str:
+        ideal = "ideal" if self.decoherence_channel is None else "decohering"
+        return f"QuantumMemory({ideal}, items={len(self._items)})"

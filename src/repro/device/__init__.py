@@ -1,0 +1,38 @@
+"""NISQ device modelling: topology, calibration, noise and a noisy backend.
+
+The paper's evaluation runs the UA-DI-QSDC protocol on IBM's ``ibm_brisbane``
+(127-qubit Eagle r3) device.  This subpackage provides an offline stand-in:
+
+* :mod:`repro.device.topology` — the heavy-hexagonal coupling map;
+* :mod:`repro.device.calibration` — per-qubit/per-gate calibration records,
+  with the medians quoted in the paper (§IV-A);
+* :mod:`repro.device.device_model` — :class:`DeviceModel`, which derives a
+  :class:`~repro.quantum.noise_model.NoiseModel` from the calibration;
+* :mod:`repro.device.backend` — :class:`NoisyBackend`, which executes
+  :class:`~repro.quantum.circuit.QuantumCircuit` objects under that noise;
+* :mod:`repro.device.counts` — :class:`Counts`, a result histogram with the
+  fidelity/accuracy metrics used by the paper's figures.
+"""
+
+from repro.device.backend import NoisyBackend
+from repro.device.calibration import (
+    DeviceCalibration,
+    GateCalibration,
+    QubitCalibration,
+    ibm_brisbane_calibration,
+)
+from repro.device.counts import Counts
+from repro.device.device_model import DeviceModel
+from repro.device.topology import heavy_hex_coupling_map, linear_coupling_map
+
+__all__ = [
+    "NoisyBackend",
+    "DeviceCalibration",
+    "GateCalibration",
+    "QubitCalibration",
+    "ibm_brisbane_calibration",
+    "Counts",
+    "DeviceModel",
+    "heavy_hex_coupling_map",
+    "linear_coupling_map",
+]

@@ -1,0 +1,120 @@
+"""Noisy backend: executes circuits under a device model's noise.
+
+:class:`NoisyBackend` is the library's analogue of submitting a circuit to
+``ibm_brisbane`` through Qiskit: it validates the circuit against the device,
+derives the noise model once, runs the density-matrix simulator and returns a
+:class:`~repro.device.counts.Counts` histogram.  An ideal device model yields
+an exact (but still sampled) execution, which is what the paper calls the
+"ideal simulation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.counts import Counts
+from repro.device.device_model import DeviceModel
+from repro.exceptions import DeviceError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.simulator import DensityMatrixSimulator, SimulationResult
+from repro.utils.rng import as_rng
+
+__all__ = ["NoisyBackend", "BackendJob"]
+
+
+@dataclass
+class BackendJob:
+    """Record of one backend execution (circuit, shots, result)."""
+
+    circuit_name: str
+    shots: int
+    counts: Counts
+    metadata: dict = field(default_factory=dict)
+
+
+class NoisyBackend:
+    """Execute circuits under a :class:`~repro.device.device_model.DeviceModel`.
+
+    Parameters
+    ----------
+    device:
+        The device model; defaults to the ``ibm_brisbane`` preset.
+    seed:
+        Seed or generator for all sampling performed by this backend.
+    """
+
+    def __init__(self, device: DeviceModel | None = None, seed=None):
+        self.device = device or DeviceModel.ibm_brisbane()
+        self._rng = as_rng(seed)
+        self._noise_model = self.device.noise_model()
+        self._simulator = DensityMatrixSimulator(
+            noise_model=None if self._noise_model.is_ideal() else self._noise_model,
+            seed=self._rng,
+        )
+        self.jobs: list[BackendJob] = []
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Backend name (the device name)."""
+        return self.device.name
+
+    @property
+    def noise_model(self):
+        """The derived noise model (read-only)."""
+        return self._noise_model
+
+    def is_noisy(self) -> bool:
+        """True if executions apply any gate or readout noise."""
+        return not self._noise_model.is_ideal()
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, shots: int = 1024) -> Counts:
+        """Execute *circuit* with *shots* repetitions and return the counts."""
+        self._validate(circuit)
+        result = self._simulator.run(circuit, shots=shots, rng=self._rng)
+        counts = Counts(result.counts, shots=shots)
+        self.jobs.append(
+            BackendJob(
+                circuit_name=circuit.name,
+                shots=shots,
+                counts=counts,
+                metadata=dict(result.metadata),
+            )
+        )
+        return counts
+
+    def run_result(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:
+        """Execute *circuit* and return the full simulator result (incl. the state)."""
+        self._validate(circuit)
+        return self._simulator.run(circuit, shots=shots, rng=self._rng)
+
+    def final_density_matrix(self, circuit: QuantumCircuit) -> DensityMatrix:
+        """Final mixed state of *circuit* under the device noise (no sampling)."""
+        self._validate(circuit)
+        return self._simulator.final_density_matrix(circuit)
+
+    def circuit_duration(self, circuit: QuantumCircuit) -> float:
+        """Wall-clock duration of the circuit: sum of calibrated gate durations.
+
+        The protocol circuits are sequential on each qubit (no parallel layers
+        matter for the paper's figures), so the simple sum over instructions is
+        the relevant quantity: ``η`` identity gates take ``η * 60 ns``.
+        """
+        total = 0.0
+        for instruction in circuit.instructions:
+            if instruction.kind == "gate":
+                total += self.device.gate_duration(instruction.name)
+        return total
+
+    # -- internals -------------------------------------------------------------------
+    def _validate(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits > self.device.num_qubits:
+            raise DeviceError(
+                f"circuit needs {circuit.num_qubits} qubits but {self.device.name!r} "
+                f"has only {self.device.num_qubits}"
+            )
+
+    def __repr__(self) -> str:
+        return f"NoisyBackend(device={self.device.name!r}, noisy={self.is_noisy()})"

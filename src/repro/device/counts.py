@@ -1,0 +1,139 @@
+"""Measurement-count containers and distribution metrics.
+
+:class:`Counts` is what :class:`~repro.device.backend.NoisyBackend` returns.
+Besides histogram conveniences it implements the two metrics the paper's
+evaluation uses:
+
+* *accuracy* — the fraction of shots landing on the expected outcome (Fig. 3
+  plots accuracy versus channel length);
+* *fidelity to an ideal distribution* — the classical (Bhattacharyya/Hellinger)
+  fidelity between the measured histogram and the ideal one (the paper quotes
+  "average fidelity of message outcomes is at least 0.95" for Fig. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.exceptions import DeviceError
+
+__all__ = ["Counts"]
+
+
+class Counts(Mapping):
+    """An immutable histogram of measurement outcomes.
+
+    Keys are outcome bitstrings; values are non-negative integers.
+    """
+
+    def __init__(self, data: Mapping[str, int], shots: int | None = None):
+        cleaned: dict[str, int] = {}
+        for key, value in dict(data).items():
+            count = int(value)
+            if count < 0:
+                raise DeviceError(f"negative count for outcome {key!r}")
+            if count:
+                cleaned[str(key)] = count
+        self._data = cleaned
+        self._shots = int(shots) if shots is not None else sum(cleaned.values())
+        if self._shots < sum(cleaned.values()):
+            raise DeviceError("shots cannot be smaller than the sum of counts")
+
+    # -- Mapping interface --------------------------------------------------------
+    def __getitem__(self, key: str) -> int:
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._data.get(key, default)
+
+    # -- basic statistics ------------------------------------------------------------
+    @property
+    def shots(self) -> int:
+        """Total number of shots (includes shots that produced no recorded outcome)."""
+        return self._shots
+
+    def total(self) -> int:
+        """Sum of all recorded counts."""
+        return sum(self._data.values())
+
+    def probabilities(self) -> dict[str, float]:
+        """Counts normalised by the number of shots."""
+        if self._shots == 0:
+            return {}
+        return {key: value / self._shots for key, value in self._data.items()}
+
+    def most_frequent(self) -> str:
+        """The outcome with the highest count."""
+        if not self._data:
+            raise DeviceError("counts are empty")
+        return max(self._data.items(), key=lambda item: item[1])[0]
+
+    def outcome_probability(self, outcome: str) -> float:
+        """Relative frequency of one outcome."""
+        if self._shots == 0:
+            return 0.0
+        return self._data.get(outcome, 0) / self._shots
+
+    # -- metrics used by the paper -------------------------------------------------------
+    def accuracy(self, expected: str) -> float:
+        """Fraction of shots that produced the expected outcome."""
+        return self.outcome_probability(expected)
+
+    def error_rate(self, expected: str) -> float:
+        """Fraction of shots that produced anything other than the expected outcome."""
+        return 1.0 - self.accuracy(expected)
+
+    def fidelity(self, other: "Counts | Mapping[str, float]") -> float:
+        """Classical fidelity ``(sum_x sqrt(p_x q_x))^2`` to another distribution.
+
+        *other* may be another :class:`Counts` or an already-normalised
+        probability mapping (e.g. the ideal simulation result).
+        """
+        own = self.probabilities()
+        if isinstance(other, Counts):
+            reference = other.probabilities()
+        else:
+            reference = {str(k): float(v) for k, v in dict(other).items()}
+            total = sum(reference.values())
+            if total <= 0:
+                raise DeviceError("reference distribution has no weight")
+            reference = {k: v / total for k, v in reference.items()}
+        overlap = 0.0
+        for key in set(own) | set(reference):
+            overlap += math.sqrt(own.get(key, 0.0) * reference.get(key, 0.0))
+        return overlap**2
+
+    def hellinger_distance(self, other: "Counts | Mapping[str, float]") -> float:
+        """Hellinger distance ``sqrt(1 - sqrt(F))`` to another distribution."""
+        return math.sqrt(max(0.0, 1.0 - math.sqrt(self.fidelity(other))))
+
+    def marginal(self, positions: list[int]) -> "Counts":
+        """Marginalise the histogram onto the given bit positions (in order)."""
+        merged: dict[str, int] = {}
+        for key, value in self._data.items():
+            try:
+                reduced = "".join(key[p] for p in positions)
+            except IndexError as exc:
+                raise DeviceError(
+                    f"position out of range for outcome {key!r}"
+                ) from exc
+            merged[reduced] = merged.get(reduced, 0) + value
+        return Counts(merged, shots=self._shots)
+
+    def merged_with(self, other: "Counts") -> "Counts":
+        """Combine two histograms (e.g. repeated experiment batches)."""
+        merged = dict(self._data)
+        for key, value in other.items():
+            merged[key] = merged.get(key, 0) + value
+        return Counts(merged, shots=self._shots + other.shots)
+
+    def __repr__(self) -> str:
+        preview = dict(sorted(self._data.items(), key=lambda kv: -kv[1])[:4])
+        return f"Counts(shots={self._shots}, top={preview})"

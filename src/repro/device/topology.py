@@ -1,0 +1,147 @@
+"""Qubit connectivity graphs.
+
+``ibm_brisbane`` uses the 127-qubit heavy-hexagonal ("Eagle") layout: seven
+rows of qubits connected in chains, with four bridge qubits between
+consecutive rows.  :func:`heavy_hex_coupling_map` reconstructs that layout
+(127 nodes, 144 edges, maximum degree 3); :func:`linear_coupling_map` provides
+the simple chain used for EPLG-style layered-gate benchmarks.
+
+Graphs are returned as :class:`networkx.Graph` instances so distance, path and
+subgraph queries are available to higher layers.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import DeviceError
+
+__all__ = [
+    "heavy_hex_coupling_map",
+    "linear_coupling_map",
+    "coupling_distance",
+    "coupling_path",
+    "EAGLE_NUM_QUBITS",
+]
+
+#: Number of qubits of the IBM Eagle (r3) processor family, e.g. ``ibm_brisbane``.
+EAGLE_NUM_QUBITS = 127
+
+#: Number of full-length rows in the Eagle heavy-hex layout.
+_NUM_ROWS = 7
+
+#: Number of qubit columns in a full row.
+_ROW_LENGTH = 15
+
+#: Number of bridge qubits between two consecutive rows.
+_BRIDGES_PER_GAP = 4
+
+
+def heavy_hex_coupling_map() -> nx.Graph:
+    """Build the 127-qubit Eagle heavy-hexagonal coupling map.
+
+    Layout (matching the published ``ibm_washington``/``ibm_brisbane`` maps):
+
+    * Row 0 holds qubits for columns 0–13, rows 1–5 hold columns 0–14, and
+      row 6 holds columns 1–14, giving ``14 + 5*15 + 14 = 103`` row qubits.
+    * Between rows *r* and *r+1* sit four bridge qubits.  For even *r* they
+      attach at columns 0, 4, 8 and 12; for odd *r* at columns 2, 6, 10
+      and 14.  ``6 * 4 = 24`` bridges bring the total to 127 qubits.
+    * Qubits are numbered row by row, interleaving each row with the bridge
+      group below it, which reproduces IBM's numbering scheme.
+
+    Returns a graph whose nodes carry a ``"kind"`` attribute (``"row"`` or
+    ``"bridge"``) and ``"row"``/``"column"`` coordinates.
+    """
+    graph = nx.Graph(name="heavy_hex_127")
+    next_index = 0
+    row_qubits: list[dict[int, int]] = []
+
+    for row in range(_NUM_ROWS):
+        columns = _row_columns(row)
+        mapping: dict[int, int] = {}
+        for column in columns:
+            graph.add_node(next_index, kind="row", row=row, column=column)
+            mapping[column] = next_index
+            next_index += 1
+        # Chain the row qubits left to right.
+        for left, right in zip(columns, columns[1:]):
+            graph.add_edge(mapping[left], mapping[right])
+        row_qubits.append(mapping)
+
+        if row < _NUM_ROWS - 1:
+            for bridge_slot in range(_BRIDGES_PER_GAP):
+                column = _bridge_column(row, bridge_slot)
+                graph.add_node(
+                    next_index, kind="bridge", row=row + 0.5, column=column
+                )
+                next_index += 1
+
+    # Second pass: connect bridges now that both adjacent rows exist.
+    bridge_index = 0
+    next_index = 0
+    for row in range(_NUM_ROWS):
+        next_index += len(_row_columns(row))
+        if row >= _NUM_ROWS - 1:
+            break
+        for bridge_slot in range(_BRIDGES_PER_GAP):
+            column = _bridge_column(row, bridge_slot)
+            bridge = next_index
+            upper = row_qubits[row].get(column)
+            lower = row_qubits[row + 1].get(column)
+            if upper is None or lower is None:
+                raise DeviceError(
+                    f"bridge at row {row} column {column} has no anchor qubit"
+                )
+            graph.add_edge(bridge, upper)
+            graph.add_edge(bridge, lower)
+            next_index += 1
+            bridge_index += 1
+
+    if graph.number_of_nodes() != EAGLE_NUM_QUBITS:
+        raise DeviceError(
+            f"heavy-hex construction produced {graph.number_of_nodes()} qubits, "
+            f"expected {EAGLE_NUM_QUBITS}"
+        )
+    return graph
+
+
+def _row_columns(row: int) -> list[int]:
+    """Columns populated in the given row of the Eagle layout."""
+    if row == 0:
+        return list(range(0, _ROW_LENGTH - 1))
+    if row == _NUM_ROWS - 1:
+        return list(range(1, _ROW_LENGTH))
+    return list(range(0, _ROW_LENGTH))
+
+
+def _bridge_column(row: int, bridge_slot: int) -> int:
+    """Column at which the given bridge below *row* attaches."""
+    offset = 0 if row % 2 == 0 else 2
+    return offset + 4 * bridge_slot
+
+
+def linear_coupling_map(num_qubits: int) -> nx.Graph:
+    """A simple 1-D chain of *num_qubits* qubits (used for EPLG-style chains)."""
+    if num_qubits < 1:
+        raise DeviceError("a coupling map needs at least one qubit")
+    graph = nx.Graph(name=f"linear_{num_qubits}")
+    graph.add_nodes_from(range(num_qubits), kind="row")
+    graph.add_edges_from((i, i + 1) for i in range(num_qubits - 1))
+    return graph
+
+
+def coupling_distance(graph: nx.Graph, qubit_a: int, qubit_b: int) -> int:
+    """Number of coupling-map edges on the shortest path between two qubits."""
+    try:
+        return int(nx.shortest_path_length(graph, qubit_a, qubit_b))
+    except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+        raise DeviceError(str(exc)) from exc
+
+
+def coupling_path(graph: nx.Graph, qubit_a: int, qubit_b: int) -> list[int]:
+    """Shortest path (list of qubits) between two qubits on the coupling map."""
+    try:
+        return [int(q) for q in nx.shortest_path(graph, qubit_a, qubit_b)]
+    except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+        raise DeviceError(str(exc)) from exc

@@ -1,0 +1,72 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each paper artefact maps to a registered experiment (see DESIGN.md §5):
+
+========================  =====================================================
+Experiment id             Paper artefact
+========================  =====================================================
+``table1``                Table I — protocol feature comparison
+``fig2``                  Fig. 2 — decoded-outcome histograms at η = 10
+``fig3``                  Fig. 3 — accuracy versus channel length
+``sec-chsh``              §II/§IV — DI security-check characterisation
+``attacks``               §III/§IV — attack simulations and detection rates
+``atk-impersonation-sweep``  §III-A — detection probability vs identity length
+``atk-leakage``           §III-E — classical-channel information leakage
+``e2e``                   §II — full protocol end to end
+========================  =====================================================
+
+Run them from Python (:func:`run_experiment`) or from the command line
+(``python -m repro.experiments run fig2``).
+"""
+
+from repro.experiments.attack_simulations import (
+    AttackSimulationResult,
+    run_attack_simulations,
+    run_impersonation_sweep,
+)
+from repro.experiments.chsh_baseline import CHSHExperimentResult, run_chsh_experiment
+from repro.experiments.e2e import EndToEndResult, run_end_to_end
+from repro.experiments.emulation import (
+    build_message_transfer_circuit,
+    decode_counts_to_messages,
+    run_message_transfer,
+)
+from repro.experiments.fig2_message_counts import Fig2Result, PAPER_FIG2_COUNTS, run_fig2
+from repro.experiments.fig3_channel_length import Fig3Result, default_eta_sweep, run_fig3
+from repro.experiments.mitigation_study import MitigationStudyResult, run_mitigation_study
+from repro.experiments.registry import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import render_result
+from repro.experiments.table1_comparison import Table1Result, run_table1
+
+__all__ = [
+    "AttackSimulationResult",
+    "run_attack_simulations",
+    "run_impersonation_sweep",
+    "CHSHExperimentResult",
+    "run_chsh_experiment",
+    "EndToEndResult",
+    "run_end_to_end",
+    "build_message_transfer_circuit",
+    "decode_counts_to_messages",
+    "run_message_transfer",
+    "Fig2Result",
+    "PAPER_FIG2_COUNTS",
+    "run_fig2",
+    "Fig3Result",
+    "default_eta_sweep",
+    "run_fig3",
+    "MitigationStudyResult",
+    "run_mitigation_study",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_result",
+    "Table1Result",
+    "run_table1",
+]

@@ -1,0 +1,77 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig2
+    python -m repro.experiments run fig3 --full
+    python -m repro.experiments run-all
+
+``--full`` disables the reduced "quick" parameter sets and reproduces each
+artefact at the paper's scale (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.report import render_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of the UA-DI-QSDC paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="List the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="Run one experiment by id")
+    run_parser.add_argument("experiment_id", help="Experiment id (see `list`)")
+    run_parser.add_argument(
+        "--full", action="store_true", help="Run at full (paper-scale) size"
+    )
+
+    run_all_parser = subparsers.add_parser("run-all", help="Run every experiment")
+    run_all_parser.add_argument(
+        "--full", action="store_true", help="Run at full (paper-scale) size"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment in list_experiments():
+            print(f"{experiment.experiment_id:<24s} {experiment.paper_artifact:<40s} "
+                  f"{experiment.description}")
+        return 0
+
+    if args.command == "run":
+        experiment = get_experiment(args.experiment_id)
+        result = experiment.run(quick=not args.full)
+        print(render_result(result))
+        return 0
+
+    if args.command == "run-all":
+        for experiment in list_experiments():
+            print(f"=== {experiment.experiment_id} ({experiment.paper_artifact}) ===")
+            result = experiment.run(quick=not args.full)
+            print(render_result(result))
+            print()
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Experiment registry: one entry per paper table/figure (plus security studies).
+
+Every artefact of the paper's evaluation has an experiment id here (see
+DESIGN.md §5 for the full index).  Each registered experiment bundles a
+callable with *quick* keyword arguments — a reduced-size run suitable for CI
+and the pytest benches — while callers can always pass their own arguments for
+full-scale reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+from typing import Any
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["Experiment", "register", "get_experiment", "list_experiments", "run_experiment"]
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artefact.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id used on the command line and in benches (e.g. ``"fig2"``).
+    paper_artifact:
+        Which table/figure/section of the paper it reproduces.
+    description:
+        One-line human description.
+    runner:
+        The callable that produces the result object.
+    quick_kwargs:
+        Reduced-size keyword arguments for fast runs (CI, benches).
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., Any]
+    quick_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def run(self, quick: bool = True, **overrides: Any) -> Any:
+        """Execute the experiment (quick-sized by default)."""
+        kwargs = dict(self.quick_kwargs) if quick else {}
+        kwargs.update(overrides)
+        return self.runner(**kwargs)
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (ids must be unique)."""
+    if experiment.experiment_id in _REGISTRY:
+        raise ExperimentError(f"experiment id {experiment.experiment_id!r} already registered")
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id."""
+    if experiment_id not in _REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments sorted by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def run_experiment(experiment_id: str, quick: bool = True, **overrides: Any) -> Any:
+    """Convenience wrapper: look up and run an experiment."""
+    return get_experiment(experiment_id).run(quick=quick, **overrides)
+
+
+def _populate_registry() -> None:
+    """Register the paper's experiments (executed on first import)."""
+    from repro.experiments.attack_simulations import (
+        run_attack_simulations,
+        run_impersonation_sweep,
+    )
+    from repro.experiments.chsh_baseline import run_chsh_experiment
+    from repro.experiments.e2e import run_end_to_end
+    from repro.experiments.fig2_message_counts import run_fig2
+    from repro.experiments.fig3_channel_length import run_fig3
+    from repro.experiments.mitigation_study import run_mitigation_study
+    from repro.experiments.table1_comparison import run_table1
+
+    register(
+        Experiment(
+            experiment_id="table1",
+            paper_artifact="Table I",
+            description="Feature comparison of DI-QSDC protocols, backed by functional runs",
+            runner=run_table1,
+            quick_kwargs={"check_pairs": 64},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="fig2",
+            paper_artifact="Figure 2",
+            description="Bob's decoded-outcome histograms for the four 2-bit messages at η=10",
+            runner=run_fig2,
+            quick_kwargs={"shots": 1024},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="fig3",
+            paper_artifact="Figure 3",
+            description="Accuracy of Bob's measurement versus channel length (η sweep)",
+            runner=run_fig3,
+            quick_kwargs={"shots": 256, "messages": ("00", "11")},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="sec-chsh",
+            paper_artifact="Section II / IV (DI security check)",
+            description="CHSH estimator convergence and DI operating range of the channel",
+            runner=run_chsh_experiment,
+            quick_kwargs={"pair_budgets": (64, 256), "repetitions": 8},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="attacks",
+            paper_artifact="Section III / IV (attack simulations)",
+            description="Detection of impersonation, intercept-resend, MITM and entangle-measure",
+            runner=run_attack_simulations,
+            quick_kwargs={"trials": 5, "check_pairs": 64, "leakage_sessions": 4},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="atk-impersonation-sweep",
+            paper_artifact="Section III-A (detection probability 1-(1/4)^l)",
+            description="Empirical vs theoretical impersonation detection probability over l",
+            runner=run_impersonation_sweep,
+            quick_kwargs={"identity_lengths": (1, 2, 4), "trials": 20},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="atk-leakage",
+            paper_artifact="Section III-E (information leakage)",
+            description="Classical-channel view-distribution comparison for two messages",
+            runner=_run_leakage_only,
+            quick_kwargs={"sessions_per_message": 6},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="mitigation",
+            paper_artifact="Section IV-B (error-mitigation outlook)",
+            description="Readout mitigation and zero-noise extrapolation on the Fig. 3 channel",
+            runner=run_mitigation_study,
+            quick_kwargs={
+                "etas": (100, 500),
+                "shots": 384,
+                "messages": ("00", "11"),
+                "noise_scales": (1.0, 2.0, 3.0),
+            },
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="e2e",
+            paper_artifact="Section II (full protocol)",
+            description="End-to-end UA-DI-QSDC sessions on ideal and noisy channels",
+            runner=run_end_to_end,
+            quick_kwargs={"num_sessions": 3, "message_length": 16},
+        )
+    )
+
+
+def _run_leakage_only(sessions_per_message: int = 10, eta: int = 10, seed: int = 5):
+    """Standalone runner for the information-leakage experiment."""
+    from repro.attacks.information_leakage import run_leakage_experiment
+    from repro.channel.quantum_channel import IdentityChainChannel
+    from repro.protocol.config import ProtocolConfig
+
+    config = ProtocolConfig.default(
+        message_length=8, identity_pairs=2, check_pairs_per_round=32, eta=eta
+    ).with_channel(IdentityChainChannel(eta=eta))
+    return run_leakage_experiment(
+        config,
+        message_a="10110010",
+        message_b="01001101",
+        sessions_per_message=sessions_per_message,
+        rng=seed,
+    )
+
+
+_populate_registry()

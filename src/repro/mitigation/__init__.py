@@ -1,0 +1,29 @@
+"""Quantum error mitigation (the paper's §IV-B outlook, implemented).
+
+The paper notes that extending the protocol over longer noisy channels without
+full error-correcting codes calls for error *mitigation* or suppression
+techniques.  This subpackage implements the two standard, hardware-friendly
+techniques and wires them into the Fig. 3 experiment so their effect on the
+accuracy-versus-channel-length curve can be quantified:
+
+* :mod:`repro.mitigation.readout` — measurement (assignment) error mitigation
+  by inverting the tensored per-qubit assignment matrices, with a
+  least-squares fallback that keeps the result a probability distribution;
+* :mod:`repro.mitigation.zne` — zero-noise extrapolation by identity-gate
+  folding: the channel length is deliberately scaled up and the measured
+  accuracies are extrapolated back to the zero-noise limit.
+"""
+
+from repro.mitigation.readout import ReadoutMitigator
+from repro.mitigation.zne import (
+    ExtrapolationResult,
+    ZeroNoiseExtrapolator,
+    fold_channel_length,
+)
+
+__all__ = [
+    "ReadoutMitigator",
+    "ExtrapolationResult",
+    "ZeroNoiseExtrapolator",
+    "fold_channel_length",
+]

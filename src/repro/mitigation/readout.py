@@ -1,0 +1,156 @@
+"""Readout (measurement assignment) error mitigation.
+
+NISQ devices misreport measurement outcomes with a per-qubit probability of
+the order of 1 %, which directly lowers the Fig. 2 / Fig. 3 accuracies even
+for short channels.  :class:`ReadoutMitigator` corrects measured histograms by
+inverting the tensored single-qubit assignment matrices ``A_q`` (the standard
+"measurement error mitigation" of NISQ practice):
+
+    ``p_measured = (A_0 ⊗ A_1 ⊗ ...) · p_true``
+
+The mitigator can be constructed directly from a
+:class:`~repro.quantum.noise_model.NoiseModel` (when the assignment matrices
+are known, as for the device models in this library) or calibrated empirically
+from a backend by preparing and measuring the all-``|0⟩`` and all-``|1⟩``
+states, exactly as one would on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.device.backend import NoisyBackend
+from repro.device.counts import Counts
+from repro.exceptions import ReproError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise_model import NoiseModel
+
+__all__ = ["ReadoutMitigator"]
+
+
+class ReadoutMitigator:
+    """Invert per-qubit assignment matrices to correct measured histograms.
+
+    Parameters
+    ----------
+    assignment_matrices:
+        One 2×2 column-stochastic matrix per measured qubit, ordered like the
+        bits of the outcome strings (big-endian: entry 0 corresponds to the
+        leftmost bit).  ``A[measured, true]`` is the probability of reading
+        ``measured`` when the true state is ``true``.
+    """
+
+    def __init__(self, assignment_matrices: Sequence[np.ndarray]):
+        if not assignment_matrices:
+            raise ReproError("at least one assignment matrix is required")
+        matrices = []
+        for matrix in assignment_matrices:
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.shape != (2, 2):
+                raise ReproError("assignment matrices must be 2x2")
+            if np.any(matrix < -1e-9) or not np.allclose(matrix.sum(axis=0), 1.0, atol=1e-6):
+                raise ReproError("assignment matrices must be column-stochastic")
+            matrices.append(matrix)
+        self._matrices = matrices
+
+    # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def from_noise_model(cls, noise_model: NoiseModel, qubits: Sequence[int]) -> "ReadoutMitigator":
+        """Build a mitigator from the known readout errors of a noise model."""
+        matrices = []
+        for qubit in qubits:
+            error = noise_model.readout_error_for(int(qubit))
+            matrices.append(np.eye(2) if error is None else error.assignment_matrix)
+        return cls(matrices)
+
+    @classmethod
+    def calibrate(
+        cls, backend: NoisyBackend, num_qubits: int, shots: int = 4096
+    ) -> "ReadoutMitigator":
+        """Estimate per-qubit assignment matrices from calibration circuits.
+
+        Runs two circuits — all qubits in ``|0⟩`` and all qubits in ``|1⟩`` —
+        and reads the per-qubit flip rates off the marginals, which is exact
+        when readout errors are uncorrelated between qubits (the model used by
+        the device layer).
+        """
+        if num_qubits < 1:
+            raise ReproError("need at least one qubit to calibrate")
+        if shots < 1:
+            raise ReproError("shots must be positive")
+
+        zero_circuit = QuantumCircuit(num_qubits, name="readout_cal_0")
+        zero_circuit.measure_all()
+        one_circuit = QuantumCircuit(num_qubits, name="readout_cal_1")
+        for qubit in range(num_qubits):
+            one_circuit.x(qubit)
+        one_circuit.measure_all()
+
+        zero_counts = backend.run(zero_circuit, shots=shots)
+        one_counts = backend.run(one_circuit, shots=shots)
+
+        matrices = []
+        for qubit in range(num_qubits):
+            p1_given_0 = zero_counts.marginal([qubit]).outcome_probability("1")
+            p0_given_1 = one_counts.marginal([qubit]).outcome_probability("0")
+            matrices.append(
+                np.array(
+                    [[1 - p1_given_0, p0_given_1], [p1_given_0, 1 - p0_given_1]]
+                )
+            )
+        return cls(matrices)
+
+    # -- queries ---------------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of measured qubits the mitigator handles."""
+        return len(self._matrices)
+
+    def assignment_matrix(self) -> np.ndarray:
+        """The full tensored assignment matrix over all measured qubits."""
+        full = np.array([[1.0]])
+        for matrix in self._matrices:
+            full = np.kron(full, matrix)
+        return full
+
+    # -- mitigation -------------------------------------------------------------------------
+    def apply(self, counts: "Counts | Mapping[str, int]") -> dict[str, float]:
+        """Return the mitigated outcome distribution for *counts*.
+
+        The measured frequencies are corrected with a non-negative
+        least-squares solve against the tensored assignment matrix, which is
+        equivalent to matrix inversion when the result is already a valid
+        probability vector but never produces negative probabilities.
+        """
+        raw = dict(counts)
+        total = sum(int(v) for v in raw.values())
+        if total <= 0:
+            raise ReproError("counts are empty")
+        width = self.num_qubits
+        if any(len(key) != width for key in raw):
+            raise ReproError(
+                f"outcome strings must have {width} bits to match the mitigator"
+            )
+        measured = np.zeros(2**width)
+        for key, value in raw.items():
+            measured[int(key, 2)] = value / total
+
+        solution, _ = nnls(self.assignment_matrix(), measured)
+        if solution.sum() <= 0:
+            raise ReproError("mitigation produced an empty distribution")
+        solution = solution / solution.sum()
+        return {
+            format(index, f"0{width}b"): float(probability)
+            for index, probability in enumerate(solution)
+            if probability > 1e-12
+        }
+
+    def expectation_of(self, counts: "Counts | Mapping[str, int]", outcome: str) -> float:
+        """Mitigated probability of one specific outcome."""
+        return self.apply(counts).get(outcome, 0.0)
+
+    def __repr__(self) -> str:
+        return f"ReadoutMitigator(num_qubits={self.num_qubits})"

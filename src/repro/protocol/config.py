@@ -1,0 +1,180 @@
+"""Protocol configuration.
+
+:class:`ProtocolConfig` gathers every tunable of a UA-DI-QSDC session: message
+and check-bit sizes, identity length ``l``, DI-check sample size ``d``, the
+CHSH settings and abort thresholds, the quantum channel model, the
+entanglement source and the RNG seed.  :meth:`ProtocolConfig.default` builds a
+configuration with the paper's parameters for a given message length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.channel.quantum_channel import IdentityChainChannel, QuantumChannel
+from repro.exceptions import ConfigurationError
+from repro.protocol.chsh import CHSHSettings
+from repro.protocol.identity import Identity
+from repro.protocol.source import EntanglementSource
+from repro.utils.rng import as_rng
+
+__all__ = ["ProtocolConfig"]
+
+
+@dataclass
+class ProtocolConfig:
+    """All parameters of one protocol session.
+
+    Attributes
+    ----------
+    message_length:
+        ``n`` — number of secret message bits Alice wants to deliver.
+    num_check_bits:
+        ``c`` — random check bits scattered into the message; ``n + c`` must
+        be even.
+    identity_pairs:
+        ``l`` — EPR pairs per identity; each identity is ``2l`` bits and an
+        impersonator survives verification with probability ``(1/4)**l``.
+    check_pairs_per_round:
+        ``d`` — pairs measured per DI security-check round.
+    chsh_settings:
+        Measurement angles, phase convention and abort threshold for both
+        security-check rounds.
+    authentication_tolerance:
+        Maximum fraction of identity pairs whose Bell outcome may disagree
+        with the expected one before the verifying party aborts.
+    check_bit_tolerance:
+        Maximum fraction of check bits that may disagree before the message
+        is considered corrupted.
+    channel:
+        The quantum channel Alice's qubits traverse when sent to Bob
+        (default: the paper's η=10 identity-gate channel).
+    distribution_channel:
+        Optional channel applied to Bob's half during the initial
+        entanglement sharing (None = ideal distribution, the paper's setting).
+    source:
+        The entanglement source (default: ideal ``|Φ+⟩`` source).
+    alice_identity, bob_identity:
+        Pre-shared identities; generated from the seed when omitted.
+    seed:
+        Master seed making the whole session reproducible.
+    raise_on_abort:
+        If True the runner raises :class:`~repro.exceptions.ProtocolAbort`
+        instead of returning an aborted result.
+    """
+
+    message_length: int
+    num_check_bits: int
+    identity_pairs: int = 8
+    check_pairs_per_round: int = 256
+    chsh_settings: CHSHSettings = field(default_factory=CHSHSettings)
+    authentication_tolerance: float = 0.25
+    check_bit_tolerance: float = 0.15
+    channel: QuantumChannel = field(default_factory=lambda: IdentityChainChannel(eta=10))
+    distribution_channel: QuantumChannel | None = None
+    source: EntanglementSource = field(default_factory=EntanglementSource)
+    alice_identity: Identity | None = None
+    bob_identity: Identity | None = None
+    seed: int | None = None
+    raise_on_abort: bool = False
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        message_length: int,
+        seed: int | None = None,
+        eta: int = 10,
+        identity_pairs: int = 8,
+        check_pairs_per_round: int = 256,
+    ) -> "ProtocolConfig":
+        """A ready-to-run configuration with the paper's parameters.
+
+        The number of check bits is chosen as roughly a quarter of the message
+        length (at least 2), adjusted so ``n + c`` is even.
+        """
+        if message_length < 1:
+            raise ConfigurationError("message_length must be positive")
+        num_check_bits = max(2, message_length // 4)
+        if (message_length + num_check_bits) % 2 != 0:
+            num_check_bits += 1
+        return cls(
+            message_length=message_length,
+            num_check_bits=num_check_bits,
+            identity_pairs=identity_pairs,
+            check_pairs_per_round=check_pairs_per_round,
+            channel=IdentityChainChannel(eta=eta),
+            seed=seed,
+        )
+
+    # -- derived quantities ---------------------------------------------------------
+    @property
+    def num_message_pairs(self) -> int:
+        """``N = (n + c) / 2`` — pairs consumed by the combined message string."""
+        return (self.message_length + self.num_check_bits) // 2
+
+    @property
+    def total_pairs(self) -> int:
+        """``N + 2l + 2d`` — total EPR pairs shared in step 1."""
+        return (
+            self.num_message_pairs
+            + 2 * self.identity_pairs
+            + 2 * self.check_pairs_per_round
+        )
+
+    @property
+    def qubits_per_message_bit(self) -> float:
+        """Transmitted qubits per *useful* message bit (1/2 pair = 1 qubit per 2 bits → 0.5...).
+
+        The paper's Table I counts 1 qubit per message bit for the proposed
+        protocol: each EPR pair carries 2 bits and consists of 2 qubits.
+        """
+        return (2 * self.num_message_pairs) / self.message_length
+
+    # -- validation --------------------------------------------------------------------
+    def validate(self) -> "ProtocolConfig":
+        """Raise :class:`ConfigurationError` if any parameter is inconsistent."""
+        if self.message_length < 1:
+            raise ConfigurationError("message_length must be positive")
+        if self.num_check_bits < 0:
+            raise ConfigurationError("num_check_bits cannot be negative")
+        if (self.message_length + self.num_check_bits) % 2 != 0:
+            raise ConfigurationError(
+                "message_length + num_check_bits must be even (2 bits per EPR pair)"
+            )
+        if self.identity_pairs < 1:
+            raise ConfigurationError("identity_pairs must be at least 1")
+        if self.check_pairs_per_round < 1:
+            raise ConfigurationError("check_pairs_per_round must be at least 1")
+        if not 0.0 <= self.authentication_tolerance < 1.0:
+            raise ConfigurationError("authentication_tolerance must lie in [0, 1)")
+        if not 0.0 <= self.check_bit_tolerance < 1.0:
+            raise ConfigurationError("check_bit_tolerance must lie in [0, 1)")
+        if self.alice_identity is not None and self.alice_identity.num_pairs != self.identity_pairs:
+            raise ConfigurationError(
+                "alice_identity length does not match identity_pairs"
+            )
+        if self.bob_identity is not None and self.bob_identity.num_pairs != self.identity_pairs:
+            raise ConfigurationError(
+                "bob_identity length does not match identity_pairs"
+            )
+        return self
+
+    def materialise_identities(self, rng=None) -> tuple[Identity, Identity]:
+        """Return (id_A, id_B), generating any that were not supplied explicitly."""
+        generator = as_rng(rng)
+        alice = self.alice_identity or Identity.random(
+            self.identity_pairs, owner="alice", rng=generator
+        )
+        bob = self.bob_identity or Identity.random(
+            self.identity_pairs, owner="bob", rng=generator
+        )
+        return alice, bob
+
+    def with_channel(self, channel: QuantumChannel) -> "ProtocolConfig":
+        """A copy of the configuration with a different quantum channel."""
+        return replace(self, channel=channel)
+
+    def with_seed(self, seed: int | None) -> "ProtocolConfig":
+        """A copy of the configuration with a different master seed."""
+        return replace(self, seed=seed)

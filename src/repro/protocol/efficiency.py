@@ -1,0 +1,122 @@
+"""Resource accounting and communication-efficiency metrics.
+
+Table I compares protocols by "number of qubits per message bit"; this module
+generalises that column into a full resource account of a protocol
+configuration: how many qubits are transmitted, how many EPR pairs are
+consumed per role, how many classical bits cross the public channel, and the
+resulting qubit efficiency and Cabello-style total efficiency
+
+    ``η_total = b_s / (q_t + b_t)``
+
+where ``b_s`` is the number of secret message bits delivered, ``q_t`` the
+number of transmitted qubits and ``b_t`` the number of classical bits
+exchanged.  These figures make the overhead of user authentication and of the
+DI security checks explicit — information the paper's Table I summarises only
+qualitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+from repro.protocol.config import ProtocolConfig
+
+__all__ = ["ResourceAccount", "account_for_config"]
+
+
+@dataclass(frozen=True)
+class ResourceAccount:
+    """Complete resource account of one protocol configuration.
+
+    Attributes
+    ----------
+    message_bits:
+        Secret message bits delivered per session (``n``).
+    epr_pairs_total:
+        EPR pairs consumed per session (``N + 2l + 2d``).
+    transmitted_qubits:
+        Qubits Alice physically sends to Bob (her halves of every pair that
+        survives round 1: ``N + 2l + d``).
+    classical_bits:
+        Estimated classical bits announced on the public channel.
+    qubits_per_message_bit:
+        Transmitted qubits per delivered message bit.
+    pair_overhead_fraction:
+        Fraction of pairs spent on security and authentication rather than on
+        message transport.
+    total_efficiency:
+        Cabello-style efficiency ``n / (transmitted_qubits + classical_bits)``.
+    """
+
+    message_bits: int
+    epr_pairs_total: int
+    transmitted_qubits: int
+    classical_bits: int
+    qubits_per_message_bit: float
+    pair_overhead_fraction: float
+    total_efficiency: float
+
+    def summary(self) -> dict[str, float]:
+        """JSON-friendly view of the account."""
+        return {
+            "message_bits": self.message_bits,
+            "epr_pairs_total": self.epr_pairs_total,
+            "transmitted_qubits": self.transmitted_qubits,
+            "classical_bits": self.classical_bits,
+            "qubits_per_message_bit": self.qubits_per_message_bit,
+            "pair_overhead_fraction": self.pair_overhead_fraction,
+            "total_efficiency": self.total_efficiency,
+        }
+
+
+def _position_announcement_bits(num_positions: int, universe: int) -> int:
+    """Classical bits to announce *num_positions* indices out of *universe*."""
+    if universe <= 1 or num_positions == 0:
+        return 0
+    return int(math.ceil(num_positions * math.log2(universe)))
+
+
+def account_for_config(config: ProtocolConfig) -> ResourceAccount:
+    """Compute the resource account of a validated protocol configuration."""
+    config.validate()
+    n = config.message_length
+    num_message_pairs = config.num_message_pairs
+    l = config.identity_pairs
+    d = config.check_pairs_per_round
+    total_pairs = config.total_pairs
+
+    # Alice transmits her half of every pair except the d pairs already
+    # measured in round 1 (those never leave the parties' laboratories).
+    transmitted_qubits = num_message_pairs + 2 * l + d
+
+    # Classical announcements (public channel), following the runner's topics:
+    classical_bits = 0
+    # Round-1 positions, plus per-pair basis choices (2 bits) and outcomes (2 bits).
+    classical_bits += _position_announcement_bits(d, total_pairs) + 4 * d
+    # Round-1 and round-2 CHSH values (reported as ~16-bit fixed point numbers).
+    classical_bits += 2 * 16
+    # D_A positions, Bob's Bell-outcome announcements (2 bits per pair).
+    classical_bits += _position_announcement_bits(l, total_pairs) + 2 * l
+    # C_A positions (outcomes are *not* announced — identity reusability).
+    classical_bits += _position_announcement_bits(l, total_pairs)
+    # Round-2 positions.
+    classical_bits += _position_announcement_bits(d, total_pairs)
+    # Check-bit disclosure: positions plus values.
+    classical_bits += _position_announcement_bits(
+        config.num_check_bits, 2 * num_message_pairs
+    ) + config.num_check_bits
+
+    if transmitted_qubits <= 0:
+        raise ProtocolError("configuration transmits no qubits")
+
+    return ResourceAccount(
+        message_bits=n,
+        epr_pairs_total=total_pairs,
+        transmitted_qubits=transmitted_qubits,
+        classical_bits=classical_bits,
+        qubits_per_message_bit=transmitted_qubits / n,
+        pair_overhead_fraction=1.0 - num_message_pairs / total_pairs,
+        total_efficiency=n / (transmitted_qubits + classical_bits),
+    )

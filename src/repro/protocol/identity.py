@@ -1,0 +1,99 @@
+"""Pre-shared secret identities.
+
+User authentication in the UA-DI-QSDC protocol rests on two pre-shared
+secrets: Alice's ``id_A`` and Bob's ``id_B``, each ``2l`` bits long.  During
+the authentication phase each party dense-codes its identity onto ``l`` EPR
+pairs (two bits per pair) using the same Pauli encoding as the message, and
+the other party verifies the resulting Bell states.  :class:`Identity` is the
+value object for these secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+from repro.utils.bits import (
+    Bits,
+    bits_to_str,
+    bitstring_to_bits,
+    chunk_bits,
+    hamming_distance,
+    random_bits,
+    validate_bits,
+)
+
+__all__ = ["Identity"]
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A ``2l``-bit pre-shared secret identity.
+
+    Attributes
+    ----------
+    bits:
+        The secret bits (big-endian tuple).  The length must be even because
+        the identity is dense-coded two bits per EPR pair.
+    owner:
+        Informational owner label ("alice", "bob", or an attacker name).
+    """
+
+    bits: Bits
+    owner: str = ""
+
+    def __post_init__(self):
+        validated = validate_bits(self.bits)
+        if len(validated) == 0:
+            raise ProtocolError("an identity needs at least two bits")
+        if len(validated) % 2 != 0:
+            raise ProtocolError(
+                f"identity length must be even (2 bits per EPR pair), got {len(validated)}"
+            )
+        object.__setattr__(self, "bits", validated)
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def random(cls, num_pairs: int, owner: str = "", rng=None) -> "Identity":
+        """Generate a fresh random identity spanning *num_pairs* EPR pairs (2l bits)."""
+        if num_pairs < 1:
+            raise ProtocolError("an identity needs at least one pair")
+        return cls(bits=random_bits(2 * num_pairs, rng=rng), owner=owner)
+
+    @classmethod
+    def from_string(cls, bitstring: str, owner: str = "") -> "Identity":
+        """Parse an identity from a string of '0'/'1' characters."""
+        return cls(bits=bitstring_to_bits(bitstring), owner=owner)
+
+    # -- views ---------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        """Total number of secret bits (``2l``)."""
+        return len(self.bits)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of EPR pairs needed to encode the identity (``l``)."""
+        return len(self.bits) // 2
+
+    def chunks(self) -> list[Bits]:
+        """The identity split into the 2-bit groups encoded on each pair."""
+        return chunk_bits(self.bits, 2)
+
+    def to_string(self) -> str:
+        """The identity as a bitstring."""
+        return bits_to_str(self.bits)
+
+    # -- comparisons -----------------------------------------------------------------
+    def matches(self, other: "Identity") -> bool:
+        """Exact equality of the secret bits (owner labels are ignored)."""
+        return self.bits == other.bits
+
+    def mismatch_fraction(self, other: "Identity") -> float:
+        """Fraction of bits that differ from another identity of the same length."""
+        if other.num_bits != self.num_bits:
+            raise ProtocolError("cannot compare identities of different lengths")
+        return hamming_distance(self.bits, other.bits) / self.num_bits
+
+    def __str__(self) -> str:
+        return f"Identity(owner={self.owner or '?'}, bits={self.to_string()})"

@@ -1,0 +1,126 @@
+"""Bookkeeping of the shared EPR pairs.
+
+The protocol consumes ``N + 2l + 2d`` EPR pairs: ``d`` for each of the two
+DI security-check rounds, ``N`` for the message, ``l`` for Alice's identity
+(``C_A``) and ``l`` for Bob's identity (``D_A``/``D_B``).
+:class:`EPRPairRegister` tracks which pair index belongs to which role so the
+runner, the attack models and the transcript all agree on positions, exactly
+as the classical announcements of positions do in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ProtocolError
+from repro.utils.rng import as_rng
+
+__all__ = ["PairRole", "EPRPairRegister"]
+
+
+class PairRole(Enum):
+    """What a shared EPR pair is used for."""
+
+    UNASSIGNED = "unassigned"
+    ROUND1_CHECK = "round1_check"
+    ROUND2_CHECK = "round2_check"
+    MESSAGE = "message"
+    ALICE_IDENTITY = "alice_identity"  # the C_A set
+    BOB_IDENTITY = "bob_identity"      # the D_A / D_B set
+
+
+@dataclass
+class EPRPairRegister:
+    """Role assignment for the ``N + 2l + 2d`` shared pairs.
+
+    Parameters
+    ----------
+    num_message_pairs:
+        ``N`` — pairs carrying the check-bit-augmented message.
+    num_identity_pairs:
+        ``l`` — pairs per identity (Alice's and Bob's each consume ``l``).
+    num_check_pairs:
+        ``d`` — pairs per DI security-check round.
+    """
+
+    num_message_pairs: int
+    num_identity_pairs: int
+    num_check_pairs: int
+    _roles: dict[int, PairRole] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.num_message_pairs < 1:
+            raise ProtocolError("the protocol needs at least one message pair")
+        if self.num_identity_pairs < 1:
+            raise ProtocolError("the protocol needs at least one identity pair per party")
+        if self.num_check_pairs < 1:
+            raise ProtocolError("the protocol needs at least one check pair per round")
+        self._roles = {index: PairRole.UNASSIGNED for index in range(self.total_pairs)}
+
+    # -- sizes -----------------------------------------------------------------------
+    @property
+    def total_pairs(self) -> int:
+        """``N + 2l + 2d``."""
+        return (
+            self.num_message_pairs
+            + 2 * self.num_identity_pairs
+            + 2 * self.num_check_pairs
+        )
+
+    # -- assignment ------------------------------------------------------------------
+    def assign_round1_check(self, rng=None) -> tuple[int, ...]:
+        """Pick the first-round check positions among all unassigned pairs."""
+        return self._assign(PairRole.ROUND1_CHECK, self.num_check_pairs, rng)
+
+    def assign_round2_check(self, rng=None) -> tuple[int, ...]:
+        """Pick the second-round check positions among the remaining pairs."""
+        return self._assign(PairRole.ROUND2_CHECK, self.num_check_pairs, rng)
+
+    def assign_message(self, rng=None) -> tuple[int, ...]:
+        """Pick the message positions (the set ``M_A``)."""
+        return self._assign(PairRole.MESSAGE, self.num_message_pairs, rng)
+
+    def assign_alice_identity(self, rng=None) -> tuple[int, ...]:
+        """Pick the ``C_A`` positions carrying Alice's identity."""
+        return self._assign(PairRole.ALICE_IDENTITY, self.num_identity_pairs, rng)
+
+    def assign_bob_identity(self, rng=None) -> tuple[int, ...]:
+        """Pick the ``D_A`` positions reserved for Bob's identity."""
+        return self._assign(PairRole.BOB_IDENTITY, self.num_identity_pairs, rng)
+
+    def _assign(self, role: PairRole, count: int, rng) -> tuple[int, ...]:
+        available = self.positions(PairRole.UNASSIGNED)
+        if count > len(available):
+            raise ProtocolError(
+                f"cannot assign {count} pairs to {role.value}: only "
+                f"{len(available)} unassigned pairs remain"
+            )
+        generator = as_rng(rng)
+        chosen = generator.choice(len(available), size=count, replace=False)
+        positions = tuple(sorted(available[int(i)] for i in chosen))
+        for position in positions:
+            self._roles[position] = role
+        return positions
+
+    # -- queries ---------------------------------------------------------------------
+    def role_of(self, position: int) -> PairRole:
+        """Role of the pair at *position*."""
+        if position not in self._roles:
+            raise ProtocolError(f"pair position {position} does not exist")
+        return self._roles[position]
+
+    def positions(self, role: PairRole) -> tuple[int, ...]:
+        """All positions currently assigned to *role*, in increasing order."""
+        return tuple(sorted(p for p, r in self._roles.items() if r is role))
+
+    def assignment_complete(self) -> bool:
+        """True once every pair has a role."""
+        return all(role is not PairRole.UNASSIGNED for role in self._roles.values())
+
+    def summary(self) -> dict[str, int]:
+        """Number of pairs per role (for transcripts and reports)."""
+        counts: dict[str, int] = {}
+        for role in PairRole:
+            counts[role.value] = len(self.positions(role))
+        return counts

@@ -1,0 +1,134 @@
+"""Protocol outcomes: abort reasons, phase reports and the final result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.protocol.chsh import CHSHEstimate
+from repro.utils.bits import Bits, bits_to_str
+
+__all__ = ["AbortReason", "PhaseReport", "ProtocolResult"]
+
+
+class AbortReason(Enum):
+    """Why a protocol session terminated without delivering the message."""
+
+    NONE = "none"
+    ROUND1_CHSH_FAILED = "round1_chsh_failed"
+    ROUND2_CHSH_FAILED = "round2_chsh_failed"
+    BOB_AUTHENTICATION_FAILED = "bob_authentication_failed"
+    ALICE_AUTHENTICATION_FAILED = "alice_authentication_failed"
+    MESSAGE_INTEGRITY_FAILED = "message_integrity_failed"
+
+
+@dataclass
+class PhaseReport:
+    """Outcome of one protocol phase (kept in the result for auditing)."""
+
+    name: str
+    passed: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ProtocolResult:
+    """Everything a caller needs to know about one protocol session.
+
+    Attributes
+    ----------
+    success:
+        True if the message was delivered and every check passed.
+    abort_reason:
+        Which check failed (``AbortReason.NONE`` on success).
+    delivered_message:
+        The message Bob decoded (None if the protocol aborted before
+        decoding).  On a noisy-but-honest channel this may contain bit errors;
+        compare against ``sent_message``.
+    sent_message:
+        The message Alice intended to send.
+    chsh_round1, chsh_round2:
+        The two DI security-check estimates (None if not reached).
+    bob_authentication_error, alice_authentication_error:
+        Fraction of identity pairs whose Bell outcome disagreed with the
+        expectation during each verification (None if not reached).
+    check_bit_error_rate:
+        Fraction of check bits that disagreed during message verification.
+    message_bit_error_rate:
+        Fraction of delivered message bits differing from the sent message
+        (diagnostic; a real receiver cannot compute it).
+    phases:
+        Ordered list of :class:`PhaseReport` entries.
+    pair_summary:
+        Number of pairs consumed per role.
+    metadata:
+        Free-form extras (channel name, attack name, timings, ...).
+    """
+
+    success: bool
+    abort_reason: AbortReason
+    sent_message: Bits
+    delivered_message: Bits | None = None
+    chsh_round1: CHSHEstimate | None = None
+    chsh_round2: CHSHEstimate | None = None
+    bob_authentication_error: float | None = None
+    alice_authentication_error: float | None = None
+    check_bit_error_rate: float | None = None
+    message_bit_error_rate: float | None = None
+    phases: list[PhaseReport] = field(default_factory=list)
+    pair_summary: dict[str, int] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- convenience views ----------------------------------------------------------
+    @property
+    def delivered_message_string(self) -> str | None:
+        """Delivered message as a bitstring (None if not delivered)."""
+        if self.delivered_message is None:
+            return None
+        return bits_to_str(self.delivered_message)
+
+    @property
+    def sent_message_string(self) -> str:
+        """Sent message as a bitstring."""
+        return bits_to_str(self.sent_message)
+
+    @property
+    def aborted(self) -> bool:
+        """True if the session terminated at a security check."""
+        return self.abort_reason is not AbortReason.NONE
+
+    @property
+    def eavesdropper_detected(self) -> bool:
+        """True if any security mechanism fired (CHSH, authentication or integrity)."""
+        return self.aborted
+
+    def message_delivered_correctly(self) -> bool:
+        """True if the delivered message equals the sent message bit for bit."""
+        return self.delivered_message is not None and tuple(self.delivered_message) == tuple(
+            self.sent_message
+        )
+
+    def phase(self, name: str) -> PhaseReport:
+        """Look up a phase report by name."""
+        for report in self.phases:
+            if report.name == name:
+                return report
+        raise KeyError(f"no phase named {name!r}")
+
+    def summary(self) -> dict[str, Any]:
+        """A compact JSON-friendly summary used by the experiment harness."""
+        return {
+            "success": self.success,
+            "abort_reason": self.abort_reason.value,
+            "sent_message": self.sent_message_string,
+            "delivered_message": self.delivered_message_string,
+            "chsh_round1": None if self.chsh_round1 is None else self.chsh_round1.value,
+            "chsh_round2": None if self.chsh_round2 is None else self.chsh_round2.value,
+            "bob_authentication_error": self.bob_authentication_error,
+            "alice_authentication_error": self.alice_authentication_error,
+            "check_bit_error_rate": self.check_bit_error_rate,
+            "message_bit_error_rate": self.message_bit_error_rate,
+            "pair_summary": dict(self.pair_summary),
+            "metadata": dict(self.metadata),
+        }

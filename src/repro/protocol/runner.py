@@ -1,0 +1,379 @@
+"""Orchestration of the full UA-DI-QSDC protocol (paper §II, steps 1–6).
+
+:class:`UADIQSDCProtocol` wires together the source, the channels, the two
+parties, the DI security checks and the transcript, and executes one complete
+session:
+
+1. entanglement sharing of ``N + 2l + 2d`` pairs;
+2. first DI security check (CHSH) on ``d`` random pairs;
+3. Alice's encoding (message on ``M_A``, ``id_A`` on ``C_A``, cover
+   operations on ``D_A``);
+4. transmission of Alice's qubits to Bob, then mutual identity
+   authentication (Bob encodes ``id_B`` on ``D_B``, measures and announces;
+   Bob then verifies ``id_A`` on ``C_A`` without announcing);
+5. second DI security check on the reserved ``d`` pairs;
+6. Bell-state decoding of the message and check-bit verification.
+
+Every abort point of the paper maps onto an
+:class:`~repro.protocol.results.AbortReason`.  Attack models plug in through
+four optional hooks (see :class:`repro.attacks.base.Attack`): source
+interception, transmission interception, classical-channel observation and
+party impersonation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import (
+    AuthenticationFailure,
+    ProtocolAbort,
+    ProtocolError,
+    SecurityCheckFailure,
+)
+from repro.protocol.chsh import CHSHEstimate, DISecurityCheck
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.encoding import MessageEncoder
+from repro.protocol.pairs import EPRPairRegister
+from repro.protocol.parties import ALICE_QUBIT, Alice, Bob
+from repro.protocol.results import AbortReason, ProtocolResult
+from repro.protocol.transcript import ProtocolTranscript
+from repro.quantum.density import DensityMatrix
+from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits, hamming_distance, validate_bits
+from repro.utils.rng import as_rng, derive_rng
+
+__all__ = ["UADIQSDCProtocol"]
+
+
+class UADIQSDCProtocol:
+    """One configurable, runnable instance of the UA-DI-QSDC protocol.
+
+    Parameters
+    ----------
+    config:
+        The session parameters (validated on construction).
+    attack:
+        Optional attack model implementing any subset of the hooks documented
+        in :class:`repro.attacks.base.Attack`.  ``None`` runs an honest session.
+    """
+
+    def __init__(self, config: ProtocolConfig, attack: Any | None = None):
+        self.config = config.validate()
+        self.attack = attack
+
+    # -- public API ----------------------------------------------------------------
+    def run(self, message: "str | Bits") -> ProtocolResult:
+        """Execute the protocol end to end for the given secret message."""
+        message_bits = self._coerce_message(message)
+        rng = as_rng(self.config.seed)
+        alice_rng = derive_rng(rng, "alice")
+        bob_rng = derive_rng(rng, "bob")
+        chsh_rng = derive_rng(rng, "chsh")
+        attack_rng = derive_rng(rng, "attack")
+
+        identity_alice, identity_bob = self.config.materialise_identities(rng)
+        encoding_identity_alice, encoding_identity_bob = self._apply_impersonation(
+            identity_alice, identity_bob, attack_rng
+        )
+
+        alice = Alice(
+            identity=encoding_identity_alice, peer_identity=identity_bob, rng=alice_rng
+        )
+        bob = Bob(identity=encoding_identity_bob, peer_identity=identity_alice, rng=bob_rng)
+
+        transcript = ProtocolTranscript()
+        if self.attack is not None and hasattr(self.attack, "observe_announcement"):
+            transcript.classical_channel.add_tap(self.attack.observe_announcement)
+
+        register = EPRPairRegister(
+            num_message_pairs=self.config.num_message_pairs,
+            num_identity_pairs=self.config.identity_pairs,
+            num_check_pairs=self.config.check_pairs_per_round,
+        )
+
+        # ----- Step 1: entanglement sharing -------------------------------------------
+        pairs = self._share_entanglement(register)
+        transcript.record_phase(
+            "entanglement_sharing", True, num_pairs=register.total_pairs
+        )
+
+        # ----- Step 2: first DI security check ------------------------------------------
+        round1_positions = register.assign_round1_check(rng=alice_rng)
+        transcript.announce("alice", "round1_check_positions", list(round1_positions))
+        security_check = DISecurityCheck(self.config.chsh_settings)
+        chsh_round1 = security_check.estimate(
+            [pairs[p] for p in round1_positions], rng=chsh_rng
+        )
+        transcript.announce("both", "round1_chsh_value", chsh_round1.value)
+        transcript.record_phase(
+            "round1_security_check",
+            chsh_round1.passed(),
+            chsh_value=chsh_round1.value,
+            epsilon=chsh_round1.epsilon,
+        )
+        for position in round1_positions:
+            pairs.pop(position)
+        if not chsh_round1.passed():
+            return self._abort(
+                AbortReason.ROUND1_CHSH_FAILED,
+                message_bits,
+                transcript,
+                register,
+                chsh_round1=chsh_round1,
+            )
+
+        # ----- Step 3: Alice's encoding -----------------------------------------------------
+        round2_positions = register.assign_round2_check(rng=alice_rng)
+        message_positions = register.assign_message(rng=alice_rng)
+        alice_id_positions = register.assign_alice_identity(rng=alice_rng)
+        bob_id_positions = register.assign_bob_identity(rng=alice_rng)
+
+        encoder = MessageEncoder(self.config.num_check_bits)
+        encoded = encoder.encode(message_bits, rng=alice_rng)
+        if encoded.num_pairs != len(message_positions):
+            raise ProtocolError(
+                f"encoded message needs {encoded.num_pairs} pairs but "
+                f"{len(message_positions)} were reserved"
+            )
+        encoding_plan = {}
+        encoding_plan.update(alice.message_pauli_plan(encoded.pauli_labels, message_positions))
+        encoding_plan.update(alice.identity_pauli_plan(alice_id_positions))
+        encoding_plan.update(alice.cover_plan(bob_id_positions))
+        pairs = Alice.apply_plan(pairs, encoding_plan)
+        transcript.record_phase(
+            "encoding",
+            True,
+            message_pairs=len(message_positions),
+            identity_pairs=len(alice_id_positions),
+            cover_pairs=len(bob_id_positions),
+        )
+
+        # ----- Step 4: transmission and authentication -----------------------------------------
+        pairs = self._transmit(pairs)
+        transcript.record_phase(
+            "transmission", True, channel=self.config.channel.name,
+            transmitted_pairs=len(pairs),
+        )
+
+        transcript.announce("alice", "bob_identity_positions", list(bob_id_positions))
+        pairs = Bob.apply_plan(pairs, bob.identity_pauli_plan(bob_id_positions))
+        announced_outcomes = bob.bell_measure(pairs, bob_id_positions)
+        transcript.announce(
+            "bob",
+            "authentication_bsm_results",
+            {position: outcome.value for position, outcome in announced_outcomes.items()},
+        )
+        for position in bob_id_positions:
+            pairs.pop(position)
+        bob_auth_error = alice.verify_bob(announced_outcomes, bob_id_positions)
+        bob_auth_passed = bob_auth_error <= self.config.authentication_tolerance
+        transcript.record_phase(
+            "bob_authentication", bob_auth_passed, error_rate=bob_auth_error
+        )
+        if not bob_auth_passed:
+            return self._abort(
+                AbortReason.BOB_AUTHENTICATION_FAILED,
+                message_bits,
+                transcript,
+                register,
+                chsh_round1=chsh_round1,
+                bob_authentication_error=bob_auth_error,
+            )
+
+        transcript.announce("alice", "alice_identity_positions", list(alice_id_positions))
+        alice_id_outcomes = bob.bell_measure(pairs, alice_id_positions)
+        # The C_A outcomes are deliberately NOT announced so id_A stays reusable.
+        for position in alice_id_positions:
+            pairs.pop(position)
+        alice_auth_error = bob.verify_alice(alice_id_outcomes, alice_id_positions)
+        alice_auth_passed = alice_auth_error <= self.config.authentication_tolerance
+        transcript.record_phase(
+            "alice_authentication", alice_auth_passed, error_rate=alice_auth_error
+        )
+        if not alice_auth_passed:
+            return self._abort(
+                AbortReason.ALICE_AUTHENTICATION_FAILED,
+                message_bits,
+                transcript,
+                register,
+                chsh_round1=chsh_round1,
+                bob_authentication_error=bob_auth_error,
+                alice_authentication_error=alice_auth_error,
+            )
+
+        # ----- Step 5: second DI security check -----------------------------------------------------
+        transcript.announce("alice", "round2_check_positions", list(round2_positions))
+        chsh_round2 = security_check.estimate(
+            [pairs[p] for p in round2_positions], rng=chsh_rng
+        )
+        transcript.announce("bob", "round2_chsh_value", chsh_round2.value)
+        transcript.record_phase(
+            "round2_security_check",
+            chsh_round2.passed(),
+            chsh_value=chsh_round2.value,
+            epsilon=chsh_round2.epsilon,
+        )
+        for position in round2_positions:
+            pairs.pop(position)
+        if not chsh_round2.passed():
+            return self._abort(
+                AbortReason.ROUND2_CHSH_FAILED,
+                message_bits,
+                transcript,
+                register,
+                chsh_round1=chsh_round1,
+                chsh_round2=chsh_round2,
+                bob_authentication_error=bob_auth_error,
+                alice_authentication_error=alice_auth_error,
+            )
+
+        # ----- Step 6: message decoding ----------------------------------------------------------------
+        message_outcomes = bob.bell_measure(pairs, message_positions)
+        combined = Bob.decode_message_bits(message_outcomes, message_positions)
+        transcript.announce(
+            "alice",
+            "check_bit_disclosure",
+            {
+                "positions": list(encoded.check_positions),
+                "values": list(encoded.check_bits),
+            },
+        )
+        decoded_message, decoded_check = MessageEncoder.split_message_and_check(
+            combined, encoded.check_positions
+        )
+        if encoded.check_bits:
+            check_bit_error = hamming_distance(decoded_check, encoded.check_bits) / len(
+                encoded.check_bits
+            )
+        else:
+            check_bit_error = 0.0
+        integrity_passed = check_bit_error <= self.config.check_bit_tolerance
+        transcript.record_phase(
+            "message_decoding", integrity_passed, check_bit_error_rate=check_bit_error
+        )
+        if not integrity_passed:
+            return self._abort(
+                AbortReason.MESSAGE_INTEGRITY_FAILED,
+                message_bits,
+                transcript,
+                register,
+                chsh_round1=chsh_round1,
+                chsh_round2=chsh_round2,
+                bob_authentication_error=bob_auth_error,
+                alice_authentication_error=alice_auth_error,
+                check_bit_error_rate=check_bit_error,
+            )
+
+        message_bit_error = (
+            hamming_distance(decoded_message, message_bits) / len(message_bits)
+        )
+        return ProtocolResult(
+            success=True,
+            abort_reason=AbortReason.NONE,
+            sent_message=message_bits,
+            delivered_message=decoded_message,
+            chsh_round1=chsh_round1,
+            chsh_round2=chsh_round2,
+            bob_authentication_error=bob_auth_error,
+            alice_authentication_error=alice_auth_error,
+            check_bit_error_rate=check_bit_error,
+            message_bit_error_rate=message_bit_error,
+            phases=list(transcript.phases),
+            pair_summary=register.summary(),
+            metadata=self._metadata(),
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _coerce_message(message: "str | Bits") -> Bits:
+        if isinstance(message, str):
+            return bitstring_to_bits(message)
+        return validate_bits(message)
+
+    def _apply_impersonation(self, identity_alice, identity_bob, attack_rng):
+        """Swap in the attacker's guessed identity when Eve impersonates a party."""
+        encoding_alice, encoding_bob = identity_alice, identity_bob
+        if self.attack is None:
+            return encoding_alice, encoding_bob
+        impersonates = getattr(self.attack, "impersonates", None)
+        if impersonates == "alice":
+            encoding_alice = self.attack.forged_identity(
+                identity_alice.num_pairs, rng=attack_rng
+            )
+        elif impersonates == "bob":
+            encoding_bob = self.attack.forged_identity(
+                identity_bob.num_pairs, rng=attack_rng
+            )
+        return encoding_alice, encoding_bob
+
+    def _share_entanglement(self, register: EPRPairRegister) -> dict[int, DensityMatrix]:
+        pairs: dict[int, DensityMatrix] = {}
+        for index in range(register.total_pairs):
+            state = self.config.source.emit(index)
+            if self.config.distribution_channel is not None:
+                state = self.config.distribution_channel.transmit(state, 1)
+            if self.attack is not None and hasattr(self.attack, "intercept_source"):
+                state = self.attack.intercept_source(index, state)
+            pairs[index] = state
+        return pairs
+
+    def _transmit(self, pairs: dict[int, DensityMatrix]) -> dict[int, DensityMatrix]:
+        """Send Alice's halves through the quantum channel (and any attack)."""
+        transmitted: dict[int, DensityMatrix] = {}
+        for position, state in pairs.items():
+            state = self.config.channel.transmit(state, ALICE_QUBIT)
+            if self.attack is not None and hasattr(self.attack, "intercept_transmission"):
+                state = self.attack.intercept_transmission(position, state)
+            transmitted[position] = state
+        return transmitted
+
+    def _metadata(self) -> dict[str, Any]:
+        return {
+            "channel": self.config.channel.name,
+            "attack": None if self.attack is None else getattr(self.attack, "name", "attack"),
+            "identity_pairs": self.config.identity_pairs,
+            "check_pairs_per_round": self.config.check_pairs_per_round,
+            "message_length": self.config.message_length,
+            "num_check_bits": self.config.num_check_bits,
+        }
+
+    def _abort(
+        self,
+        reason: AbortReason,
+        message_bits: Bits,
+        transcript: ProtocolTranscript,
+        register: EPRPairRegister,
+        chsh_round1: CHSHEstimate | None = None,
+        chsh_round2: CHSHEstimate | None = None,
+        bob_authentication_error: float | None = None,
+        alice_authentication_error: float | None = None,
+        check_bit_error_rate: float | None = None,
+    ) -> ProtocolResult:
+        if self.config.raise_on_abort:
+            message = f"protocol aborted: {reason.value}"
+            if reason in (
+                AbortReason.ROUND1_CHSH_FAILED,
+                AbortReason.ROUND2_CHSH_FAILED,
+            ):
+                raise SecurityCheckFailure(reason.value, message)
+            if reason in (
+                AbortReason.BOB_AUTHENTICATION_FAILED,
+                AbortReason.ALICE_AUTHENTICATION_FAILED,
+            ):
+                raise AuthenticationFailure(reason.value, message)
+            raise ProtocolAbort(reason.value, message)
+        return ProtocolResult(
+            success=False,
+            abort_reason=reason,
+            sent_message=message_bits,
+            delivered_message=None,
+            chsh_round1=chsh_round1,
+            chsh_round2=chsh_round2,
+            bob_authentication_error=bob_authentication_error,
+            alice_authentication_error=alice_authentication_error,
+            check_bit_error_rate=check_bit_error_rate,
+            message_bit_error_rate=None,
+            phases=list(transcript.phases),
+            pair_summary=register.summary(),
+            metadata=self._metadata(),
+        )

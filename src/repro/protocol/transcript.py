@@ -1,0 +1,67 @@
+"""Protocol transcript: classical announcements plus phase-by-phase reports.
+
+Everything Alice and Bob say over the public classical channel, and the
+outcome of every protocol phase, ends up in a :class:`ProtocolTranscript`.
+The transcript serves three purposes:
+
+* it is the audit trail attached to every :class:`~repro.protocol.results.ProtocolResult`;
+* the information-leakage analysis (§III-E) inspects exactly this object to
+  show that no message information crosses the classical channel;
+* attack models register taps on the underlying
+  :class:`~repro.channel.classical_channel.ClassicalChannel` to model an
+  eavesdropper listening to all public communication.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.channel.classical_channel import Announcement, ClassicalChannel
+from repro.protocol.results import PhaseReport
+
+__all__ = ["ProtocolTranscript"]
+
+
+class ProtocolTranscript:
+    """Ordered record of classical announcements and phase outcomes."""
+
+    def __init__(self, classical_channel: ClassicalChannel | None = None):
+        self.classical_channel = classical_channel or ClassicalChannel()
+        self.phases: list[PhaseReport] = []
+
+    # -- classical announcements -----------------------------------------------------
+    def announce(self, sender: str, topic: str, payload: Any) -> Announcement:
+        """Broadcast an announcement on the public channel and log it."""
+        return self.classical_channel.broadcast(sender, topic, payload)
+
+    def announcements(self, topic: str | None = None) -> list[Announcement]:
+        """All announcements, optionally filtered by topic."""
+        return self.classical_channel.announcements(topic=topic)
+
+    def announced_topics(self) -> list[str]:
+        """Distinct announcement topics in order of first appearance."""
+        return self.classical_channel.topics()
+
+    # -- phase reports ------------------------------------------------------------------
+    def record_phase(self, name: str, passed: bool, **details: Any) -> PhaseReport:
+        """Append a phase report and return it."""
+        report = PhaseReport(name=name, passed=passed, details=dict(details))
+        self.phases.append(report)
+        return report
+
+    def phase(self, name: str) -> PhaseReport:
+        """Look up a phase report by name."""
+        for report in self.phases:
+            if report.name == name:
+                return report
+        raise KeyError(f"no phase named {name!r}")
+
+    def passed_all_phases(self) -> bool:
+        """True if every recorded phase passed."""
+        return all(report.passed for report in self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolTranscript(phases={[p.name for p in self.phases]}, "
+            f"announcements={len(self.classical_channel)})"
+        )

@@ -1,0 +1,102 @@
+"""From-scratch quantum simulation substrate.
+
+This subpackage provides everything the protocol layer needs to simulate the
+UA-DI-QSDC paper's quantum operations without external quantum SDKs:
+
+* :class:`~repro.quantum.states.Statevector` and
+  :class:`~repro.quantum.density.DensityMatrix` state representations;
+* :class:`~repro.quantum.operators.Operator` and the named gate library in
+  :mod:`repro.quantum.gates`;
+* :class:`~repro.quantum.circuit.QuantumCircuit` with statevector and
+  density-matrix simulators in :mod:`repro.quantum.simulator`;
+* Kraus noise channels and :class:`~repro.quantum.noise_model.NoiseModel`;
+* Bell-state utilities and CHSH estimation in :mod:`repro.quantum.bell`;
+* projective and Bell-state measurement helpers in
+  :mod:`repro.quantum.measurement`.
+
+Qubit-ordering convention: **big-endian**.  Qubit 0 is the leftmost character
+of a result bitstring and the most significant bit of a basis-state index, so
+``Statevector.from_label("01")`` has qubit 0 in ``|0>`` and qubit 1 in ``|1>``.
+"""
+
+from repro.quantum.bell import (
+    BellState,
+    bell_state,
+    bell_states,
+    chsh_operator,
+    chsh_value,
+    CLASSICAL_CHSH_BOUND,
+    TSIRELSON_BOUND,
+)
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.gates import Gate, standard_gates
+from repro.quantum.measurement import (
+    BellMeasurementResult,
+    bell_measurement,
+    equatorial_observable,
+    measure_observable,
+    projective_measurement,
+)
+from repro.quantum.noise_model import NoiseModel, QuantumError, ReadoutError
+from repro.quantum.operators import Operator, PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
+from repro.quantum.random import haar_random_state, haar_random_unitary, random_pauli
+from repro.quantum.simulator import (
+    DensityMatrixSimulator,
+    SimulationResult,
+    StatevectorSimulator,
+)
+from repro.quantum.states import Statevector
+
+__all__ = [
+    "BellState",
+    "bell_state",
+    "bell_states",
+    "chsh_operator",
+    "chsh_value",
+    "CLASSICAL_CHSH_BOUND",
+    "TSIRELSON_BOUND",
+    "KrausChannel",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "depolarizing_channel",
+    "identity_channel",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "thermal_relaxation_channel",
+    "Instruction",
+    "QuantumCircuit",
+    "DensityMatrix",
+    "Gate",
+    "standard_gates",
+    "BellMeasurementResult",
+    "bell_measurement",
+    "equatorial_observable",
+    "measure_observable",
+    "projective_measurement",
+    "NoiseModel",
+    "QuantumError",
+    "ReadoutError",
+    "Operator",
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "haar_random_state",
+    "haar_random_unitary",
+    "random_pauli",
+    "DensityMatrixSimulator",
+    "SimulationResult",
+    "StatevectorSimulator",
+    "Statevector",
+]

@@ -1,0 +1,165 @@
+"""Bell states, Bell-basis utilities and the CHSH polynomial.
+
+The device-independent security of the UA-DI-QSDC protocol rests on the CHSH
+inequality: honest executions on ``|Φ+⟩`` pairs achieve
+``S = 2*sqrt(2) - eps > 2`` while any eavesdropping strategy that breaks the
+entanglement (intercept-and-resend, man-in-the-middle, entangle-and-measure)
+pushes ``S`` to or below the classical bound of 2.  This module provides the
+Bell states themselves, the CHSH observable for arbitrary equatorial
+measurement angles, and analytic CHSH values used as ground truth by the
+sampled estimates in :mod:`repro.protocol.chsh`.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.quantum.density import DensityMatrix
+from repro.quantum.operators import Operator, X_MATRIX, Y_MATRIX
+from repro.quantum.states import Statevector
+
+__all__ = [
+    "BellState",
+    "bell_state",
+    "bell_states",
+    "bell_projector",
+    "equatorial_observable_matrix",
+    "correlation",
+    "chsh_operator",
+    "chsh_value",
+    "CLASSICAL_CHSH_BOUND",
+    "TSIRELSON_BOUND",
+]
+
+#: Local-hidden-variable (classical) bound on the CHSH polynomial.
+CLASSICAL_CHSH_BOUND = 2.0
+
+#: Quantum (Tsirelson) bound on the CHSH polynomial.
+TSIRELSON_BOUND = 2.0 * math.sqrt(2.0)
+
+
+class BellState(Enum):
+    """The four Bell states (EPR pairs)."""
+
+    PHI_PLUS = "phi_plus"
+    PHI_MINUS = "phi_minus"
+    PSI_PLUS = "psi_plus"
+    PSI_MINUS = "psi_minus"
+
+    @property
+    def label(self) -> str:
+        """Conventional ket label, e.g. ``"|Φ+⟩"``."""
+        return {
+            BellState.PHI_PLUS: "|Φ+⟩",
+            BellState.PHI_MINUS: "|Φ-⟩",
+            BellState.PSI_PLUS: "|Ψ+⟩",
+            BellState.PSI_MINUS: "|Ψ-⟩",
+        }[self]
+
+
+_SQRT_HALF = 1.0 / math.sqrt(2.0)
+
+_BELL_VECTORS: dict[BellState, np.ndarray] = {
+    BellState.PHI_PLUS: np.array([_SQRT_HALF, 0, 0, _SQRT_HALF], dtype=complex),
+    BellState.PHI_MINUS: np.array([_SQRT_HALF, 0, 0, -_SQRT_HALF], dtype=complex),
+    BellState.PSI_PLUS: np.array([0, _SQRT_HALF, _SQRT_HALF, 0], dtype=complex),
+    BellState.PSI_MINUS: np.array([0, _SQRT_HALF, -_SQRT_HALF, 0], dtype=complex),
+}
+
+
+def bell_state(which: BellState = BellState.PHI_PLUS) -> Statevector:
+    """Return the requested Bell state as a two-qubit :class:`Statevector`."""
+    if not isinstance(which, BellState):
+        raise DimensionError(f"expected a BellState, got {which!r}")
+    return Statevector(_BELL_VECTORS[which].copy(), validate=False)
+
+
+def bell_states() -> dict[BellState, Statevector]:
+    """All four Bell states, keyed by :class:`BellState`."""
+    return {which: bell_state(which) for which in BellState}
+
+
+def bell_projector(which: BellState) -> Operator:
+    """Rank-one projector onto the requested Bell state."""
+    vector = _BELL_VECTORS[which]
+    return Operator(np.outer(vector, vector.conj()))
+
+
+def equatorial_observable_matrix(theta: float, conjugate: bool = False) -> np.ndarray:
+    """Observable ``cos(theta)·X ± sin(theta)·Y`` measured in the paper's DI check.
+
+    The paper writes both parties' bases as ``|0⟩ ± e^{i·theta}|1⟩``; with the
+    ``+`` phase convention the observable is ``cos(theta)·X + sin(theta)·Y``.
+    Passing ``conjugate=True`` flips the sign of the Y component, which is the
+    convention under which the paper's angle choices achieve ``S = 2*sqrt(2)``
+    on ``|Φ+⟩`` (see DESIGN.md, "Phase convention").
+    """
+    sign = -1.0 if conjugate else 1.0
+    return math.cos(theta) * X_MATRIX + sign * math.sin(theta) * Y_MATRIX
+
+
+def correlation(
+    state: "Statevector | DensityMatrix",
+    alice_angle: float,
+    bob_angle: float,
+    conjugate_bob: bool = True,
+) -> float:
+    """Analytic correlation ``E(a, b) = <A(a) ⊗ B(b)>`` on a two-qubit state."""
+    observable = Operator(
+        np.kron(
+            equatorial_observable_matrix(alice_angle),
+            equatorial_observable_matrix(bob_angle, conjugate=conjugate_bob),
+        )
+    )
+    if isinstance(state, DensityMatrix):
+        return float(np.real(state.expectation_value(observable)))
+    return float(np.real(Statevector(state).expectation_value(observable)))
+
+
+def chsh_operator(
+    alice_angles: tuple[float, float],
+    bob_angles: tuple[float, float],
+    conjugate_bob: bool = True,
+) -> Operator:
+    """The CHSH observable ``A1⊗B1 + A1⊗B2 + A2⊗B1 − A2⊗B2``.
+
+    ``alice_angles`` and ``bob_angles`` are the equatorial measurement angles
+    of settings (1, 2) for each party.
+    """
+    a1, a2 = alice_angles
+    b1, b2 = bob_angles
+    alice_1 = equatorial_observable_matrix(a1)
+    alice_2 = equatorial_observable_matrix(a2)
+    bob_1 = equatorial_observable_matrix(b1, conjugate=conjugate_bob)
+    bob_2 = equatorial_observable_matrix(b2, conjugate=conjugate_bob)
+    matrix = (
+        np.kron(alice_1, bob_1)
+        + np.kron(alice_1, bob_2)
+        + np.kron(alice_2, bob_1)
+        - np.kron(alice_2, bob_2)
+    )
+    return Operator(matrix)
+
+
+def chsh_value(
+    state: "Statevector | DensityMatrix",
+    alice_angles: tuple[float, float] = (0.0, math.pi / 2),
+    bob_angles: tuple[float, float] = (math.pi / 4, -math.pi / 4),
+    conjugate_bob: bool = True,
+) -> float:
+    """Analytic CHSH value of a two-qubit state for the given settings.
+
+    The defaults are the paper's settings (Alice ``A1=0, A2=π/2``; Bob
+    ``B1=π/4, B2=−π/4``) under the convention that yields ``2*sqrt(2)`` on
+    ``|Φ+⟩``.
+    """
+    operator = chsh_operator(alice_angles, bob_angles, conjugate_bob=conjugate_bob)
+    if isinstance(state, DensityMatrix):
+        value = state.expectation_value(operator)
+    else:
+        value = Statevector(state).expectation_value(operator)
+    return float(np.real(value))

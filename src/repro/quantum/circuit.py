@@ -1,0 +1,357 @@
+"""Quantum circuit representation.
+
+:class:`QuantumCircuit` records a sequence of :class:`Instruction` objects —
+gate applications, measurements, resets and barriers — over a fixed number of
+qubits and classical bits.  It is intentionally small: enough to express the
+UA-DI-QSDC protocol circuits (EPR preparation, Pauli encodings, identity-gate
+channels, Bell-state measurement) and the attack circuits, while remaining
+fully introspectable by the noise model (errors attach by gate name).
+
+The circuit layer never simulates anything itself; see
+:mod:`repro.quantum.simulator`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.gates import Gate, make_gate
+from repro.quantum.operators import Operator
+
+__all__ = ["Instruction", "QuantumCircuit"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single circuit operation.
+
+    ``kind`` is one of ``"gate"``, ``"measure"``, ``"reset"`` or ``"barrier"``.
+    For gates, :attr:`gate` holds the :class:`~repro.quantum.gates.Gate`; for
+    measurements, :attr:`clbits` lists the classical bits receiving the
+    outcomes (same length as :attr:`qubits`).
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    clbits: tuple[int, ...] = ()
+    gate: Gate | None = None
+    label: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Gate name for gate instructions, otherwise the instruction kind."""
+        if self.kind == "gate" and self.gate is not None:
+            return self.gate.name
+        return self.kind
+
+
+class QuantumCircuit:
+    """An ordered list of instructions over qubits and classical bits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits in the register.
+    num_clbits:
+        Number of classical bits; defaults to ``num_qubits`` so that
+        :meth:`measure_all` always has space.
+    name:
+        Optional circuit name used in logs and reprs.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int | None = None, name: str = "circuit"):
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits) if num_clbits is not None else int(num_qubits)
+        if self.num_clbits < 0:
+            raise CircuitError("num_clbits must be non-negative")
+        self.name = name
+        self._instructions: list[Instruction] = []
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def instructions(self) -> list[Instruction]:
+        """The instruction list (mutable; treat as read-only outside the library)."""
+        return self._instructions
+
+    def _check_qubits(self, qubits: Sequence[int], expected: int | None = None) -> tuple[int, ...]:
+        out = tuple(int(q) for q in qubits)
+        if expected is not None and len(out) != expected:
+            raise CircuitError(f"expected {expected} qubit(s), got {len(out)}")
+        if len(set(out)) != len(out):
+            raise CircuitError(f"qubit arguments must be distinct, got {out}")
+        for q in out:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for a {self.num_qubits}-qubit circuit"
+                )
+        return out
+
+    def _check_clbits(self, clbits: Sequence[int]) -> tuple[int, ...]:
+        out = tuple(int(c) for c in clbits)
+        for c in out:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(
+                    f"classical bit {c} out of range for {self.num_clbits} clbits"
+                )
+        return out
+
+    def append(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append a pre-built instruction (used by compose and the protocol layer)."""
+        self._check_qubits(instruction.qubits)
+        if instruction.clbits:
+            self._check_clbits(instruction.clbits)
+        self._instructions.append(instruction)
+        return self
+
+    def _append_gate(self, gate: Gate, qubits: Sequence[int], label: str | None = None) -> "QuantumCircuit":
+        targets = self._check_qubits(qubits, expected=gate.num_qubits)
+        self._instructions.append(Instruction("gate", targets, gate=gate, label=label))
+        return self
+
+    # -- standard gates ----------------------------------------------------------
+    def id(self, qubit: int) -> "QuantumCircuit":
+        """Identity gate (used to model channel delay in the paper's emulation)."""
+        return self._append_gate(make_gate("id"), [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-X."""
+        return self._append_gate(make_gate("x"), [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Y."""
+        return self._append_gate(make_gate("y"), [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Z."""
+        return self._append_gate(make_gate("z"), [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self._append_gate(make_gate("h"), [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self._append_gate(make_gate("s"), [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse phase gate S†."""
+        return self._append_gate(make_gate("sdg"), [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self._append_gate(make_gate("t"), [qubit])
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse T gate."""
+        return self._append_gate(make_gate("tdg"), [qubit])
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation about X by *theta*."""
+        return self._append_gate(make_gate("rx", theta), [qubit])
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation about Y by *theta*."""
+        return self._append_gate(make_gate("ry", theta), [qubit])
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation about Z by *theta*."""
+        return self._append_gate(make_gate("rz", theta), [qubit])
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate diag(1, e^{i*lam})."""
+        return self._append_gate(make_gate("p", lam), [qubit])
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """General single-qubit rotation."""
+        return self._append_gate(make_gate("u3", theta, phi, lam), [qubit])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT."""
+        return self._append_gate(make_gate("cx"), [control, target])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self._append_gate(make_gate("cz"), [control, target])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Y."""
+        return self._append_gate(make_gate("cy"), [control, target])
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Hadamard."""
+        return self._append_gate(make_gate("ch"), [control, target])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP two qubits."""
+        return self._append_gate(make_gate("swap"), [qubit_a, qubit_b])
+
+    def unitary(
+        self, matrix: "np.ndarray | Operator", qubits: Sequence[int], label: str = "unitary"
+    ) -> "QuantumCircuit":
+        """Apply an arbitrary unitary matrix to the listed qubits."""
+        op = matrix if isinstance(matrix, Operator) else Operator(matrix)
+        op.require_unitary()
+        gate = Gate(label, op.num_qubits, op.matrix)
+        return self._append_gate(gate, qubits, label=label)
+
+    def pauli(self, label: str, qubits: Sequence[int]) -> "QuantumCircuit":
+        """Apply a Pauli string such as ``"XZ"`` (one character per listed qubit)."""
+        targets = self._check_qubits(qubits, expected=len(label))
+        for ch, qubit in zip(label.lower(), targets):
+            if ch == "i":
+                self.id(qubit)
+            elif ch in ("x", "y", "z"):
+                self._append_gate(make_gate(ch), [qubit])
+            else:
+                raise CircuitError(f"unknown Pauli character {ch!r}")
+        return self
+
+    # -- non-gate instructions -----------------------------------------------------
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Insert a barrier (no effect on simulation; documents circuit phases)."""
+        targets = self._check_qubits(qubits or range(self.num_qubits))
+        self._instructions.append(Instruction("barrier", targets))
+        return self
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        """Reset a qubit to ``|0>``."""
+        targets = self._check_qubits([qubit])
+        self._instructions.append(Instruction("reset", targets))
+        return self
+
+    def measure(self, qubits: Sequence[int], clbits: Sequence[int]) -> "QuantumCircuit":
+        """Measure the listed qubits into the listed classical bits."""
+        targets = self._check_qubits(qubits)
+        cbits = self._check_clbits(clbits)
+        if len(targets) != len(cbits):
+            raise CircuitError(
+                f"measure needs one classical bit per qubit ({len(targets)} vs {len(cbits)})"
+            )
+        self._instructions.append(Instruction("measure", targets, clbits=cbits))
+        return self
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into the classical bit with the same index."""
+        if self.num_clbits < self.num_qubits:
+            raise CircuitError("not enough classical bits to measure every qubit")
+        return self.measure(range(self.num_qubits), range(self.num_qubits))
+
+    # -- circuit-level helpers --------------------------------------------------------
+    def compose(self, other: "QuantumCircuit", qubits: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Append another circuit's instructions onto this circuit (in place).
+
+        *qubits* maps the other circuit's qubit ``i`` onto ``qubits[i]`` of
+        this circuit; by default qubits map by index.  Classical bits map by
+        index.  Returns ``self`` for chaining.
+        """
+        mapping = list(range(other.num_qubits)) if qubits is None else [int(q) for q in qubits]
+        if len(mapping) != other.num_qubits:
+            raise CircuitError(
+                f"qubit mapping has {len(mapping)} entries for a "
+                f"{other.num_qubits}-qubit circuit"
+            )
+        self._check_qubits(mapping)
+        if other.num_clbits > self.num_clbits:
+            raise CircuitError("composed circuit has more classical bits than the target")
+        for instruction in other.instructions:
+            mapped = tuple(mapping[q] for q in instruction.qubits)
+            self.append(
+                Instruction(
+                    kind=instruction.kind,
+                    qubits=mapped,
+                    clbits=instruction.clbits,
+                    gate=instruction.gate,
+                    label=instruction.label,
+                )
+            )
+        return self
+
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Return a shallow copy (instructions are immutable, so sharing is safe)."""
+        new = QuantumCircuit(self.num_qubits, self.num_clbits, name=name or self.name)
+        new._instructions = list(self._instructions)
+        return new
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (gates reversed and inverted).
+
+        Only valid for measurement- and reset-free circuits.
+        """
+        new = QuantumCircuit(self.num_qubits, self.num_clbits, name=f"{self.name}_dg")
+        for instruction in reversed(self._instructions):
+            if instruction.kind == "barrier":
+                new._instructions.append(instruction)
+                continue
+            if instruction.kind != "gate" or instruction.gate is None:
+                raise CircuitError("cannot invert a circuit containing measurements or resets")
+            new._instructions.append(
+                Instruction("gate", instruction.qubits, gate=instruction.gate.inverse())
+            )
+        return new
+
+    def depth(self) -> int:
+        """Number of layers of gates/measurements (barriers excluded)."""
+        levels = [0] * self.num_qubits
+        for instruction in self._instructions:
+            if instruction.kind == "barrier":
+                continue
+            level = max(levels[q] for q in instruction.qubits) + 1
+            for q in instruction.qubits:
+                levels[q] = level
+        return max(levels) if levels else 0
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of instruction names."""
+        return dict(Counter(instruction.name for instruction in self._instructions))
+
+    def num_gates(self) -> int:
+        """Total number of gate instructions."""
+        return sum(1 for instruction in self._instructions if instruction.kind == "gate")
+
+    def has_measurements(self) -> bool:
+        """True if the circuit contains at least one measurement."""
+        return any(instruction.kind == "measure" for instruction in self._instructions)
+
+    def measured_qubits(self) -> tuple[int, ...]:
+        """Qubits that appear in at least one measurement instruction."""
+        qubits: list[int] = []
+        for instruction in self._instructions:
+            if instruction.kind == "measure":
+                qubits.extend(instruction.qubits)
+        return tuple(dict.fromkeys(qubits))
+
+    def to_operator(self) -> Operator:
+        """Build the full circuit unitary (measurement-free circuits only)."""
+        matrix = np.eye(2**self.num_qubits, dtype=complex)
+        for instruction in self._instructions:
+            if instruction.kind == "barrier":
+                continue
+            if instruction.kind != "gate" or instruction.gate is None:
+                raise CircuitError(
+                    "cannot build a unitary for a circuit containing measurements or resets"
+                )
+            embedded = Operator(instruction.gate.matrix).expand(
+                instruction.qubits, self.num_qubits
+            )
+            matrix = embedded.matrix @ matrix
+        return Operator(matrix)
+
+    # -- dunder helpers ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterable[Instruction]:
+        return iter(self._instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_instructions={len(self._instructions)})"
+        )

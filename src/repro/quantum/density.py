@@ -1,0 +1,288 @@
+"""Mixed-state (density matrix) representation of qubit registers.
+
+The noisy simulations of the UA-DI-QSDC protocol (NISQ device model, the
+η-identity-gate quantum channel, attack models that discard information)
+require mixed states.  :class:`DensityMatrix` provides the standard algebra:
+unitary evolution, Kraus-channel application, partial trace, purity, fidelity,
+von Neumann entropy and computational-basis sampling.
+
+The qubit order convention matches :class:`repro.quantum.states.Statevector`
+(big-endian).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NonPhysicalStateError
+from repro.quantum.operators import Operator, embed_operator
+from repro.quantum.states import Statevector
+from repro.utils.rng import as_rng
+
+__all__ = ["DensityMatrix"]
+
+_ATOL = 1e-8
+
+
+class DensityMatrix:
+    """An n-qubit mixed quantum state.
+
+    Parameters
+    ----------
+    data:
+        A ``2**n x 2**n`` complex matrix, a :class:`Statevector` (converted to
+        the pure-state projector) or another :class:`DensityMatrix`.
+    validate:
+        If True (default), require Hermiticity and unit trace.  Positivity is
+        checked lazily (it is comparatively expensive) via
+        :meth:`require_physical`.
+    """
+
+    __slots__ = ("_matrix", "_num_qubits")
+
+    def __init__(self, data, validate: bool = True):
+        if isinstance(data, DensityMatrix):
+            matrix = data._matrix.copy()
+        elif isinstance(data, Statevector):
+            vec = data.vector
+            matrix = np.outer(vec, vec.conj())
+        else:
+            matrix = np.array(data, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise DimensionError(f"density matrix must be square, got {matrix.shape}")
+        num_qubits = int(round(math.log2(matrix.shape[0])))
+        if 2**num_qubits != matrix.shape[0]:
+            raise DimensionError(
+                f"density matrix dimension {matrix.shape[0]} is not a power of two"
+            )
+        if validate:
+            if not np.allclose(matrix, matrix.conj().T, atol=_ATOL):
+                raise NonPhysicalStateError("density matrix is not Hermitian")
+            trace = complex(np.trace(matrix))
+            if not math.isclose(trace.real, 1.0, abs_tol=1e-6) or abs(trace.imag) > 1e-6:
+                raise NonPhysicalStateError(
+                    f"density matrix trace is {trace:.6g}, expected 1"
+                )
+        self._matrix = matrix
+        self._num_qubits = num_qubits
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        """The all-``|0>`` pure state as a density matrix."""
+        return cls(Statevector.zero_state(num_qubits))
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        """The maximally mixed state ``I / 2**n``."""
+        dim = 2**num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim, validate=False)
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (not copied)."""
+        return self._matrix
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return self._matrix.shape[0]
+
+    def trace(self) -> complex:
+        """Matrix trace (should be 1 for physical states)."""
+        return complex(np.trace(self._matrix))
+
+    def purity(self) -> float:
+        """``Tr(rho^2)``; 1 for pure states, ``1/2**n`` for maximally mixed."""
+        return float(np.real(np.trace(self._matrix @ self._matrix)))
+
+    def is_pure(self, atol: float = 1e-6) -> bool:
+        """True if the state is pure within tolerance."""
+        return math.isclose(self.purity(), 1.0, abs_tol=atol)
+
+    def require_physical(self, atol: float = 1e-7) -> "DensityMatrix":
+        """Raise unless the state is Hermitian, unit-trace and positive semi-definite."""
+        if not np.allclose(self._matrix, self._matrix.conj().T, atol=atol):
+            raise NonPhysicalStateError("density matrix is not Hermitian")
+        if not math.isclose(self.trace().real, 1.0, abs_tol=1e-6):
+            raise NonPhysicalStateError("density matrix trace is not 1")
+        eigenvalues = np.linalg.eigvalsh(self._matrix)
+        if eigenvalues.min() < -atol:
+            raise NonPhysicalStateError(
+                f"density matrix has negative eigenvalue {eigenvalues.min():.3g}"
+            )
+        return self
+
+    def eigenvalues(self) -> np.ndarray:
+        """Real eigenvalue spectrum (ascending)."""
+        return np.linalg.eigvalsh(self._matrix)
+
+    def von_neumann_entropy(self, base: float = 2.0) -> float:
+        """Von Neumann entropy ``-Tr(rho log rho)`` in the given log base."""
+        eigenvalues = np.clip(np.real(self.eigenvalues()), 0.0, 1.0)
+        nonzero = eigenvalues[eigenvalues > 1e-12]
+        return float(-(nonzero * (np.log(nonzero) / np.log(base))).sum())
+
+    # -- composition -------------------------------------------------------------
+    def tensor(self, other: "DensityMatrix") -> "DensityMatrix":
+        """Kronecker product ``self (x) other``."""
+        other = DensityMatrix(other)
+        return DensityMatrix(np.kron(self._matrix, other._matrix), validate=False)
+
+    # -- evolution ----------------------------------------------------------------
+    def evolve(
+        self, operator: "Operator | np.ndarray", qubits: Sequence[int] | None = None
+    ) -> "DensityMatrix":
+        """Apply a unitary ``U`` (``rho -> U rho U†``) to the given qubits."""
+        op = operator if isinstance(operator, Operator) else Operator(operator)
+        if qubits is None:
+            if op.num_qubits != self._num_qubits:
+                raise DimensionError(
+                    f"operator acts on {op.num_qubits} qubits, state has {self._num_qubits}"
+                )
+            full = op.matrix
+        else:
+            full = embed_operator(op.matrix, list(qubits), self._num_qubits)
+        return DensityMatrix(full @ self._matrix @ full.conj().T, validate=False)
+
+    def apply_kraus(
+        self, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int] | None = None
+    ) -> "DensityMatrix":
+        """Apply a quantum channel given by Kraus operators to the listed qubits."""
+        if not kraus_operators:
+            raise DimensionError("at least one Kraus operator is required")
+        result = np.zeros_like(self._matrix)
+        for kraus in kraus_operators:
+            kraus = np.asarray(kraus, dtype=complex)
+            if qubits is None:
+                full = kraus
+                if full.shape != self._matrix.shape:
+                    raise DimensionError(
+                        f"Kraus operator shape {full.shape} does not match state"
+                    )
+            else:
+                full = embed_operator(kraus, list(qubits), self._num_qubits)
+            result = result + full @ self._matrix @ full.conj().T
+        return DensityMatrix(result, validate=False)
+
+    # -- reductions -----------------------------------------------------------------
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Trace out every qubit not listed in *keep*.
+
+        The returned density matrix orders its qubits as listed in *keep*.
+        """
+        keep_list = [int(q) for q in keep]
+        if len(set(keep_list)) != len(keep_list):
+            raise DimensionError("qubits to keep must be distinct")
+        if any(q < 0 or q >= self._num_qubits for q in keep_list):
+            raise DimensionError(f"qubits {keep_list} out of range")
+        n = self._num_qubits
+        traced = [q for q in range(n) if q not in keep_list]
+        tensor = self._matrix.reshape([2] * (2 * n))
+        # Contract each traced qubit's row index with its column index.
+        for offset, qubit in enumerate(sorted(traced)):
+            axis_row = qubit - offset
+            axis_col = axis_row + (n - offset)
+            tensor = np.trace(tensor, axis1=axis_row, axis2=axis_col)
+        k = len(keep_list)
+        remaining = sorted(keep_list)
+        reduced = tensor.reshape(2**k, 2**k)
+        if remaining == keep_list:
+            return DensityMatrix(reduced, validate=False)
+        # Permute the kept qubits into the caller's requested order.
+        perm = [remaining.index(q) for q in keep_list]
+        tensor_k = reduced.reshape([2] * (2 * k))
+        tensor_k = np.transpose(tensor_k, axes=perm + [p + k for p in perm])
+        return DensityMatrix(tensor_k.reshape(2**k, 2**k), validate=False)
+
+    # -- probabilities and measurement ------------------------------------------------
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Computational-basis outcome probabilities over the listed qubits."""
+        if qubits is None:
+            probs = np.real(np.diag(self._matrix)).copy()
+        else:
+            reduced = self.partial_trace(qubits)
+            probs = np.real(np.diag(reduced.matrix)).copy()
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        if total <= 0:
+            raise NonPhysicalStateError("density matrix has no positive diagonal weight")
+        return probs / total
+
+    def probability_of(self, bitstring: str, qubits: Sequence[int] | None = None) -> float:
+        """Probability of observing *bitstring* on the listed qubits."""
+        targets = list(range(self._num_qubits)) if qubits is None else list(qubits)
+        if len(bitstring) != len(targets):
+            raise DimensionError(
+                f"bitstring length {len(bitstring)} does not match {len(targets)} qubits"
+            )
+        probs = self.probabilities(targets)
+        return float(probs[int(bitstring, 2)])
+
+    def sample_counts(
+        self, shots: int, qubits: Sequence[int] | None = None, rng=None
+    ) -> dict[str, int]:
+        """Sample computational-basis outcomes; see :meth:`Statevector.sample_counts`."""
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        targets = list(range(self._num_qubits)) if qubits is None else list(qubits)
+        probs = self.probabilities(targets)
+        generator = as_rng(rng)
+        outcomes = generator.multinomial(shots, probs)
+        width = len(targets)
+        return {
+            format(idx, f"0{width}b"): int(count)
+            for idx, count in enumerate(outcomes)
+            if count > 0
+        }
+
+    def expectation_value(
+        self, operator: "Operator | np.ndarray", qubits: Sequence[int] | None = None
+    ) -> complex:
+        """``Tr(rho O)`` where O may act on a subset of qubits."""
+        op = operator if isinstance(operator, Operator) else Operator(operator)
+        if qubits is None:
+            full = op.matrix
+        else:
+            full = embed_operator(op.matrix, list(qubits), self._num_qubits)
+        return complex(np.trace(self._matrix @ full))
+
+    # -- comparisons ---------------------------------------------------------------------
+    def fidelity(self, other: "DensityMatrix | Statevector") -> float:
+        """Uhlmann fidelity ``(Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2``.
+
+        For a pure *other* this reduces to ``<psi|rho|psi>``.
+        """
+        if isinstance(other, Statevector):
+            vec = other.vector
+            return float(np.real(vec.conj() @ (self._matrix @ vec)))
+        other = DensityMatrix(other)
+        if other.dim != self.dim:
+            raise DimensionError("states have different dimensions")
+        # Use the eigendecomposition route for numerical stability.
+        eigenvalues, eigenvectors = np.linalg.eigh(self._matrix)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        sqrt_rho = (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.conj().T
+        inner = sqrt_rho @ other._matrix @ sqrt_rho
+        inner_eigenvalues = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+        return float(np.sqrt(inner_eigenvalues).sum() ** 2)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DensityMatrix):
+            return NotImplemented
+        return bool(np.allclose(self._matrix, other._matrix, atol=1e-10))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self.num_qubits}, purity={self.purity():.4f})"

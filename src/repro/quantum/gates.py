@@ -1,0 +1,200 @@
+"""Named gate library.
+
+A :class:`Gate` pairs a name and parameter list with its unitary matrix, so
+circuits remain introspectable (the noise model attaches errors by gate name)
+while the simulators only ever need the matrix.  The :func:`standard_gates`
+registry exposes the gates the protocol and device layers use; arbitrary
+unitaries can still be added to circuits via
+:meth:`repro.quantum.circuit.QuantumCircuit.unitary`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.operators import (
+    H_MATRIX,
+    I_MATRIX,
+    S_MATRIX,
+    T_MATRIX,
+    X_MATRIX,
+    Y_MATRIX,
+    Z_MATRIX,
+)
+
+__all__ = ["Gate", "standard_gates", "make_gate", "GATE_NUM_QUBITS"]
+
+
+class Gate:
+    """A named unitary gate.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate name, e.g. ``"cx"``.
+    num_qubits:
+        Number of qubits the gate acts on.
+    matrix:
+        The ``2**num_qubits``-dimensional unitary matrix.
+    params:
+        Optional tuple of real parameters (rotation angles).
+    """
+
+    __slots__ = ("name", "num_qubits", "matrix", "params")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        matrix: np.ndarray,
+        params: Sequence[float] = (),
+    ):
+        matrix = np.asarray(matrix, dtype=complex)
+        expected = 2**num_qubits
+        if matrix.shape != (expected, expected):
+            raise CircuitError(
+                f"gate {name!r} declared on {num_qubits} qubits but matrix has shape "
+                f"{matrix.shape}"
+            )
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.matrix = matrix
+        self.params = tuple(float(p) for p in params)
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (conjugate-transpose matrix)."""
+        return Gate(
+            name=f"{self.name}_dg" if not self.name.endswith("_dg") else self.name[:-3],
+            num_qubits=self.num_qubits,
+            matrix=self.matrix.conj().T,
+            params=tuple(-p for p in self.params),
+        )
+
+    def __repr__(self) -> str:
+        if self.params:
+            params = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"Gate({self.name}({params}), qubits={self.num_qubits})"
+        return f"Gate({self.name}, qubits={self.num_qubits})"
+
+
+def _rx_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def _phase_matrix(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def _u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+_CX_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_CY_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, -1j], [0, 0, 1j, 0]], dtype=complex
+)
+_CH_MATRIX = np.block(
+    [[np.eye(2), np.zeros((2, 2))], [np.zeros((2, 2)), H_MATRIX]]
+).astype(complex)
+
+#: Number of qubits for each fixed (non-parametric) standard gate.
+GATE_NUM_QUBITS: dict[str, int] = {
+    "id": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "cx": 2,
+    "cz": 2,
+    "cy": 2,
+    "ch": 2,
+    "swap": 2,
+}
+
+_FIXED_GATES: dict[str, np.ndarray] = {
+    "id": I_MATRIX,
+    "x": X_MATRIX,
+    "y": Y_MATRIX,
+    "z": Z_MATRIX,
+    "h": H_MATRIX,
+    "s": S_MATRIX,
+    "sdg": S_MATRIX.conj().T,
+    "t": T_MATRIX,
+    "tdg": T_MATRIX.conj().T,
+    "cx": _CX_MATRIX,
+    "cz": _CZ_MATRIX,
+    "cy": _CY_MATRIX,
+    "ch": _CH_MATRIX,
+    "swap": _SWAP_MATRIX,
+}
+
+_PARAMETRIC_GATES = {
+    "rx": (1, 1, _rx_matrix),
+    "ry": (1, 1, _ry_matrix),
+    "rz": (1, 1, _rz_matrix),
+    "p": (1, 1, _phase_matrix),
+    "u3": (1, 3, _u3_matrix),
+}
+
+
+def standard_gates() -> dict[str, int]:
+    """Return a mapping of all supported gate names to their qubit counts.
+
+    Parametric gates (``rx, ry, rz, p, u3``) are included with their qubit
+    count; their matrices depend on parameters and are built by
+    :func:`make_gate`.
+    """
+    names = dict(GATE_NUM_QUBITS)
+    for name, (num_qubits, _, _) in _PARAMETRIC_GATES.items():
+        names[name] = num_qubits
+    return names
+
+
+def make_gate(name: str, *params: float) -> Gate:
+    """Construct a standard gate by name, with parameters where applicable."""
+    key = name.lower()
+    if key in _FIXED_GATES:
+        if params:
+            raise CircuitError(f"gate {name!r} takes no parameters")
+        return Gate(key, GATE_NUM_QUBITS[key], _FIXED_GATES[key])
+    if key in _PARAMETRIC_GATES:
+        num_qubits, num_params, factory = _PARAMETRIC_GATES[key]
+        if len(params) != num_params:
+            raise CircuitError(
+                f"gate {name!r} takes {num_params} parameter(s), got {len(params)}"
+            )
+        return Gate(key, num_qubits, factory(*params), params=params)
+    raise CircuitError(f"unknown gate {name!r}")

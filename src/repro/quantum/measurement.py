@@ -1,0 +1,239 @@
+"""Measurement helpers: projective, observable and Bell-state measurements.
+
+Three measurement primitives drive the protocol:
+
+* computational-basis **projective measurement** (delegated to the state
+  classes, re-exported here for a uniform API);
+* **observable measurement** of ``±1``-valued equatorial observables
+  ``cos(theta)·X ± sin(theta)·Y`` used by the two DI security-check rounds;
+* **Bell-state measurement** (BSM) used by Bob to decode dense-coded message
+  and identity bits, and during the authentication step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NonPhysicalStateError
+from repro.quantum.bell import BellState, equatorial_observable_matrix
+from repro.quantum.density import DensityMatrix
+from repro.quantum.operators import Operator
+from repro.quantum.states import Statevector
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "BellMeasurementResult",
+    "equatorial_observable",
+    "projective_measurement",
+    "measure_observable",
+    "bell_measurement",
+    "bell_measurement_probabilities",
+    "bell_measurement_counts",
+    "BELL_BITS_TO_STATE",
+    "BELL_STATE_TO_BITS",
+]
+
+#: Outcome bits of the (CNOT, H) disentangling circuit mapped to Bell states.
+#: The first bit is the H-measured (phase) qubit, the second the parity qubit.
+BELL_BITS_TO_STATE: dict[str, BellState] = {
+    "00": BellState.PHI_PLUS,
+    "10": BellState.PHI_MINUS,
+    "01": BellState.PSI_PLUS,
+    "11": BellState.PSI_MINUS,
+}
+
+#: Inverse of :data:`BELL_BITS_TO_STATE`.
+BELL_STATE_TO_BITS: dict[BellState, str] = {
+    state: bits for bits, state in BELL_BITS_TO_STATE.items()
+}
+
+
+@dataclass(frozen=True)
+class BellMeasurementResult:
+    """Outcome of a single Bell-state measurement.
+
+    Attributes
+    ----------
+    bell_state:
+        Which Bell state was observed.
+    bits:
+        The two raw measurement bits of the disentangling circuit
+        (phase bit, parity bit).
+    """
+
+    bell_state: BellState
+    bits: str
+
+
+def equatorial_observable(theta: float, conjugate: bool = False) -> Operator:
+    """Equatorial ``±1`` observable ``cos(theta)·X ± sin(theta)·Y`` as an Operator."""
+    return Operator(equatorial_observable_matrix(theta, conjugate=conjugate))
+
+
+def projective_measurement(
+    state: "Statevector | DensityMatrix",
+    qubits: Sequence[int] | None = None,
+    rng=None,
+) -> tuple[str, "Statevector | DensityMatrix"]:
+    """Measure the listed qubits in the computational basis.
+
+    For a :class:`Statevector` this returns the collapsed pure state; for a
+    :class:`DensityMatrix` it returns the normalised projected mixed state.
+    """
+    generator = as_rng(rng)
+    if isinstance(state, Statevector):
+        return state.measure(qubits, rng=generator)
+    if isinstance(state, DensityMatrix):
+        targets = list(range(state.num_qubits)) if qubits is None else [int(q) for q in qubits]
+        probs = state.probabilities(targets)
+        index = int(generator.choice(len(probs), p=probs))
+        outcome = format(index, f"0{len(targets)}b")
+        projector = _computational_projector(outcome, targets, state.num_qubits)
+        projected = projector @ state.matrix @ projector
+        norm = float(np.real(np.trace(projected)))
+        if norm <= 0:
+            raise NonPhysicalStateError("projective measurement hit a zero-probability outcome")
+        return outcome, DensityMatrix(projected / norm, validate=False)
+    raise DimensionError(f"cannot measure object of type {type(state).__name__}")
+
+
+def _computational_projector(
+    outcome: str, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Full-register projector onto *outcome* of the listed qubits."""
+    ket0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    ket1 = np.array([[0, 0], [0, 1]], dtype=complex)
+    from repro.quantum.operators import embed_operator, kron_all
+
+    locals_ = [ket0 if bit == "0" else ket1 for bit in outcome]
+    return embed_operator(kron_all(locals_), list(qubits), num_qubits)
+
+
+def measure_observable(
+    state: "Statevector | DensityMatrix",
+    observable: "Operator | np.ndarray",
+    qubits: Sequence[int],
+    rng=None,
+) -> tuple[int, "Statevector | DensityMatrix"]:
+    """Measure a ``±1``-valued observable on the listed qubits.
+
+    The observable must have only ``+1``/``−1`` eigenvalues (all equatorial
+    observables and Pauli operators qualify).  Returns the observed eigenvalue
+    and the post-measurement state.
+    """
+    op = observable if isinstance(observable, Operator) else Operator(observable)
+    if not op.is_hermitian():
+        raise DimensionError("observables must be Hermitian")
+    eigenvalues, eigenvectors = np.linalg.eigh(op.matrix)
+    if not np.allclose(np.abs(eigenvalues), 1.0, atol=1e-8):
+        raise DimensionError("measure_observable supports only ±1-valued observables")
+
+    plus_vectors = eigenvectors[:, eigenvalues > 0]
+    projector_plus_local = plus_vectors @ plus_vectors.conj().T
+    projector_minus_local = np.eye(op.dim) - projector_plus_local
+
+    generator = as_rng(rng)
+    num_qubits = state.num_qubits
+    from repro.quantum.operators import embed_operator
+
+    projector_plus = embed_operator(projector_plus_local, list(qubits), num_qubits)
+    projector_minus = embed_operator(projector_minus_local, list(qubits), num_qubits)
+
+    if isinstance(state, Statevector):
+        vec = state.vector
+        prob_plus = float(np.real(vec.conj() @ (projector_plus @ vec)))
+        prob_plus = min(max(prob_plus, 0.0), 1.0)
+        outcome = 1 if generator.random() < prob_plus else -1
+        projector = projector_plus if outcome == 1 else projector_minus
+        post = projector @ vec
+        norm = np.linalg.norm(post)
+        if norm <= 1e-12:
+            raise NonPhysicalStateError("observable measurement hit a zero-probability outcome")
+        return outcome, Statevector(post / norm, validate=False)
+
+    if isinstance(state, DensityMatrix):
+        rho = state.matrix
+        prob_plus = float(np.real(np.trace(projector_plus @ rho)))
+        prob_plus = min(max(prob_plus, 0.0), 1.0)
+        outcome = 1 if generator.random() < prob_plus else -1
+        projector = projector_plus if outcome == 1 else projector_minus
+        projected = projector @ rho @ projector
+        norm = float(np.real(np.trace(projected)))
+        if norm <= 1e-12:
+            raise NonPhysicalStateError("observable measurement hit a zero-probability outcome")
+        return outcome, DensityMatrix(projected / norm, validate=False)
+
+    raise DimensionError(f"cannot measure object of type {type(state).__name__}")
+
+
+def _bell_basis_probabilities(
+    state: "Statevector | DensityMatrix", qubit_pair: Sequence[int]
+) -> np.ndarray:
+    """Probabilities of the four Bell outcomes (ordered Φ+, Φ−, Ψ+, Ψ−)."""
+    from repro.quantum.bell import bell_projector
+
+    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
+    probs = []
+    for which in order:
+        projector = bell_projector(which)
+        if isinstance(state, Statevector):
+            value = state.expectation_value(projector, qubit_pair)
+        else:
+            value = state.expectation_value(projector, qubit_pair)
+        probs.append(max(float(np.real(value)), 0.0))
+    probs = np.array(probs)
+    total = probs.sum()
+    if total <= 0:
+        raise NonPhysicalStateError("state has no support on the Bell basis")
+    return probs / total
+
+
+def bell_measurement_probabilities(
+    state: "Statevector | DensityMatrix", qubit_pair: Sequence[int]
+) -> dict[BellState, float]:
+    """Probability of each Bell outcome when measuring *qubit_pair* in the Bell basis."""
+    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
+    probs = _bell_basis_probabilities(state, qubit_pair)
+    return {which: float(p) for which, p in zip(order, probs)}
+
+
+def bell_measurement(
+    state: "Statevector | DensityMatrix",
+    qubit_pair: Sequence[int],
+    rng=None,
+) -> BellMeasurementResult:
+    """Sample one Bell-state measurement outcome on the given qubit pair.
+
+    Equivalent to running the (CNOT, H) disentangling circuit and measuring
+    both qubits in the computational basis; only the Bell outcome is returned
+    because the protocol never uses the post-measurement state of measured
+    pairs (they are discarded).
+    """
+    if len(qubit_pair) != 2:
+        raise DimensionError("Bell-state measurement requires exactly two qubits")
+    generator = as_rng(rng)
+    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
+    probs = _bell_basis_probabilities(state, qubit_pair)
+    index = int(generator.choice(4, p=probs))
+    which = order[index]
+    return BellMeasurementResult(bell_state=which, bits=BELL_STATE_TO_BITS[which])
+
+
+def bell_measurement_counts(
+    state: "Statevector | DensityMatrix",
+    qubit_pair: Sequence[int],
+    shots: int,
+    rng=None,
+) -> dict[BellState, int]:
+    """Sample *shots* Bell-state measurements and histogram the outcomes."""
+    if shots < 0:
+        raise ValueError(f"shots must be non-negative, got {shots}")
+    generator = as_rng(rng)
+    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
+    probs = _bell_basis_probabilities(state, qubit_pair)
+    samples = generator.multinomial(shots, probs)
+    return {which: int(count) for which, count in zip(order, samples) if count > 0}

@@ -1,0 +1,190 @@
+"""Noise models attaching quantum errors to circuit instructions.
+
+A :class:`NoiseModel` maps gate names (optionally restricted to specific
+qubits) to :class:`QuantumError` channels that the density-matrix simulator
+applies after each matching instruction, plus per-qubit
+:class:`ReadoutError` matrices applied to measurement outcomes.  This mirrors
+the structure of hardware noise models exposed by cloud NISQ providers, which
+is what the paper's ``ibm_brisbane`` emulation relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+from repro.quantum.channels import KrausChannel
+
+__all__ = ["QuantumError", "ReadoutError", "NoiseModel"]
+
+
+class QuantumError:
+    """A noise process expressed as a CPTP channel attached to a gate.
+
+    Thin wrapper around :class:`~repro.quantum.channels.KrausChannel` that
+    records a name for reporting.
+    """
+
+    __slots__ = ("channel", "name")
+
+    def __init__(self, channel: KrausChannel, name: str | None = None):
+        if not isinstance(channel, KrausChannel):
+            raise NoiseModelError("QuantumError requires a KrausChannel")
+        self.channel = channel
+        self.name = name or channel.name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the error acts on."""
+        return self.channel.num_qubits
+
+    def __repr__(self) -> str:
+        return f"QuantumError({self.name!r}, num_qubits={self.num_qubits})"
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Classical readout (assignment) error for a single qubit.
+
+    ``prob_1_given_0`` is the probability of reading 1 when the qubit is in
+    ``|0>``; ``prob_0_given_1`` is the probability of reading 0 when the qubit
+    is in ``|1>``.
+    """
+
+    prob_1_given_0: float
+    prob_0_given_1: float
+
+    def __post_init__(self):
+        for name in ("prob_1_given_0", "prob_0_given_1"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise NoiseModelError(f"{name} must lie in [0, 1], got {value}")
+
+    @property
+    def assignment_matrix(self) -> np.ndarray:
+        """2x2 matrix ``A[measured, true]`` of assignment probabilities."""
+        return np.array(
+            [
+                [1 - self.prob_1_given_0, self.prob_0_given_1],
+                [self.prob_1_given_0, 1 - self.prob_0_given_1],
+            ]
+        )
+
+    @classmethod
+    def symmetric(cls, probability: float) -> "ReadoutError":
+        """Readout error with the same flip probability in both directions."""
+        return cls(probability, probability)
+
+
+class NoiseModel:
+    """Collection of gate errors and readout errors.
+
+    Gate errors are looked up first by ``(gate_name, qubits)`` and then by
+    ``gate_name`` alone (the "all qubits" default), so device models can give
+    every qubit its own calibration while simple models attach one error per
+    gate name.
+    """
+
+    def __init__(self, name: str = "noise_model"):
+        self.name = name
+        self._default_errors: dict[str, list[QuantumError]] = {}
+        self._local_errors: dict[tuple[str, tuple[int, ...]], list[QuantumError]] = {}
+        self._readout_errors: dict[int, ReadoutError] = {}
+        self._default_readout: ReadoutError | None = None
+
+    # -- construction ------------------------------------------------------------
+    def add_all_qubit_error(
+        self, error: "QuantumError | KrausChannel", gate_names: Sequence[str] | str
+    ) -> "NoiseModel":
+        """Attach *error* to every occurrence of the named gates."""
+        error = error if isinstance(error, QuantumError) else QuantumError(error)
+        names = [gate_names] if isinstance(gate_names, str) else list(gate_names)
+        for name in names:
+            self._default_errors.setdefault(name.lower(), []).append(error)
+        return self
+
+    def add_qubit_error(
+        self,
+        error: "QuantumError | KrausChannel",
+        gate_names: Sequence[str] | str,
+        qubits: Sequence[int],
+    ) -> "NoiseModel":
+        """Attach *error* to the named gates only when they act on *qubits*."""
+        error = error if isinstance(error, QuantumError) else QuantumError(error)
+        names = [gate_names] if isinstance(gate_names, str) else list(gate_names)
+        key_qubits = tuple(int(q) for q in qubits)
+        for name in names:
+            self._local_errors.setdefault((name.lower(), key_qubits), []).append(error)
+        return self
+
+    def add_readout_error(
+        self, error: ReadoutError, qubit: int | None = None
+    ) -> "NoiseModel":
+        """Attach a readout error to one qubit, or to all qubits if *qubit* is None."""
+        if qubit is None:
+            self._default_readout = error
+        else:
+            self._readout_errors[int(qubit)] = error
+        return self
+
+    # -- queries ---------------------------------------------------------------------
+    def errors_for(self, gate_name: str, qubits: Sequence[int]) -> list[QuantumError]:
+        """All errors that apply to an instruction with this name and qubits."""
+        key = (gate_name.lower(), tuple(int(q) for q in qubits))
+        errors = list(self._local_errors.get(key, ()))
+        errors.extend(self._default_errors.get(gate_name.lower(), ()))
+        return errors
+
+    def readout_error_for(self, qubit: int) -> ReadoutError | None:
+        """The readout error for *qubit*, falling back to the all-qubit default."""
+        return self._readout_errors.get(int(qubit), self._default_readout)
+
+    def has_readout_error(self) -> bool:
+        """True if any readout error is configured."""
+        return bool(self._readout_errors) or self._default_readout is not None
+
+    @property
+    def noisy_gate_names(self) -> set[str]:
+        """Names of gates that have at least one attached error."""
+        names = set(self._default_errors)
+        names.update(name for name, _ in self._local_errors)
+        return names
+
+    def is_ideal(self) -> bool:
+        """True if the model contains no gate or readout errors."""
+        return not (self._default_errors or self._local_errors or self.has_readout_error())
+
+    def apply_readout_errors(
+        self, probabilities: np.ndarray, qubits: Sequence[int]
+    ) -> np.ndarray:
+        """Transform outcome probabilities over *qubits* through the assignment matrices.
+
+        *probabilities* is indexed by the big-endian bitstring over *qubits*
+        (qubit ``qubits[0]`` is the most significant bit).
+        """
+        probs = np.asarray(probabilities, dtype=float)
+        num = len(qubits)
+        if probs.shape[0] != 2**num:
+            raise NoiseModelError(
+                f"probability vector of length {probs.shape[0]} does not match "
+                f"{num} measured qubits"
+            )
+        tensor = probs.reshape([2] * num) if num else probs
+        for axis, qubit in enumerate(qubits):
+            error = self.readout_error_for(qubit)
+            if error is None:
+                continue
+            matrix = error.assignment_matrix
+            tensor = np.moveaxis(
+                np.tensordot(matrix, tensor, axes=([1], [axis])), 0, axis
+            )
+        return tensor.reshape(-1)
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel(name={self.name!r}, gates={sorted(self.noisy_gate_names)}, "
+            f"readout={self.has_readout_error()})"
+        )

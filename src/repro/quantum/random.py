@@ -1,0 +1,52 @@
+"""Seeded random quantum objects (Haar-random unitaries and states, random Paulis).
+
+The man-in-the-middle attack model replaces Alice's qubits with freshly
+prepared random single-qubit states, and several property-based tests exercise
+invariants on random inputs; both use this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.operators import Operator, PAULI_MATRICES
+from repro.quantum.states import Statevector
+from repro.utils.rng import as_rng
+
+__all__ = ["haar_random_unitary", "haar_random_state", "random_pauli", "random_bloch_state"]
+
+
+def haar_random_unitary(num_qubits: int, rng=None) -> Operator:
+    """Sample a Haar-random unitary on *num_qubits* qubits.
+
+    Uses the QR decomposition of a complex Ginibre matrix with the phase
+    correction of Mezzadri (2007) so the distribution is exactly Haar.
+    """
+    generator = as_rng(rng)
+    dim = 2**int(num_qubits)
+    ginibre = generator.normal(size=(dim, dim)) + 1j * generator.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diag(r).copy()
+    phases = phases / np.abs(phases)
+    return Operator(q * phases)
+
+
+def haar_random_state(num_qubits: int, rng=None) -> Statevector:
+    """Sample a Haar-random pure state on *num_qubits* qubits."""
+    generator = as_rng(rng)
+    dim = 2**int(num_qubits)
+    vector = generator.normal(size=dim) + 1j * generator.normal(size=dim)
+    return Statevector(vector / np.linalg.norm(vector), validate=False)
+
+
+def random_bloch_state(rng=None) -> Statevector:
+    """Sample a single-qubit pure state uniformly on the Bloch sphere."""
+    return haar_random_state(1, rng)
+
+
+def random_pauli(rng=None, include_identity: bool = True) -> tuple[str, Operator]:
+    """Sample a uniformly random single-qubit Pauli as ``(label, Operator)``."""
+    generator = as_rng(rng)
+    labels = ["I", "X", "Y", "Z"] if include_identity else ["X", "Y", "Z"]
+    label = labels[int(generator.integers(0, len(labels)))]
+    return label, Operator(PAULI_MATRICES[label])

@@ -1,0 +1,395 @@
+"""Circuit simulators: ideal statevector and noise-aware density matrix.
+
+:class:`StatevectorSimulator` executes measurement-bearing circuits exactly
+and samples shot counts from the final distribution; it is the "ideal
+simulation" reference the paper compares hardware results against.
+
+:class:`DensityMatrixSimulator` additionally applies a
+:class:`~repro.quantum.noise_model.NoiseModel` — per-gate Kraus channels and
+readout assignment errors — which is how the repository reproduces the
+``ibm_brisbane`` executions of the paper's evaluation section without access
+to the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.noise_model import NoiseModel
+from repro.quantum.operators import Operator
+from repro.quantum.states import Statevector
+from repro.utils.rng import as_rng
+
+__all__ = ["SimulationResult", "StatevectorSimulator", "DensityMatrixSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running a circuit on a simulator.
+
+    Attributes
+    ----------
+    counts:
+        Histogram of classical-register values, keyed by big-endian bitstring
+        over the circuit's classical bits (clbit 0 is the leftmost character).
+        Empty when the circuit has no measurements.
+    shots:
+        Number of sampled shots.
+    statevector:
+        Final pure state (statevector simulator, measurement-free circuits).
+    density_matrix:
+        Final mixed state (density-matrix simulator).
+    metadata:
+        Simulator-specific extras (e.g. whether noise was applied).
+    """
+
+    counts: dict[str, int]
+    shots: int
+    statevector: Statevector | None = None
+    density_matrix: DensityMatrix | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def probabilities(self) -> dict[str, float]:
+        """Counts normalised to relative frequencies."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.counts.items()}
+
+    def most_frequent(self) -> str:
+        """The most frequently observed classical outcome."""
+        if not self.counts:
+            raise SimulationError("result contains no counts")
+        return max(self.counts.items(), key=lambda item: item[1])[0]
+
+
+def _format_clbits(values: dict[int, int], num_clbits: int) -> str:
+    """Render a clbit->value mapping as a big-endian bitstring over all clbits."""
+    bits = ["0"] * num_clbits
+    for clbit, value in values.items():
+        bits[clbit] = "1" if value else "0"
+    return "".join(bits)
+
+
+class StatevectorSimulator:
+    """Exact, noise-free circuit execution on statevectors.
+
+    Parameters
+    ----------
+    seed:
+        Optional seed (or :class:`numpy.random.Generator`) used for all
+        measurement sampling performed by this simulator instance.
+    """
+
+    def __init__(self, seed=None):
+        self._rng = as_rng(seed)
+
+    # -- public API -------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        initial_state: Statevector | None = None,
+        rng=None,
+    ) -> SimulationResult:
+        """Execute *circuit* and sample *shots* measurement outcomes.
+
+        Circuits whose measurements are all terminal (no gate touches a
+        measured qubit afterwards) are simulated once and sampled
+        analytically; circuits with mid-circuit measurement or reset fall back
+        to per-shot Monte Carlo execution.
+        """
+        if shots < 0:
+            raise SimulationError(f"shots must be non-negative, got {shots}")
+        generator = as_rng(rng) if rng is not None else self._rng
+        state = self._initial_state(circuit, initial_state)
+
+        if not circuit.has_measurements() and not self._has_nonunitary(circuit):
+            final = self._apply_gates(circuit, state)
+            return SimulationResult(counts={}, shots=0, statevector=final)
+
+        if self._measurements_are_terminal(circuit) and not self._has_nonunitary(circuit):
+            return self._run_terminal(circuit, state, shots, generator)
+        return self._run_per_shot(circuit, state, shots, generator)
+
+    def final_statevector(
+        self, circuit: QuantumCircuit, initial_state: Statevector | None = None
+    ) -> Statevector:
+        """Final statevector of a measurement-free circuit."""
+        if circuit.has_measurements() or self._has_nonunitary(circuit):
+            raise SimulationError(
+                "final_statevector requires a measurement- and reset-free circuit"
+            )
+        return self._apply_gates(circuit, self._initial_state(circuit, initial_state))
+
+    # -- internals -------------------------------------------------------------------
+    @staticmethod
+    def _initial_state(
+        circuit: QuantumCircuit, initial_state: Statevector | None
+    ) -> Statevector:
+        if initial_state is None:
+            return Statevector.zero_state(circuit.num_qubits)
+        state = Statevector(initial_state)
+        if state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"initial state has {state.num_qubits} qubits, circuit has "
+                f"{circuit.num_qubits}"
+            )
+        return state
+
+    @staticmethod
+    def _has_nonunitary(circuit: QuantumCircuit) -> bool:
+        return any(instruction.kind == "reset" for instruction in circuit.instructions)
+
+    @staticmethod
+    def _measurements_are_terminal(circuit: QuantumCircuit) -> bool:
+        """True if no gate or reset acts on a qubit after it has been measured."""
+        measured: set[int] = set()
+        for instruction in circuit.instructions:
+            if instruction.kind == "measure":
+                measured.update(instruction.qubits)
+            elif instruction.kind in ("gate", "reset"):
+                if measured.intersection(instruction.qubits):
+                    return False
+        return True
+
+    @staticmethod
+    def _apply_gates(circuit: QuantumCircuit, state: Statevector) -> Statevector:
+        for instruction in circuit.instructions:
+            if instruction.kind == "gate" and instruction.gate is not None:
+                state = state.apply_operator(
+                    Operator(instruction.gate.matrix), instruction.qubits
+                )
+            elif instruction.kind in ("barrier", "measure"):
+                continue
+            else:
+                raise SimulationError(
+                    f"unexpected instruction {instruction.kind!r} in unitary-only path"
+                )
+        return state
+
+    def _run_terminal(
+        self,
+        circuit: QuantumCircuit,
+        state: Statevector,
+        shots: int,
+        generator: np.random.Generator,
+    ) -> SimulationResult:
+        # Apply every gate, ignoring the (terminal) measurements, then sample.
+        final = state
+        measure_map: dict[int, int] = {}
+        for instruction in circuit.instructions:
+            if instruction.kind == "gate" and instruction.gate is not None:
+                final = final.apply_operator(
+                    Operator(instruction.gate.matrix), instruction.qubits
+                )
+            elif instruction.kind == "measure":
+                for qubit, clbit in zip(instruction.qubits, instruction.clbits):
+                    measure_map[qubit] = clbit
+
+        if not measure_map:
+            return SimulationResult(counts={}, shots=0, statevector=final)
+
+        measured_qubits = sorted(measure_map)
+        qubit_counts = final.sample_counts(shots, qubits=measured_qubits, rng=generator)
+        counts: dict[str, int] = {}
+        for outcome, count in qubit_counts.items():
+            values = {
+                measure_map[qubit]: int(bit)
+                for qubit, bit in zip(measured_qubits, outcome)
+            }
+            key = _format_clbits(values, circuit.num_clbits)
+            counts[key] = counts.get(key, 0) + count
+        return SimulationResult(
+            counts=counts, shots=shots, statevector=final,
+            metadata={"method": "statevector", "terminal_sampling": True},
+        )
+
+    def _run_per_shot(
+        self,
+        circuit: QuantumCircuit,
+        state: Statevector,
+        shots: int,
+        generator: np.random.Generator,
+    ) -> SimulationResult:
+        counts: dict[str, int] = {}
+        for _ in range(shots):
+            current = state
+            clbit_values: dict[int, int] = {}
+            for instruction in circuit.instructions:
+                if instruction.kind == "gate" and instruction.gate is not None:
+                    current = current.apply_operator(
+                        Operator(instruction.gate.matrix), instruction.qubits
+                    )
+                elif instruction.kind == "measure":
+                    outcome, current = current.measure(instruction.qubits, rng=generator)
+                    for bit_char, clbit in zip(outcome, instruction.clbits):
+                        clbit_values[clbit] = int(bit_char)
+                elif instruction.kind == "reset":
+                    outcome, current = current.measure(instruction.qubits, rng=generator)
+                    if outcome == "1":
+                        current = current.apply_pauli("X", instruction.qubits)
+                elif instruction.kind == "barrier":
+                    continue
+            key = _format_clbits(clbit_values, circuit.num_clbits)
+            counts[key] = counts.get(key, 0) + 1
+        return SimulationResult(
+            counts=counts, shots=shots,
+            metadata={"method": "statevector", "terminal_sampling": False},
+        )
+
+
+class DensityMatrixSimulator:
+    """Noise-aware circuit execution on density matrices.
+
+    Parameters
+    ----------
+    noise_model:
+        Optional :class:`~repro.quantum.noise_model.NoiseModel`; omit for an
+        ideal (but still mixed-state) simulation.
+    seed:
+        Seed or generator for measurement sampling.
+    """
+
+    def __init__(self, noise_model: NoiseModel | None = None, seed=None):
+        self.noise_model = noise_model
+        self._rng = as_rng(seed)
+
+    # -- public API --------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        initial_state: "DensityMatrix | Statevector | None" = None,
+        rng=None,
+    ) -> SimulationResult:
+        """Execute *circuit* under the configured noise model and sample counts.
+
+        Measurements must be terminal (the protocol circuits satisfy this);
+        mid-circuit measurement raises :class:`SimulationError`.
+        """
+        if shots < 0:
+            raise SimulationError(f"shots must be non-negative, got {shots}")
+        generator = as_rng(rng) if rng is not None else self._rng
+        state = self._initial_state(circuit, initial_state)
+
+        if not StatevectorSimulator._measurements_are_terminal(circuit):
+            raise SimulationError(
+                "DensityMatrixSimulator supports only terminal measurements"
+            )
+
+        measure_map: dict[int, int] = {}
+        for instruction in circuit.instructions:
+            if instruction.kind == "gate" and instruction.gate is not None:
+                state = self._apply_gate(state, instruction)
+            elif instruction.kind == "reset":
+                state = self._apply_reset(state, instruction.qubits[0])
+            elif instruction.kind == "measure":
+                for qubit, clbit in zip(instruction.qubits, instruction.clbits):
+                    measure_map[qubit] = clbit
+            elif instruction.kind == "barrier":
+                continue
+
+        if not measure_map:
+            return SimulationResult(
+                counts={}, shots=0, density_matrix=state,
+                metadata=self._metadata(),
+            )
+
+        measured_qubits = sorted(measure_map)
+        probabilities = state.probabilities(measured_qubits)
+        if self.noise_model is not None and self.noise_model.has_readout_error():
+            probabilities = self.noise_model.apply_readout_errors(
+                probabilities, measured_qubits
+            )
+            probabilities = np.clip(probabilities, 0.0, None)
+            probabilities = probabilities / probabilities.sum()
+
+        samples = generator.multinomial(shots, probabilities)
+        counts: dict[str, int] = {}
+        width = len(measured_qubits)
+        for index, count in enumerate(samples):
+            if count == 0:
+                continue
+            outcome = format(index, f"0{width}b")
+            values = {
+                measure_map[qubit]: int(bit)
+                for qubit, bit in zip(measured_qubits, outcome)
+            }
+            key = _format_clbits(values, circuit.num_clbits)
+            counts[key] = counts.get(key, 0) + int(count)
+        return SimulationResult(
+            counts=counts, shots=shots, density_matrix=state, metadata=self._metadata(),
+        )
+
+    def final_density_matrix(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: "DensityMatrix | Statevector | None" = None,
+    ) -> DensityMatrix:
+        """Final mixed state of the circuit (measurements ignored)."""
+        state = self._initial_state(circuit, initial_state)
+        for instruction in circuit.instructions:
+            if instruction.kind == "gate" and instruction.gate is not None:
+                state = self._apply_gate(state, instruction)
+            elif instruction.kind == "reset":
+                state = self._apply_reset(state, instruction.qubits[0])
+        return state
+
+    # -- internals -----------------------------------------------------------------
+    @staticmethod
+    def _initial_state(
+        circuit: QuantumCircuit, initial_state: "DensityMatrix | Statevector | None"
+    ) -> DensityMatrix:
+        if initial_state is None:
+            return DensityMatrix.zero_state(circuit.num_qubits)
+        state = (
+            DensityMatrix(initial_state)
+            if not isinstance(initial_state, DensityMatrix)
+            else initial_state
+        )
+        if state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"initial state has {state.num_qubits} qubits, circuit has "
+                f"{circuit.num_qubits}"
+            )
+        return state
+
+    def _metadata(self) -> dict:
+        return {
+            "method": "density_matrix",
+            "noise_model": None if self.noise_model is None else self.noise_model.name,
+        }
+
+    def _apply_gate(self, state: DensityMatrix, instruction: Instruction) -> DensityMatrix:
+        state = state.evolve(Operator(instruction.gate.matrix), instruction.qubits)
+        if self.noise_model is None:
+            return state
+        for error in self.noise_model.errors_for(instruction.name, instruction.qubits):
+            state = self._apply_error(state, error, instruction.qubits)
+        return state
+
+    @staticmethod
+    def _apply_error(state: DensityMatrix, error, qubits: Sequence[int]) -> DensityMatrix:
+        if error.num_qubits == len(qubits):
+            return error.channel.apply(state, qubits)
+        if error.num_qubits == 1:
+            for qubit in qubits:
+                state = error.channel.apply(state, [qubit])
+            return state
+        raise SimulationError(
+            f"error on {error.num_qubits} qubits cannot be applied to a "
+            f"{len(qubits)}-qubit instruction"
+        )
+
+    @staticmethod
+    def _apply_reset(state: DensityMatrix, qubit: int) -> DensityMatrix:
+        kraus_0 = np.array([[1, 0], [0, 0]], dtype=complex)
+        kraus_1 = np.array([[0, 1], [0, 0]], dtype=complex)
+        return state.apply_kraus([kraus_0, kraus_1], [qubit])

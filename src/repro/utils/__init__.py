@@ -1,0 +1,36 @@
+"""Shared utilities: bitstrings, random number plumbing, serialization, logging."""
+
+from repro.utils.bits import (
+    bits_to_int,
+    bits_to_str,
+    bitstring_to_bits,
+    chunk_bits,
+    hamming_distance,
+    insert_check_bits,
+    int_to_bits,
+    pad_bits,
+    random_bits,
+    remove_check_bits,
+    xor_bits,
+)
+from repro.utils.rng import as_rng, derive_rng, spawn_rngs
+from repro.utils.serialization import from_json, to_json
+
+__all__ = [
+    "bits_to_int",
+    "bits_to_str",
+    "bitstring_to_bits",
+    "chunk_bits",
+    "hamming_distance",
+    "insert_check_bits",
+    "int_to_bits",
+    "pad_bits",
+    "random_bits",
+    "remove_check_bits",
+    "xor_bits",
+    "as_rng",
+    "derive_rng",
+    "spawn_rngs",
+    "from_json",
+    "to_json",
+]

@@ -1,0 +1,40 @@
+"""Library logging configuration.
+
+The library never configures the root logger; it logs under the ``repro``
+namespace and leaves handler configuration to applications.  The helper
+:func:`enable_console_logging` is a convenience for examples and experiment
+scripts.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("protocol.runner")`` returns ``repro.protocol.runner``.
+    """
+    if not name:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler with a compact format to the library logger."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

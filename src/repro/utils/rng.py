@@ -1,0 +1,61 @@
+"""Random-number-generator plumbing.
+
+All stochastic behaviour in the library (measurement sampling, random basis
+selection, noise realisations, random identities, attack randomness) flows
+through :class:`numpy.random.Generator` objects.  Functions accept either an
+existing generator, an integer seed, or ``None`` (fresh entropy) and convert
+via :func:`as_rng`.  Deterministic reproduction of an experiment therefore
+requires passing a seed only at the top level; sub-components derive
+independent child generators with :func:`derive_rng` / :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RngLike", "as_rng", "derive_rng", "spawn_rngs"]
+
+#: Anything convertible to a :class:`numpy.random.Generator`.
+RngLike = "np.random.Generator | int | None"
+
+
+def as_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Coerce *rng* into a :class:`numpy.random.Generator`.
+
+    ``None`` creates a generator from fresh OS entropy; an ``int`` seeds a new
+    generator; an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")
+
+
+def derive_rng(rng: np.random.Generator | int | None, *tags: object) -> np.random.Generator:
+    """Derive a child generator from *rng*, namespaced by *tags*.
+
+    The derivation is deterministic given the parent generator state: it draws
+    one 64-bit integer from the parent and mixes in a stable hash of the tags.
+    Use this to hand independent streams to sub-components (e.g. one stream
+    for Alice's basis choices and another for channel noise) while keeping a
+    single top-level seed.
+    """
+    parent = as_rng(rng)
+    base = int(parent.integers(0, 2**63 - 1))
+    mix = 0
+    for tag in tags:
+        for ch in str(tag):
+            mix = (mix * 1_000_003 + ord(ch)) % (2**63 - 1)
+    return np.random.default_rng((base ^ mix) % (2**63 - 1))
+
+
+def spawn_rngs(rng: np.random.Generator | int | None, count: int) -> list[np.random.Generator]:
+    """Spawn *count* statistically independent child generators from *rng*."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,56 @@
+"""Lightweight JSON serialization for experiment results.
+
+Experiment harnesses and protocol results carry numpy scalars/arrays and
+dataclasses; :func:`to_json` converts them to plain JSON-compatible types so
+results can be written to disk and compared across runs, and :func:`from_json`
+parses them back into dictionaries/lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_json", "from_json", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serialisable built-in types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, complex) or isinstance(obj, np.complexfloating):
+        return {"real": float(obj.real), "imag": float(obj.imag)}
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    raise TypeError(f"cannot serialise object of type {type(obj).__name__}")
+
+
+def to_json(obj: Any, indent: int | None = 2) -> str:
+    """Serialise *obj* (results, dataclasses, numpy values) to a JSON string."""
+    return json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> Any:
+    """Parse a JSON string produced by :func:`to_json`."""
+    return json.loads(text)

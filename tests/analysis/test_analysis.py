@@ -1,0 +1,221 @@
+"""Unit tests for the analysis metrics and statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import AccuracyPoint, crossing_eta, exponential_decay_fit
+from repro.analysis.chsh_analysis import (
+    chsh_threshold_eta,
+    chsh_vs_channel_length,
+    chsh_vs_depolarizing,
+)
+from repro.analysis.fidelity import distribution_fidelity, hellinger_distance, state_fidelity
+from repro.analysis.qber import bit_error_rate, quantum_bit_error_rate, symbol_error_rate
+from repro.analysis.statistics import (
+    binomial_standard_error,
+    chsh_standard_error,
+    empirical_mutual_information,
+    mean_and_confidence_interval,
+    required_shots_for_accuracy,
+    wilson_interval,
+)
+from repro.exceptions import ReproError
+from repro.quantum.bell import BellState, bell_state, TSIRELSON_BOUND
+from repro.quantum.states import Statevector
+
+
+class TestFidelityMetrics:
+    def test_identical_distributions(self):
+        counts = {"00": 957, "01": 40, "10": 25, "11": 2}
+        assert distribution_fidelity(counts, counts) == pytest.approx(1.0)
+
+    def test_delta_reference(self):
+        counts = {"00": 90, "11": 10}
+        assert distribution_fidelity(counts, {"00": 1.0}) == pytest.approx(0.9)
+
+    def test_disjoint_supports(self):
+        assert distribution_fidelity({"0": 1}, {"1": 1}) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = {"00": 3, "01": 1}
+        b = {"00": 1, "01": 1}
+        assert distribution_fidelity(a, b) == pytest.approx(distribution_fidelity(b, a))
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ReproError):
+            distribution_fidelity({}, {"0": 1})
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance({"0": 1}, {"0": 1}) == pytest.approx(0.0)
+        assert hellinger_distance({"0": 1}, {"1": 1}) == pytest.approx(1.0)
+
+    def test_state_fidelity_wrappers(self):
+        phi = bell_state(BellState.PHI_PLUS)
+        assert state_fidelity(phi, phi) == pytest.approx(1.0)
+        assert state_fidelity(phi.density_matrix(), phi) == pytest.approx(1.0)
+        assert state_fidelity(phi, Statevector.from_label("00")) == pytest.approx(0.5)
+
+
+class TestErrorRates:
+    def test_bit_error_rate(self):
+        assert bit_error_rate((1, 0, 1, 1), (1, 1, 1, 0)) == pytest.approx(0.5)
+        assert bit_error_rate((1, 0), (1, 0)) == pytest.approx(0.0)
+
+    def test_bit_error_rate_validation(self):
+        with pytest.raises(ReproError):
+            bit_error_rate((1, 0), (1,))
+        with pytest.raises(ReproError):
+            bit_error_rate((), ())
+
+    def test_symbol_error_rate(self):
+        counts = {"00": 90, "01": 10}
+        assert symbol_error_rate(counts, "00") == pytest.approx(0.1)
+
+    def test_quantum_bit_error_rate_counts_wrong_bits(self):
+        counts = {"00": 80, "01": 10, "11": 10}
+        # 10 shots with 1 wrong bit + 10 shots with 2 wrong bits over 2 bits/shot.
+        assert quantum_bit_error_rate(counts, "00") == pytest.approx((10 + 20) / 200)
+
+    def test_quantum_bit_error_rate_validation(self):
+        with pytest.raises(ReproError):
+            quantum_bit_error_rate({}, "00")
+        with pytest.raises(ReproError):
+            quantum_bit_error_rate({"0": 1}, "00")
+
+
+class TestStatistics:
+    def test_binomial_standard_error(self):
+        assert binomial_standard_error(50, 100) == pytest.approx(0.05)
+        with pytest.raises(ReproError):
+            binomial_standard_error(5, 0)
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(90, 100)
+        assert low < 0.9 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_interval_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == pytest.approx(0.0)
+        low, high = wilson_interval(20, 20)
+        assert high == pytest.approx(1.0)
+
+    def test_wilson_validation(self):
+        with pytest.raises(ReproError):
+            wilson_interval(5, 0)
+        with pytest.raises(ReproError):
+            wilson_interval(5, 10, confidence=1.5)
+
+    def test_mean_and_confidence_interval(self):
+        mean, low, high = mean_and_confidence_interval([2.7, 2.8, 2.9, 2.8])
+        assert mean == pytest.approx(2.8)
+        assert low < mean < high
+
+    def test_mean_ci_single_sample(self):
+        assert mean_and_confidence_interval([1.5]) == (1.5, 1.5, 1.5)
+
+    def test_mean_ci_empty_rejected(self):
+        with pytest.raises(ReproError):
+            mean_and_confidence_interval([])
+
+    def test_chsh_standard_error_scaling(self):
+        assert chsh_standard_error(1600) == pytest.approx(0.1)
+        assert chsh_standard_error(400) == pytest.approx(0.2)
+
+    def test_required_shots(self):
+        shots = required_shots_for_accuracy(0.01)
+        assert 9000 < shots < 10000
+
+    def test_empirical_mutual_information_independent(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 2, size=4000)
+        ys = rng.integers(0, 2, size=4000)
+        assert empirical_mutual_information(xs.tolist(), ys.tolist()) < 0.01
+
+    def test_empirical_mutual_information_identical(self):
+        xs = [0, 1] * 500
+        assert empirical_mutual_information(xs, xs) == pytest.approx(1.0)
+
+    def test_empirical_mi_validation(self):
+        with pytest.raises(ReproError):
+            empirical_mutual_information([0], [0, 1])
+
+
+class TestAccuracyAnalysis:
+    def _points(self, eta0=500.0, floor=0.25):
+        return [
+            AccuracyPoint(
+                eta=eta,
+                duration=eta * 60e-9,
+                accuracy=(1 - floor) * math.exp(-eta / eta0) + floor,
+                shots=1024,
+                fidelity=1.0,
+            )
+            for eta in range(10, 1501, 100)
+        ]
+
+    def test_exponential_fit_recovers_decay_constant(self):
+        fit = exponential_decay_fit(self._points(eta0=600.0), floor=0.25)
+        assert fit["eta0"] == pytest.approx(600.0, rel=0.05)
+        assert fit["rms_residual"] < 1e-6
+
+    def test_exponential_fit_free_floor(self):
+        fit = exponential_decay_fit(self._points(eta0=400.0, floor=0.3))
+        assert fit["floor"] == pytest.approx(0.3, abs=0.05)
+
+    def test_fit_needs_three_points(self):
+        with pytest.raises(ReproError):
+            exponential_decay_fit(self._points()[:2])
+
+    def test_crossing_eta_interpolates(self):
+        points = self._points(eta0=500.0)
+        crossing = crossing_eta(points, threshold=0.6)
+        # Analytic crossing: 0.75 exp(-eta/500) + 0.25 = 0.6 -> eta = 500 ln(0.75/0.35).
+        assert crossing == pytest.approx(500 * math.log(0.75 / 0.35), rel=0.05)
+
+    def test_crossing_not_reached(self):
+        points = self._points(eta0=10000.0)[:3]
+        assert crossing_eta(points, threshold=0.1) is None
+
+    def test_crossing_validation(self):
+        with pytest.raises(ReproError):
+            crossing_eta([], threshold=0.6)
+
+
+class TestCHSHAnalysis:
+    def test_chsh_vs_depolarizing_is_linear(self):
+        curve = chsh_vs_depolarizing([0.0, 0.25, 0.5, 1.0])
+        for p, value in curve:
+            assert value == pytest.approx((1 - p) * TSIRELSON_BOUND, abs=1e-9)
+
+    def test_chsh_vs_depolarizing_validation(self):
+        with pytest.raises(ReproError):
+            chsh_vs_depolarizing([1.5])
+
+    def test_chsh_vs_channel_length_decreases(self):
+        curve = chsh_vs_channel_length([0, 100, 500, 2000])
+        values = [value for _, value in curve]
+        assert values[0] == pytest.approx(TSIRELSON_BOUND, abs=1e-6)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_chsh_threshold_eta_exists_for_noisy_channel(self):
+        # With the ibm_brisbane per-gate error and T1/T2 decoherence the honest
+        # CHSH value crosses the classical bound after a few hundred identity
+        # gates — i.e. the DI checks constrain the usable channel length more
+        # tightly than the 60%-accuracy criterion of Fig. 3 does.
+        threshold = chsh_threshold_eta(max_eta=20000, step=50)
+        assert threshold is not None
+        assert 200 < threshold < 2000
+
+    def test_chsh_threshold_eta_none_for_perfect_channel(self):
+        assert chsh_threshold_eta(
+            max_eta=1000, gate_error=0.0, include_thermal_relaxation=False, step=100
+        ) is None
+
+    def test_chsh_threshold_validation(self):
+        with pytest.raises(ReproError):
+            chsh_threshold_eta(max_eta=0)

@@ -1,0 +1,155 @@
+"""Tests for the Table I baseline protocols and the comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    PROPOSED_FEATURES,
+    Zeng2023HyperEncodingDIQSDC,
+    Zhou2020DIQSDC,
+    Zhou2022OneStepDIQSDC,
+    Zhou2023SinglePhotonDIQSDC,
+    all_baselines,
+    render_table1,
+    run_functional_comparison,
+    table1_features,
+)
+from repro.baselines.features import DecodingMeasurement, ResourceType
+from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
+from repro.exceptions import ProtocolError
+
+MESSAGE = "1011001110001111"
+
+
+class TestFeatureRows:
+    def test_table_has_five_rows_ending_with_proposed(self):
+        rows = table1_features()
+        assert len(rows) == 5
+        assert rows[-1] is PROPOSED_FEATURES
+
+    def test_only_the_proposed_protocol_has_user_authentication(self):
+        rows = table1_features()
+        assert [row.user_authentication for row in rows] == [False, False, False, False, True]
+
+    def test_feature_values_match_the_paper(self):
+        by_name = {row.name: row for row in table1_features()}
+        zhou2020 = by_name["Zhou et al. 2020"]
+        assert zhou2020.resource_type is ResourceType.ENTANGLEMENT
+        assert zhou2020.decoding_measurement is DecodingMeasurement.BSM
+        assert zhou2020.qubits_per_message_bit == 1.0
+
+        onestep = by_name["Zhou et al. 2022 (one-step)"]
+        assert onestep.resource_type is ResourceType.HYPERENTANGLEMENT
+
+        single_photon = by_name["Zhou et al. 2023 (single-photon)"]
+        assert single_photon.resource_type is ResourceType.SINGLE_QUBITS
+        assert single_photon.qubits_per_message_bit == 2.0
+
+        hyper = by_name["Zeng et al. 2023 (hyper-encoding)"]
+        assert hyper.decoding_measurement is DecodingMeasurement.HYPER_BSM
+        assert hyper.qubits_per_message_bit == 0.5
+
+        assert PROPOSED_FEATURES.qubits_per_message_bit == 1.0
+        assert PROPOSED_FEATURES.user_authentication
+
+    def test_as_row_renders_fractions(self):
+        row = Zeng2023HyperEncodingDIQSDC.features.as_row()
+        assert row["No. of qubits per message bit"] == "1/2"
+        assert Zhou2023SinglePhotonDIQSDC.features.as_row()[
+            "No. of qubits per message bit"
+        ] == "2"
+
+    def test_render_table1_contains_all_protocols(self):
+        text = render_table1()
+        for row in table1_features():
+            assert row.name in text
+        assert "UA" in text
+
+
+class TestBaselineTransmission:
+    @pytest.mark.parametrize(
+        "baseline_cls",
+        [
+            Zhou2020DIQSDC,
+            Zhou2022OneStepDIQSDC,
+            Zhou2023SinglePhotonDIQSDC,
+            Zeng2023HyperEncodingDIQSDC,
+        ],
+    )
+    def test_ideal_channel_delivers_message(self, baseline_cls):
+        baseline = baseline_cls(check_pairs=64)
+        result = baseline.transmit(MESSAGE, channel=NoiselessChannel(), rng=1)
+        assert not result.aborted
+        assert result.delivered_message_string == MESSAGE
+        assert result.bit_error_rate == pytest.approx(0.0)
+        assert not result.authenticated  # none of the baselines authenticate users
+        assert all(value > 2.0 for value in result.chsh_values)
+
+    @pytest.mark.parametrize(
+        "baseline_cls",
+        [Zhou2020DIQSDC, Zhou2022OneStepDIQSDC, Zeng2023HyperEncodingDIQSDC],
+    )
+    def test_noisy_channel_at_eta_10_mostly_correct(self, baseline_cls):
+        baseline = baseline_cls(check_pairs=64)
+        result = baseline.transmit(MESSAGE, channel=IdentityChainChannel(eta=10), rng=2)
+        assert not result.aborted
+        assert result.bit_error_rate <= 0.2
+
+    def test_odd_length_message_is_handled(self):
+        result = Zhou2020DIQSDC(check_pairs=48).transmit("101", rng=3)
+        assert result.delivered_message_string == "101"
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            Zhou2020DIQSDC(check_pairs=16).transmit("")
+
+    def test_invalid_constructor_parameters(self):
+        with pytest.raises(ProtocolError):
+            Zhou2020DIQSDC(check_pairs=0)
+        with pytest.raises(ProtocolError):
+            Zhou2020DIQSDC(chsh_threshold=5.0)
+
+    def test_single_photon_counts_two_qubits_per_bit(self):
+        baseline = Zhou2023SinglePhotonDIQSDC(check_pairs=16)
+        result = baseline.transmit("1010", rng=4)
+        assert result.metadata["transmitted_qubits_per_bit"] == 2
+        # 4 bits -> at least 8 transmitted message qubits plus the check pairs.
+        assert result.qubits_transmitted >= 8
+
+    def test_hyper_encoding_packs_four_bits_per_photon_pair(self):
+        baseline = Zeng2023HyperEncodingDIQSDC(check_pairs=16)
+        result = baseline.transmit("10110011", rng=5)
+        assert result.metadata["photon_pairs"] == 2
+
+    def test_one_step_uses_single_transmission_round(self):
+        baseline = Zhou2022OneStepDIQSDC(check_pairs=16)
+        result = baseline.transmit("1011", rng=6)
+        assert result.metadata["transmission_rounds"] == 1
+
+    def test_heralding_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            Zhou2023SinglePhotonDIQSDC(heralding_efficiency=0.0)
+
+    def test_very_noisy_channel_aborts_baseline(self):
+        result = Zhou2020DIQSDC(check_pairs=96).transmit(
+            MESSAGE, channel=IdentityChainChannel(eta=20000), rng=7
+        )
+        assert result.aborted
+        assert result.delivered_message is None
+
+
+class TestFunctionalComparison:
+    def test_all_protocols_deliver_on_a_clean_channel(self):
+        comparison = run_functional_comparison(
+            message="10110011", channel=NoiselessChannel(), check_pairs=128, seed=9
+        )
+        assert len(comparison.baseline_results) == 4
+        delivered = comparison.delivered_correctly()
+        assert len(delivered) == 5
+        assert all(delivered.values())
+
+    def test_all_baselines_helper(self):
+        baselines = all_baselines(check_pairs=32)
+        assert len(baselines) == 4
+        assert all(b.check_pairs == 32 for b in baselines)

@@ -1,0 +1,248 @@
+"""Unit tests for the quantum/classical channels and the quantum memory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.channel.classical_channel import ClassicalChannel
+from repro.channel.memory import QuantumMemory
+from repro.channel.quantum_channel import (
+    FiberLossChannel,
+    IdentityChainChannel,
+    NoiselessChannel,
+)
+from repro.exceptions import ChannelError
+from repro.quantum.bell import BellState, bell_state, chsh_value
+from repro.quantum.channels import depolarizing_channel
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.states import Statevector
+
+
+class TestNoiselessChannel:
+    def test_preserves_state(self):
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        after = NoiselessChannel().transmit(state, 0)
+        assert after.fidelity(state) == pytest.approx(1.0)
+
+    def test_survival_probability(self):
+        assert NoiselessChannel().survival_probability() == 1.0
+
+
+class TestIdentityChainChannel:
+    def test_paper_parameters_are_defaults(self):
+        channel = IdentityChainChannel(eta=10)
+        assert channel.gate_error == pytest.approx(2.41e-4)
+        assert channel.gate_duration == pytest.approx(60e-9)
+        assert channel.duration() == pytest.approx(0.6e-6)
+
+    def test_survival_probability_formula(self):
+        channel = IdentityChainChannel(eta=100, gate_error=1e-3)
+        assert channel.survival_probability() == pytest.approx((1 - 1e-3) ** 100)
+
+    def test_extend_circuit_appends_eta_identities(self):
+        qc = QuantumCircuit(2)
+        IdentityChainChannel(eta=7).extend_circuit(qc, 1)
+        assert qc.count_ops() == {"id": 7}
+        assert all(instr.qubits == (1,) for instr in qc.instructions)
+
+    def test_zero_eta_is_identity(self):
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        channel = IdentityChainChannel(eta=0)
+        assert channel.transmit(state, 0).fidelity(state) == pytest.approx(1.0)
+
+    def test_longer_channel_degrades_fidelity_monotonically(self):
+        ideal = bell_state(BellState.PHI_PLUS)
+        fidelities = []
+        for eta in (10, 100, 400, 700):
+            channel = IdentityChainChannel(eta=eta)
+            after = channel.transmit(ideal.density_matrix(), 0)
+            fidelities.append(after.fidelity(ideal))
+        assert all(a > b for a, b in zip(fidelities, fidelities[1:]))
+
+    def test_longer_channel_degrades_chsh(self):
+        ideal = bell_state(BellState.PHI_PLUS).density_matrix()
+        short = IdentityChainChannel(eta=10).transmit(ideal, 0)
+        long = IdentityChainChannel(eta=700).transmit(ideal, 0)
+        assert chsh_value(long) < chsh_value(short) <= 2 * math.sqrt(2)
+
+    def test_with_eta_copy(self):
+        base = IdentityChainChannel(eta=10, gate_error=1e-3)
+        longer = base.with_eta(500)
+        assert longer.eta == 500
+        assert longer.gate_error == pytest.approx(1e-3)
+        assert base.eta == 10
+
+    def test_thermal_relaxation_toggle_changes_noise(self):
+        ideal = bell_state(BellState.PHI_PLUS)
+        with_relax = IdentityChainChannel(eta=700, include_thermal_relaxation=True)
+        without_relax = IdentityChainChannel(eta=700, include_thermal_relaxation=False)
+        f_with = with_relax.transmit(ideal.density_matrix(), 0).fidelity(ideal)
+        f_without = without_relax.transmit(ideal.density_matrix(), 0).fidelity(ideal)
+        assert f_with < f_without
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ChannelError):
+            IdentityChainChannel(eta=-1)
+        with pytest.raises(ChannelError):
+            IdentityChainChannel(eta=1, gate_error=2.0)
+        with pytest.raises(ChannelError):
+            IdentityChainChannel(eta=1, gate_duration=-1e-9)
+
+
+class TestFiberLossChannel:
+    def test_transmission_probability(self):
+        channel = FiberLossChannel(length_km=50, attenuation_db_per_km=0.2)
+        assert channel.transmission_probability() == pytest.approx(10 ** (-1.0))
+
+    def test_zero_length_is_lossless(self):
+        channel = FiberLossChannel(length_km=0)
+        state = DensityMatrix(Statevector.from_label("+"))
+        assert channel.transmit(state, 0).fidelity(state) == pytest.approx(1.0)
+
+    def test_longer_fiber_lower_fidelity(self):
+        state = bell_state(BellState.PHI_PLUS)
+        short = FiberLossChannel(length_km=5).transmit(state.density_matrix(), 0)
+        long = FiberLossChannel(length_km=100).transmit(state.density_matrix(), 0)
+        assert long.fidelity(state) < short.fidelity(state)
+
+    def test_duration_is_propagation_delay(self):
+        channel = FiberLossChannel(length_km=200, speed_km_per_s=2e5)
+        assert channel.duration() == pytest.approx(1e-3)
+
+    def test_dephasing_parameter(self):
+        channel = FiberLossChannel(length_km=10, attenuation_db_per_km=0.0, dephasing_per_km=0.05)
+        state = DensityMatrix(Statevector.from_label("+"))
+        after = channel.transmit(state, 0)
+        assert after.fidelity(state) < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ChannelError):
+            FiberLossChannel(length_km=-1)
+        with pytest.raises(ChannelError):
+            FiberLossChannel(length_km=1, dephasing_per_km=2.0)
+
+
+class TestClassicalChannel:
+    def test_send_and_log(self):
+        channel = ClassicalChannel()
+        channel.send("alice", "bob", "check_positions", [1, 5, 9])
+        channel.broadcast("bob", "bsm_results", ["phi_plus"])
+        assert len(channel) == 2
+        assert channel.log[0].payload == [1, 5, 9]
+        assert channel.log[1].receiver == "broadcast"
+
+    def test_sequence_numbers_are_monotonic(self):
+        channel = ClassicalChannel()
+        first = channel.send("alice", "bob", "a", 1)
+        second = channel.send("bob", "alice", "b", 2)
+        assert (first.sequence, second.sequence) == (0, 1)
+
+    def test_filtering(self):
+        channel = ClassicalChannel()
+        channel.send("alice", "bob", "bases", [0, 1])
+        channel.send("bob", "alice", "bases", [1, 1])
+        channel.send("alice", "bob", "positions", [3])
+        assert len(channel.announcements(topic="bases")) == 2
+        assert len(channel.announcements(sender="alice")) == 2
+        assert len(channel.announcements(topic="bases", sender="bob")) == 1
+
+    def test_last_and_topics(self):
+        channel = ClassicalChannel()
+        channel.send("alice", "bob", "bases", [0])
+        channel.send("alice", "bob", "bases", [1])
+        assert channel.last("bases").payload == [1]
+        assert channel.topics() == ["bases"]
+
+    def test_last_missing_topic_raises(self):
+        with pytest.raises(ChannelError):
+            ClassicalChannel().last("nothing")
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ChannelError):
+            ClassicalChannel().send("alice", "bob", "", None)
+
+    def test_taps_receive_copies_of_announcements(self):
+        channel = ClassicalChannel()
+        seen = []
+        channel.add_tap(seen.append)
+        channel.send("alice", "bob", "bases", [0, 1, 2])
+        assert len(seen) == 1
+        assert seen[0].topic == "bases"
+
+    def test_remove_tap(self):
+        channel = ClassicalChannel()
+        seen = []
+        channel.add_tap(seen.append)
+        channel.remove_tap(seen.append)
+        channel.send("alice", "bob", "bases", [])
+        assert seen == []
+
+    def test_remove_unregistered_tap_raises(self):
+        with pytest.raises(ChannelError):
+            ClassicalChannel().remove_tap(print)
+
+    def test_add_non_callable_tap_raises(self):
+        with pytest.raises(ChannelError):
+            ClassicalChannel().add_tap("not callable")
+
+    def test_clear(self):
+        channel = ClassicalChannel()
+        channel.send("alice", "bob", "bases", [])
+        channel.clear()
+        assert len(channel) == 0
+
+
+class TestQuantumMemory:
+    def test_store_and_retrieve_ideal(self):
+        memory = QuantumMemory()
+        memory.store("pair-0", (0, 1))
+        assert memory.contains("pair-0")
+        item, state = memory.retrieve("pair-0")
+        assert item.qubits == (0, 1)
+        assert state is None
+        assert not memory.contains("pair-0")
+
+    def test_duplicate_key_rejected(self):
+        memory = QuantumMemory()
+        memory.store("k", (0,))
+        with pytest.raises(ChannelError):
+            memory.store("k", (1,))
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ChannelError):
+            QuantumMemory().retrieve("missing")
+
+    def test_ideal_memory_preserves_state(self):
+        memory = QuantumMemory()
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        memory.store("pair", (0, 1))
+        memory.advance_time(100)
+        _, retrieved = memory.retrieve("pair", state)
+        assert retrieved.fidelity(state) == pytest.approx(1.0)
+
+    def test_decohering_memory_degrades_state(self):
+        memory = QuantumMemory(decoherence_channel=depolarizing_channel(0.05))
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        memory.store("pair", (0, 1))
+        memory.advance_time(10)
+        _, retrieved = memory.retrieve("pair", state)
+        assert retrieved.fidelity(bell_state(BellState.PHI_PLUS)) < 1.0
+
+    def test_decoherence_requires_single_qubit_channel(self):
+        with pytest.raises(ChannelError):
+            QuantumMemory(decoherence_channel=depolarizing_channel(0.1, num_qubits=2))
+
+    def test_time_moves_forward_only(self):
+        memory = QuantumMemory()
+        with pytest.raises(ChannelError):
+            memory.advance_time(-1)
+
+    def test_len_and_keys(self):
+        memory = QuantumMemory()
+        memory.store("a", (0,))
+        memory.store("b", (1,))
+        assert len(memory) == 2
+        assert set(memory.keys()) == {"a", "b"}

@@ -1,0 +1,22 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory producing independent seeded generators: ``rng_factory(seed)``."""
+
+    def factory(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return factory

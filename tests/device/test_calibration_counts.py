@@ -1,0 +1,164 @@
+"""Unit tests for calibration records and the Counts container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.calibration import (
+    DeviceCalibration,
+    GateCalibration,
+    IBM_BRISBANE_ID_DURATION,
+    IBM_BRISBANE_ID_ERROR,
+    IBM_BRISBANE_T1,
+    IBM_BRISBANE_T2,
+    QubitCalibration,
+    ibm_brisbane_calibration,
+)
+from repro.device.counts import Counts
+from repro.exceptions import DeviceError
+
+
+class TestQubitCalibration:
+    def test_valid_record(self):
+        cal = QubitCalibration(t1=200e-6, t2=150e-6, readout_error=0.01)
+        assert cal.t1 == 200e-6
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=-1.0, t2=1e-6)
+
+    def test_rejects_unphysical_t2(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=1e-6, t2=3e-6)
+
+    def test_rejects_invalid_readout(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=1e-4, t2=1e-4, readout_error=2.0)
+
+
+class TestGateCalibration:
+    def test_valid_record(self):
+        cal = GateCalibration("id", 2.41e-4, 60e-9)
+        assert cal.num_qubits == 1
+
+    def test_rejects_invalid_error(self):
+        with pytest.raises(DeviceError):
+            GateCalibration("id", 1.5, 60e-9)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(DeviceError):
+            GateCalibration("id", 0.1, -1.0)
+
+
+class TestDeviceCalibration:
+    def test_ibm_brisbane_quotes_paper_values(self):
+        cal = ibm_brisbane_calibration()
+        assert cal.qubit_defaults.t1 == pytest.approx(IBM_BRISBANE_T1)
+        assert cal.qubit_defaults.t2 == pytest.approx(IBM_BRISBANE_T2)
+        identity = cal.gate("id")
+        assert identity.error == pytest.approx(IBM_BRISBANE_ID_ERROR)
+        assert identity.duration == pytest.approx(IBM_BRISBANE_ID_DURATION)
+
+    def test_per_qubit_override(self):
+        cal = ibm_brisbane_calibration()
+        special = QubitCalibration(t1=100e-6, t2=90e-6)
+        cal.set_qubit(5, special)
+        assert cal.qubit(5).t1 == pytest.approx(100e-6)
+        assert cal.qubit(0).t1 == pytest.approx(IBM_BRISBANE_T1)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(DeviceError):
+            ibm_brisbane_calibration().gate("toffoli")
+
+    def test_has_gate(self):
+        cal = ibm_brisbane_calibration()
+        assert cal.has_gate("cx")
+        assert not cal.has_gate("toffoli")
+
+    def test_eplg_order_of_magnitude(self):
+        # With a ~0.7 % two-qubit error the homogeneous EPLG estimate is of
+        # the same order as the 4.5 %-per-layer figure quoted for 100 qubits.
+        eplg = ibm_brisbane_calibration().eplg(100)
+        assert 1e-3 < eplg < 1e-1
+
+    def test_eplg_requires_two_qubits(self):
+        with pytest.raises(DeviceError):
+            ibm_brisbane_calibration().eplg(1)
+
+    def test_eplg_requires_two_qubit_gate(self):
+        cal = DeviceCalibration(qubit_defaults=QubitCalibration(t1=1e-4, t2=1e-4))
+        with pytest.raises(DeviceError):
+            cal.eplg(10)
+
+
+class TestCounts:
+    def test_total_and_probabilities(self):
+        counts = Counts({"00": 900, "11": 100})
+        assert counts.shots == 1000
+        assert counts.total() == 1000
+        assert counts.probabilities()["00"] == pytest.approx(0.9)
+
+    def test_explicit_shots_allows_lost_outcomes(self):
+        counts = Counts({"00": 50}, shots=100)
+        assert counts.outcome_probability("00") == pytest.approx(0.5)
+
+    def test_shots_smaller_than_counts_rejected(self):
+        with pytest.raises(DeviceError):
+            Counts({"0": 10}, shots=5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DeviceError):
+            Counts({"0": -1})
+
+    def test_zero_counts_are_dropped(self):
+        counts = Counts({"00": 10, "01": 0})
+        assert "01" not in counts
+        assert len(counts) == 1
+
+    def test_most_frequent(self):
+        assert Counts({"00": 957, "01": 40, "10": 25, "11": 2}).most_frequent() == "00"
+
+    def test_most_frequent_empty_raises(self):
+        with pytest.raises(DeviceError):
+            Counts({}).most_frequent()
+
+    def test_accuracy_and_error_rate(self):
+        counts = Counts({"00": 957, "01": 40, "10": 25, "11": 2})
+        assert counts.accuracy("00") == pytest.approx(957 / 1024)
+        assert counts.error_rate("00") == pytest.approx(1 - 957 / 1024)
+
+    def test_fidelity_to_ideal_distribution(self):
+        counts = Counts({"00": 957, "01": 40, "10": 25, "11": 2})
+        fidelity = counts.fidelity({"00": 1.0})
+        assert fidelity == pytest.approx(957 / 1024)
+        assert counts.fidelity(counts) == pytest.approx(1.0)
+
+    def test_fidelity_rejects_empty_reference(self):
+        with pytest.raises(DeviceError):
+            Counts({"0": 1}).fidelity({})
+
+    def test_hellinger_distance_bounds(self):
+        same = Counts({"0": 10})
+        assert same.hellinger_distance(same) == pytest.approx(0.0)
+        disjoint = Counts({"1": 10})
+        assert same.hellinger_distance(disjoint) == pytest.approx(1.0)
+
+    def test_marginal(self):
+        counts = Counts({"00": 10, "01": 20, "11": 30})
+        marginal = counts.marginal([1])
+        assert marginal.get("0") == 10
+        assert marginal.get("1") == 50
+
+    def test_marginal_position_out_of_range(self):
+        with pytest.raises(DeviceError):
+            Counts({"0": 5}).marginal([3])
+
+    def test_merged_with(self):
+        merged = Counts({"0": 5}).merged_with(Counts({"0": 2, "1": 3}))
+        assert merged.get("0") == 7
+        assert merged.shots == 10
+
+    def test_mapping_interface(self):
+        counts = Counts({"0": 5, "1": 2})
+        assert dict(counts) == {"0": 5, "1": 2}
+        assert counts.get("missing") == 0

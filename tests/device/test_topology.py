@@ -1,0 +1,94 @@
+"""Unit tests for the heavy-hex and linear coupling maps."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.device.topology import (
+    EAGLE_NUM_QUBITS,
+    coupling_distance,
+    coupling_path,
+    heavy_hex_coupling_map,
+    linear_coupling_map,
+)
+from repro.exceptions import DeviceError
+
+
+class TestHeavyHex:
+    @pytest.fixture(scope="class")
+    def graph(self) -> nx.Graph:
+        return heavy_hex_coupling_map()
+
+    def test_has_127_qubits(self, graph):
+        assert graph.number_of_nodes() == EAGLE_NUM_QUBITS == 127
+
+    def test_has_144_couplings(self, graph):
+        assert graph.number_of_edges() == 144
+
+    def test_is_connected(self, graph):
+        assert nx.is_connected(graph)
+
+    def test_max_degree_is_three(self, graph):
+        degrees = [degree for _, degree in graph.degree()]
+        assert max(degrees) == 3
+        assert min(degrees) >= 1
+
+    def test_bridge_qubits_have_degree_two(self, graph):
+        bridges = [n for n, data in graph.nodes(data=True) if data["kind"] == "bridge"]
+        assert len(bridges) == 24
+        assert all(graph.degree(b) == 2 for b in bridges)
+
+    def test_row_zero_chain(self, graph):
+        # Qubits 0..13 form the first row and are chained consecutively.
+        for left in range(13):
+            assert graph.has_edge(left, left + 1)
+
+    def test_known_bridge_edges(self, graph):
+        # The first bridge (qubit 14) links qubit 0 (row 0) and qubit 18 (row 1),
+        # matching IBM's published Eagle numbering.
+        assert graph.has_edge(14, 0)
+        assert graph.has_edge(14, 18)
+
+    def test_nodes_are_labelled(self, graph):
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"row", "bridge"}
+
+
+class TestLinearChain:
+    def test_chain_structure(self):
+        graph = linear_coupling_map(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+
+    def test_single_qubit_chain(self):
+        graph = linear_coupling_map(1)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(DeviceError):
+            linear_coupling_map(0)
+
+
+class TestDistanceHelpers:
+    def test_distance_on_chain(self):
+        graph = linear_coupling_map(10)
+        assert coupling_distance(graph, 0, 9) == 9
+        assert coupling_distance(graph, 4, 4) == 0
+
+    def test_path_on_chain(self):
+        graph = linear_coupling_map(4)
+        assert coupling_path(graph, 0, 3) == [0, 1, 2, 3]
+
+    def test_distance_on_heavy_hex(self):
+        graph = heavy_hex_coupling_map()
+        # Qubit 0 to qubit 18 goes through bridge 14.
+        assert coupling_distance(graph, 0, 18) == 2
+        assert coupling_path(graph, 0, 18) == [0, 14, 18]
+
+    def test_unknown_node_raises(self):
+        graph = linear_coupling_map(3)
+        with pytest.raises(DeviceError):
+            coupling_distance(graph, 0, 99)

@@ -1,0 +1,90 @@
+"""Tests for the attack-simulation experiment harness (reduced sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.attack_simulations import (
+    run_attack_simulations,
+    run_impersonation_sweep,
+)
+from repro.experiments.report import render_result
+
+
+class TestAttackSimulations:
+    @pytest.fixture(scope="class")
+    def simulations(self):
+        return run_attack_simulations(
+            trials=3,
+            identity_pairs=6,
+            check_pairs=64,
+            message="10110010",
+            include_leakage=True,
+            leakage_sessions=3,
+            seed=41,
+        )
+
+    def test_all_scenarios_present(self, simulations):
+        assert set(simulations.evaluations) == {
+            "honest",
+            "impersonation_alice",
+            "impersonation_bob",
+            "intercept_resend",
+            "man_in_the_middle",
+            "entangle_measure",
+        }
+
+    def test_honest_sessions_mostly_succeed(self, simulations):
+        honest = simulations.evaluations["honest"]
+        assert honest.messages_delivered >= 2
+        assert honest.detection_rate <= 1 / 3
+
+    def test_every_active_attack_is_detected(self, simulations):
+        assert simulations.all_active_attacks_detected(minimum_rate=0.99)
+        for name, evaluation in simulations.evaluations.items():
+            if name == "honest":
+                continue
+            assert evaluation.messages_delivered == 0, name
+
+    def test_channel_attacks_drive_chsh_or_authentication_failures(self, simulations):
+        mitm = simulations.evaluations["man_in_the_middle"]
+        assert set(mitm.abort_reasons) <= {
+            "round2_chsh_failed",
+            "bob_authentication_failed",
+            "alice_authentication_failed",
+        }
+        impersonation = simulations.evaluations["impersonation_bob"]
+        assert impersonation.abort_reasons.get("bob_authentication_failed", 0) == impersonation.trials
+
+    def test_leakage_report_included(self, simulations):
+        assert simulations.leakage is not None
+        assert not simulations.leakage.message_outcomes_announced
+
+    def test_render(self, simulations):
+        text = render_result(simulations)
+        assert "detection rate" in text
+        assert "man_in_the_middle" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_attack_simulations(trials=0)
+
+
+class TestImpersonationSweep:
+    def test_detection_tracks_theoretical_curve(self):
+        sweep = run_impersonation_sweep(
+            identity_lengths=(1, 4), trials=24, check_pairs=32, seed=13
+        )
+        assert len(sweep) == 2
+        short, long = sweep
+        assert short.theoretical_detection_probability == pytest.approx(0.75)
+        assert long.theoretical_detection_probability == pytest.approx(1 - 0.25**4)
+        # Empirical rates should be within a few standard errors of theory.
+        assert short.empirical_detection_rate == pytest.approx(0.75, abs=0.25)
+        assert long.empirical_detection_rate > 0.9
+        assert render_result(sweep).count("l=") == 2
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_impersonation_sweep(trials=0)

@@ -1,0 +1,155 @@
+"""Unit tests for ProtocolConfig, ProtocolResult and ProtocolTranscript."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
+from repro.exceptions import ConfigurationError
+from repro.protocol.chsh import CHSHEstimate
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.identity import Identity
+from repro.protocol.results import AbortReason, ProtocolResult
+from repro.protocol.transcript import ProtocolTranscript
+
+
+class TestProtocolConfig:
+    def test_default_builder(self):
+        config = ProtocolConfig.default(message_length=16, seed=1)
+        config.validate()
+        assert config.message_length == 16
+        assert (config.message_length + config.num_check_bits) % 2 == 0
+        assert isinstance(config.channel, IdentityChainChannel)
+        assert config.channel.eta == 10
+
+    def test_default_builder_odd_message(self):
+        config = ProtocolConfig.default(message_length=7)
+        assert (config.message_length + config.num_check_bits) % 2 == 0
+
+    def test_default_rejects_empty_message(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig.default(message_length=0)
+
+    def test_pair_counts(self):
+        config = ProtocolConfig.default(message_length=16, identity_pairs=4,
+                                        check_pairs_per_round=32)
+        assert config.num_message_pairs == (16 + config.num_check_bits) // 2
+        assert config.total_pairs == config.num_message_pairs + 2 * 4 + 2 * 32
+
+    def test_qubits_per_message_bit_close_to_paper_value(self):
+        # Table I counts 1 qubit per message bit; the check-bit overhead makes
+        # the effective value slightly larger than 1.
+        config = ProtocolConfig.default(message_length=64)
+        assert 1.0 <= config.qubits_per_message_bit <= 1.5
+
+    def test_validate_rejects_odd_total(self):
+        config = ProtocolConfig(message_length=3, num_check_bits=2)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_validate_rejects_bad_tolerances(self):
+        config = ProtocolConfig(message_length=2, num_check_bits=2,
+                                authentication_tolerance=1.5)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_validate_rejects_mismatched_identity(self):
+        config = ProtocolConfig(
+            message_length=2,
+            num_check_bits=2,
+            identity_pairs=4,
+            alice_identity=Identity.random(2, rng=0),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_materialise_identities_uses_supplied_values(self):
+        alice_id = Identity.random(8, owner="alice", rng=1)
+        config = ProtocolConfig(message_length=2, num_check_bits=2, alice_identity=alice_id)
+        materialised_alice, materialised_bob = config.materialise_identities(rng=2)
+        assert materialised_alice.matches(alice_id)
+        assert materialised_bob.num_pairs == config.identity_pairs
+
+    def test_materialise_identities_is_seed_deterministic(self):
+        config = ProtocolConfig(message_length=2, num_check_bits=2)
+        a1, b1 = config.materialise_identities(rng=3)
+        a2, b2 = config.materialise_identities(rng=3)
+        assert a1.matches(a2)
+        assert b1.matches(b2)
+
+    def test_with_channel_and_with_seed_return_copies(self):
+        config = ProtocolConfig.default(message_length=4, seed=1)
+        new = config.with_channel(NoiselessChannel()).with_seed(99)
+        assert isinstance(new.channel, NoiselessChannel)
+        assert new.seed == 99
+        assert isinstance(config.channel, IdentityChainChannel)
+        assert config.seed == 1
+
+
+class TestProtocolResult:
+    def _result(self, **overrides):
+        base = dict(
+            success=True,
+            abort_reason=AbortReason.NONE,
+            sent_message=(1, 0, 1, 1),
+            delivered_message=(1, 0, 1, 1),
+        )
+        base.update(overrides)
+        return ProtocolResult(**base)
+
+    def test_string_views(self):
+        result = self._result()
+        assert result.sent_message_string == "1011"
+        assert result.delivered_message_string == "1011"
+        assert result.message_delivered_correctly()
+
+    def test_aborted_result(self):
+        result = self._result(
+            success=False,
+            abort_reason=AbortReason.ROUND1_CHSH_FAILED,
+            delivered_message=None,
+        )
+        assert result.aborted
+        assert result.eavesdropper_detected
+        assert result.delivered_message_string is None
+        assert not result.message_delivered_correctly()
+
+    def test_summary_is_json_friendly(self):
+        estimate = CHSHEstimate(value=2.7, correlations={}, counts={}, num_pairs=10)
+        result = self._result(chsh_round1=estimate)
+        summary = result.summary()
+        assert summary["chsh_round1"] == pytest.approx(2.7)
+        assert summary["abort_reason"] == "none"
+
+    def test_phase_lookup(self):
+        result = self._result()
+        with pytest.raises(KeyError):
+            result.phase("missing")
+
+
+class TestProtocolTranscript:
+    def test_announce_and_filter(self):
+        transcript = ProtocolTranscript()
+        transcript.announce("alice", "positions", [1, 2, 3])
+        transcript.announce("bob", "results", ["phi_plus"])
+        assert len(transcript.announcements()) == 2
+        assert transcript.announcements(topic="positions")[0].payload == [1, 2, 3]
+        assert transcript.announced_topics() == ["positions", "results"]
+
+    def test_record_phase_and_lookup(self):
+        transcript = ProtocolTranscript()
+        transcript.record_phase("round1_security_check", True, chsh_value=2.8)
+        report = transcript.phase("round1_security_check")
+        assert report.passed
+        assert report.details["chsh_value"] == pytest.approx(2.8)
+
+    def test_phase_lookup_missing(self):
+        with pytest.raises(KeyError):
+            ProtocolTranscript().phase("nope")
+
+    def test_passed_all_phases(self):
+        transcript = ProtocolTranscript()
+        transcript.record_phase("a", True)
+        assert transcript.passed_all_phases()
+        transcript.record_phase("b", False)
+        assert not transcript.passed_all_phases()

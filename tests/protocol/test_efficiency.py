@@ -1,0 +1,82 @@
+"""Tests for the resource-accounting / efficiency metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.efficiency import ResourceAccount, account_for_config
+
+
+def config(message_length=64, **overrides) -> ProtocolConfig:
+    base = ProtocolConfig.default(message_length=message_length, **overrides)
+    return base
+
+
+class TestResourceAccount:
+    def test_basic_accounting(self):
+        cfg = config(message_length=64, identity_pairs=8, check_pairs_per_round=256)
+        account = account_for_config(cfg)
+        assert account.message_bits == 64
+        assert account.epr_pairs_total == cfg.total_pairs
+        assert account.transmitted_qubits == cfg.num_message_pairs + 2 * 8 + 256
+        assert account.classical_bits > 0
+        assert 0 < account.total_efficiency < 1
+
+    def test_qubits_per_message_bit_dominated_by_security_overhead(self):
+        # The Table I figure of "1 qubit per message bit" counts only the
+        # message pairs; the full account shows the DI-check overhead.
+        small_check = account_for_config(config(check_pairs_per_round=16))
+        large_check = account_for_config(config(check_pairs_per_round=1024))
+        assert small_check.qubits_per_message_bit < large_check.qubits_per_message_bit
+
+    def test_transmitted_qubit_cost_for_long_messages(self):
+        # For long messages with fixed security overhead, the *transmitted*
+        # qubit cost tends to 1/2 per message bit (one transmitted qubit per
+        # dense-coded pair carrying two bits); Table I's "1 qubit per message
+        # bit" counts both halves of the pair.
+        account = account_for_config(
+            ProtocolConfig(
+                message_length=4096,
+                num_check_bits=2,
+                identity_pairs=8,
+                check_pairs_per_round=16,
+            )
+        )
+        assert account.qubits_per_message_bit == pytest.approx(0.52, abs=0.05)
+
+    def test_overhead_fraction_increases_with_check_pairs(self):
+        lean = account_for_config(config(check_pairs_per_round=32))
+        heavy = account_for_config(config(check_pairs_per_round=1024))
+        assert heavy.pair_overhead_fraction > lean.pair_overhead_fraction
+        assert 0 < lean.pair_overhead_fraction < 1
+
+    def test_identity_length_increases_cost(self):
+        short_id = account_for_config(config(identity_pairs=2))
+        long_id = account_for_config(config(identity_pairs=32))
+        assert long_id.transmitted_qubits > short_id.transmitted_qubits
+
+    def test_summary_round_trip(self):
+        account = account_for_config(config())
+        summary = account.summary()
+        assert summary["message_bits"] == account.message_bits
+        assert summary["total_efficiency"] == pytest.approx(account.total_efficiency)
+
+    def test_invalid_config_rejected(self):
+        bad = ProtocolConfig(message_length=3, num_check_bits=2)
+        with pytest.raises(ConfigurationError):
+            account_for_config(bad)
+
+    def test_dataclass_is_frozen(self):
+        account = account_for_config(config())
+        with pytest.raises(AttributeError):
+            account.message_bits = 1  # type: ignore[misc]
+
+    def test_efficiency_improves_with_message_length(self):
+        short = account_for_config(config(message_length=16))
+        long = account_for_config(config(message_length=256))
+        assert long.total_efficiency > short.total_efficiency
+
+    def test_account_type(self):
+        assert isinstance(account_for_config(config()), ResourceAccount)

@@ -1,0 +1,174 @@
+"""Unit tests for identities and the dense-coding / check-bit machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.protocol.encoding import (
+    BELL_STATE_TO_BITS,
+    BITS_TO_PAULI,
+    MessageEncoder,
+    decode_bell_state_to_bits,
+    encode_bits_to_pauli,
+    expected_bell_state,
+    pauli_operator,
+    random_cover_operations,
+)
+from repro.protocol.identity import Identity
+from repro.quantum.bell import BellState, bell_state
+
+
+class TestIdentity:
+    def test_random_identity_length(self):
+        identity = Identity.random(8, owner="alice", rng=1)
+        assert identity.num_pairs == 8
+        assert identity.num_bits == 16
+
+    def test_from_string_round_trip(self):
+        identity = Identity.from_string("1100")
+        assert identity.to_string() == "1100"
+        assert identity.chunks() == [(1, 1), (0, 0)]
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ProtocolError):
+            Identity.from_string("101")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            Identity(bits=())
+
+    def test_rejects_zero_pairs(self):
+        with pytest.raises(ProtocolError):
+            Identity.random(0)
+
+    def test_matches_ignores_owner(self):
+        a = Identity.from_string("0110", owner="alice")
+        b = Identity.from_string("0110", owner="eve")
+        assert a.matches(b)
+
+    def test_mismatch_fraction(self):
+        a = Identity.from_string("0000")
+        b = Identity.from_string("0011")
+        assert a.mismatch_fraction(b) == pytest.approx(0.5)
+
+    def test_mismatch_fraction_length_check(self):
+        with pytest.raises(ProtocolError):
+            Identity.from_string("00").mismatch_fraction(Identity.from_string("0000"))
+
+    def test_randomness_with_different_seeds(self):
+        assert Identity.random(16, rng=1).bits != Identity.random(16, rng=2).bits
+
+
+class TestDenseCodingTables:
+    def test_paper_encoding_table(self):
+        assert encode_bits_to_pauli((0, 0)) == "I"
+        assert encode_bits_to_pauli((0, 1)) == "Z"
+        assert encode_bits_to_pauli((1, 0)) == "X"
+        assert encode_bits_to_pauli((1, 1)) == "Y"
+
+    def test_encode_rejects_wrong_chunk_size(self):
+        with pytest.raises(ProtocolError):
+            encode_bits_to_pauli((1,))
+
+    def test_bell_state_to_bits_is_inverse_of_encoding(self):
+        for bits, label in BITS_TO_PAULI.items():
+            observed = expected_bell_state(label, "I")
+            assert decode_bell_state_to_bits(observed) == bits
+
+    def test_bell_to_bits_covers_all_states(self):
+        assert set(BELL_STATE_TO_BITS) == set(BellState)
+
+    def test_pauli_operator_lookup(self):
+        assert pauli_operator("x").is_unitary()
+        with pytest.raises(ProtocolError):
+            pauli_operator("Q")
+
+    def test_expected_bell_state_double_sided(self):
+        # Cover X on Alice's qubit and Z on Bob's qubit: X⊗Z |Φ+⟩ = |Ψ−⟩ (up to phase).
+        assert expected_bell_state("X", "Z") is BellState.PSI_MINUS
+        assert expected_bell_state("I", "I") is BellState.PHI_PLUS
+
+    def test_expected_bell_state_matches_simulation(self):
+        from repro.quantum.operators import PAULI_MATRICES
+
+        for first in ("I", "X", "Y", "Z"):
+            for second in ("I", "X", "Y", "Z"):
+                state = bell_state(BellState.PHI_PLUS)
+                state = state.apply_operator(PAULI_MATRICES[first], [0])
+                state = state.apply_operator(PAULI_MATRICES[second], [1])
+                expected = expected_bell_state(first, second)
+                assert state.fidelity(bell_state(expected)) == pytest.approx(1.0)
+
+    def test_cover_operations_are_uniformly_drawn(self):
+        labels = random_cover_operations(4000, rng=3)
+        counts = {label: labels.count(label) for label in ("I", "X", "Y", "Z")}
+        assert set(counts) == {"I", "X", "Y", "Z"}
+        assert all(850 < count < 1150 for count in counts.values())
+
+    def test_cover_operations_negative_count(self):
+        with pytest.raises(ProtocolError):
+            random_cover_operations(-1)
+
+
+class TestMessageEncoder:
+    def test_encode_produces_expected_sizes(self):
+        encoder = MessageEncoder(num_check_bits=4)
+        encoded = encoder.encode("10110010", rng=1)
+        assert len(encoded.combined) == 12
+        assert encoded.num_pairs == 6
+        assert len(encoded.check_positions) == 4
+
+    def test_round_trip_without_noise(self):
+        encoder = MessageEncoder(num_check_bits=6)
+        encoded = encoder.encode("1011001011", rng=2)
+        message, check = MessageEncoder.split_message_and_check(
+            encoded.combined, encoded.check_positions
+        )
+        assert message == encoded.message
+        assert check == encoded.check_bits
+
+    def test_pauli_labels_follow_the_table(self):
+        encoder = MessageEncoder(num_check_bits=0)
+        encoded = encoder.encode("0001101100011011"[:8], rng=3)
+        expected = [BITS_TO_PAULI[chunk] for chunk in
+                    [encoded.combined[i:i + 2] for i in range(0, len(encoded.combined), 2)]]
+        assert list(encoded.pauli_labels) == expected
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageEncoder(num_check_bits=0).encode("101")
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageEncoder(num_check_bits=2).encode("")
+
+    def test_negative_check_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageEncoder(num_check_bits=-1)
+
+    def test_decode_bell_outcomes(self):
+        outcomes = [BellState.PHI_PLUS, BellState.PSI_MINUS, BellState.PHI_MINUS]
+        assert MessageEncoder.decode_bell_outcomes(outcomes) == (0, 0, 1, 1, 0, 1)
+
+    @given(
+        message=st.lists(st.integers(0, 1), min_size=1, max_size=40),
+        num_check=st.integers(0, 10),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, message, num_check, seed):
+        if (len(message) + num_check) % 2 != 0:
+            num_check += 1
+        encoder = MessageEncoder(num_check_bits=num_check)
+        encoded = encoder.encode(tuple(message), rng=seed)
+        # Decode through the Bell-state layer: labels → Bell states → bits.
+        outcomes = [expected_bell_state(label, "I") for label in encoded.pauli_labels]
+        combined = MessageEncoder.decode_bell_outcomes(outcomes)
+        assert combined == encoded.combined
+        recovered, check = MessageEncoder.split_message_and_check(
+            combined, encoded.check_positions
+        )
+        assert recovered == tuple(message)
+        assert check == encoded.check_bits

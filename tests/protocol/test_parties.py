@@ -1,0 +1,167 @@
+"""Unit tests for the Alice and Bob party objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocol.encoding import encode_bits_to_pauli, expected_bell_state
+from repro.protocol.identity import Identity
+from repro.protocol.parties import ALICE_QUBIT, BOB_QUBIT, Alice, Bob
+from repro.quantum.bell import BellState, bell_state
+
+
+def fresh_pairs(count: int):
+    """A mapping position -> |Φ+⟩ density matrix."""
+    return {index: bell_state(BellState.PHI_PLUS).density_matrix() for index in range(count)}
+
+
+@pytest.fixture
+def alice() -> Alice:
+    return Alice(
+        identity=Identity.from_string("1101", owner="alice"),
+        peer_identity=Identity.from_string("0010", owner="bob"),
+        rng=1,
+    )
+
+
+@pytest.fixture
+def bob() -> Bob:
+    return Bob(
+        identity=Identity.from_string("0010", owner="bob"),
+        peer_identity=Identity.from_string("1101", owner="alice"),
+        rng=2,
+    )
+
+
+class TestAliceEncoding:
+    def test_message_pauli_plan(self, alice):
+        plan = alice.message_pauli_plan(("I", "X"), (3, 7))
+        assert plan == {3: "I", 7: "X"}
+
+    def test_message_plan_length_mismatch(self, alice):
+        with pytest.raises(ProtocolError):
+            alice.message_pauli_plan(("I",), (3, 7))
+
+    def test_identity_pauli_plan_follows_identity_chunks(self, alice):
+        plan = alice.identity_pauli_plan((0, 5))
+        assert plan[0] == encode_bits_to_pauli((1, 1))
+        assert plan[5] == encode_bits_to_pauli((0, 1))
+
+    def test_identity_plan_length_mismatch(self, alice):
+        with pytest.raises(ProtocolError):
+            alice.identity_pauli_plan((0, 1, 2))
+
+    def test_cover_plan_is_remembered(self, alice):
+        plan = alice.cover_plan((2, 4))
+        assert alice.cover_operations == plan
+        assert set(plan.values()) <= {"I", "X", "Y", "Z"}
+
+    def test_apply_plan_encodes_bell_states(self, alice):
+        pairs = fresh_pairs(2)
+        updated = Alice.apply_plan(pairs, {0: "X", 1: "I"})
+        assert updated[0].fidelity(bell_state(BellState.PSI_PLUS)) == pytest.approx(1.0)
+        assert updated[1].fidelity(bell_state(BellState.PHI_PLUS)) == pytest.approx(1.0)
+        # The input mapping is not mutated.
+        assert pairs[0].fidelity(bell_state(BellState.PHI_PLUS)) == pytest.approx(1.0)
+
+    def test_apply_plan_unknown_position(self, alice):
+        with pytest.raises(ProtocolError):
+            Alice.apply_plan(fresh_pairs(1), {5: "X"})
+
+
+class TestAuthenticationFlows:
+    def test_bob_identity_plan(self, bob):
+        plan = bob.identity_pauli_plan((1, 6))
+        assert plan[1] == encode_bits_to_pauli((0, 0))
+        assert plan[6] == encode_bits_to_pauli((1, 0))
+
+    def test_honest_bob_passes_alice_verification(self, alice, bob):
+        positions = (0, 1)
+        pairs = fresh_pairs(2)
+        pairs = Alice.apply_plan(pairs, alice.cover_plan(positions))
+        pairs = Bob.apply_plan(pairs, bob.identity_pauli_plan(positions))
+        announced = bob.bell_measure(pairs, positions)
+        assert alice.verify_bob(announced, positions) == pytest.approx(0.0)
+
+    def test_forged_bob_identity_is_detected(self, alice):
+        eve = Bob(
+            identity=Identity.from_string("1111", owner="eve"),
+            peer_identity=Identity.from_string("1101"),
+            rng=3,
+        )
+        positions = (0, 1)
+        pairs = fresh_pairs(2)
+        pairs = Alice.apply_plan(pairs, alice.cover_plan(positions))
+        pairs = Bob.apply_plan(pairs, eve.identity_pauli_plan(positions))
+        announced = eve.bell_measure(pairs, positions)
+        # id_B = "0010" vs Eve's "1111": both chunks differ, so both outcomes mismatch.
+        assert alice.verify_bob(announced, positions) == pytest.approx(1.0)
+
+    def test_verify_bob_requires_cover_operations(self, alice):
+        with pytest.raises(ProtocolError):
+            alice.expected_authentication_outcomes((0, 1))
+
+    def test_verify_bob_requires_matching_positions(self, alice, bob):
+        positions = (0, 1)
+        pairs = fresh_pairs(2)
+        pairs = Alice.apply_plan(pairs, alice.cover_plan(positions))
+        pairs = Bob.apply_plan(pairs, bob.identity_pauli_plan(positions))
+        announced = bob.bell_measure(pairs, positions)
+        del announced[0]
+        with pytest.raises(ProtocolError):
+            alice.verify_bob(announced, positions)
+
+    def test_honest_alice_passes_bob_verification(self, alice, bob):
+        positions = (0, 1)
+        pairs = fresh_pairs(2)
+        pairs = Alice.apply_plan(pairs, alice.identity_pauli_plan(positions))
+        outcomes = bob.bell_measure(pairs, positions)
+        assert bob.verify_alice(outcomes, positions) == pytest.approx(0.0)
+
+    def test_forged_alice_identity_is_detected(self, bob):
+        eve = Alice(
+            identity=Identity.from_string("0011", owner="eve"),
+            peer_identity=Identity.from_string("0010"),
+            rng=4,
+        )
+        positions = (0, 1)
+        pairs = fresh_pairs(2)
+        pairs = Alice.apply_plan(pairs, eve.identity_pauli_plan(positions))
+        outcomes = bob.bell_measure(pairs, positions)
+        # id_A = "1101" vs Eve's "0011": both chunks differ.
+        assert bob.verify_alice(outcomes, positions) == pytest.approx(1.0)
+
+    def test_verify_alice_requires_all_outcomes(self, bob):
+        with pytest.raises(ProtocolError):
+            bob.verify_alice({}, (0, 1))
+
+
+class TestBobMeasurementAndDecoding:
+    def test_bell_measure_reads_encoded_paulis(self, bob):
+        pairs = fresh_pairs(3)
+        pairs = Alice.apply_plan(pairs, {0: "I", 1: "Z", 2: "Y"})
+        outcomes = bob.bell_measure(pairs, (0, 1, 2))
+        assert outcomes[0] is BellState.PHI_PLUS
+        assert outcomes[1] is BellState.PHI_MINUS
+        assert outcomes[2] is BellState.PSI_MINUS
+
+    def test_bell_measure_unknown_position(self, bob):
+        with pytest.raises(ProtocolError):
+            bob.bell_measure(fresh_pairs(1), (5,))
+
+    def test_decode_message_bits_order_follows_positions(self, bob):
+        outcomes = {
+            4: expected_bell_state("X", "I"),  # bits 10
+            9: expected_bell_state("I", "I"),  # bits 00
+        }
+        assert Bob.decode_message_bits(outcomes, (4, 9)) == (1, 0, 0, 0)
+        assert Bob.decode_message_bits(outcomes, (9, 4)) == (0, 0, 1, 0)
+
+    def test_decode_message_bits_missing_position(self, bob):
+        with pytest.raises(ProtocolError):
+            Bob.decode_message_bits({}, (1,))
+
+    def test_qubit_constants(self):
+        assert ALICE_QUBIT == 0
+        assert BOB_QUBIT == 1

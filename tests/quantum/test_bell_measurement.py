@@ -1,0 +1,222 @@
+"""Unit tests for Bell states, CHSH values and measurement helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.bell import (
+    BellState,
+    CLASSICAL_CHSH_BOUND,
+    TSIRELSON_BOUND,
+    bell_projector,
+    bell_state,
+    bell_states,
+    chsh_operator,
+    chsh_value,
+    correlation,
+)
+from repro.quantum.channels import depolarizing_channel
+from repro.quantum.density import DensityMatrix
+from repro.quantum.measurement import (
+    BELL_STATE_TO_BITS,
+    bell_measurement,
+    bell_measurement_counts,
+    bell_measurement_probabilities,
+    equatorial_observable,
+    measure_observable,
+    projective_measurement,
+)
+from repro.quantum.operators import PAULI_MATRICES
+from repro.quantum.states import Statevector
+
+PAPER_ALICE_ANGLES = (0.0, math.pi / 2)
+PAPER_BOB_ANGLES = (math.pi / 4, -math.pi / 4)
+
+
+class TestBellStates:
+    def test_all_four_states_are_normalised_and_orthogonal(self):
+        states = bell_states()
+        assert len(states) == 4
+        for which_a, state_a in states.items():
+            for which_b, state_b in states.items():
+                expected = 1.0 if which_a is which_b else 0.0
+                assert abs(state_a.overlap(state_b)) == pytest.approx(expected, abs=1e-12)
+
+    def test_phi_plus_amplitudes(self):
+        state = bell_state(BellState.PHI_PLUS)
+        np.testing.assert_allclose(
+            state.vector, np.array([1, 0, 0, 1]) / np.sqrt(2), atol=1e-12
+        )
+
+    def test_labels(self):
+        assert bell_state(BellState.PSI_MINUS) is not None
+        assert BellState.PSI_MINUS.label == "|Ψ-⟩"
+
+    def test_projector_is_idempotent(self):
+        proj = bell_projector(BellState.PHI_MINUS)
+        assert np.allclose(proj.matrix @ proj.matrix, proj.matrix)
+
+    def test_bell_state_rejects_bad_argument(self):
+        with pytest.raises(DimensionError):
+            bell_state("phi_plus")
+
+
+class TestPauliEncodingOfBellStates:
+    """Alice's dense coding: a Pauli on the first qubit maps |Φ+⟩ between Bell states."""
+
+    @pytest.mark.parametrize(
+        "pauli, expected",
+        [
+            ("I", BellState.PHI_PLUS),
+            ("Z", BellState.PHI_MINUS),
+            ("X", BellState.PSI_PLUS),
+            ("Y", BellState.PSI_MINUS),
+        ],
+    )
+    def test_pauli_maps_phi_plus_to_expected_bell_state(self, pauli, expected):
+        encoded = bell_state(BellState.PHI_PLUS).apply_operator(
+            PAULI_MATRICES[pauli], [0]
+        )
+        assert encoded.fidelity(bell_state(expected)) == pytest.approx(1.0)
+
+
+class TestCHSH:
+    def test_phi_plus_reaches_tsirelson_bound_with_paper_settings(self):
+        value = chsh_value(
+            bell_state(BellState.PHI_PLUS), PAPER_ALICE_ANGLES, PAPER_BOB_ANGLES
+        )
+        assert value == pytest.approx(TSIRELSON_BOUND)
+
+    def test_product_state_stays_below_classical_bound(self):
+        product = Statevector.from_label("00")
+        value = chsh_value(product, PAPER_ALICE_ANGLES, PAPER_BOB_ANGLES)
+        assert abs(value) <= CLASSICAL_CHSH_BOUND + 1e-9
+
+    def test_maximally_mixed_state_has_zero_chsh(self):
+        value = chsh_value(DensityMatrix.maximally_mixed(2))
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_werner_state_crossover(self):
+        # Werner state p|Φ+><Φ+| + (1-p) I/4 violates CHSH iff p > 1/sqrt(2).
+        bell_dm = bell_state(BellState.PHI_PLUS).density_matrix()
+        for p, should_violate in ((0.5, False), (0.8, True)):
+            werner = DensityMatrix(
+                p * bell_dm.matrix + (1 - p) * np.eye(4) / 4, validate=False
+            )
+            value = chsh_value(werner)
+            assert (value > CLASSICAL_CHSH_BOUND) is should_violate
+
+    def test_depolarized_pair_chsh_decreases(self):
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        noisy = depolarizing_channel(0.2).apply(state, [0])
+        assert chsh_value(noisy) < TSIRELSON_BOUND
+
+    def test_correlation_analytic_form(self):
+        # E(a, b) = cos(a - b) for |Φ+⟩ under the conjugate-Bob convention.
+        for a, b in ((0.0, math.pi / 4), (math.pi / 2, -math.pi / 4), (0.3, 1.1)):
+            value = correlation(bell_state(BellState.PHI_PLUS), a, b)
+            assert value == pytest.approx(math.cos(a - b), abs=1e-9)
+
+    def test_chsh_operator_norm(self):
+        op = chsh_operator(PAPER_ALICE_ANGLES, PAPER_BOB_ANGLES)
+        eigenvalues = np.linalg.eigvalsh(op.matrix)
+        assert max(abs(eigenvalues)) == pytest.approx(TSIRELSON_BOUND)
+
+    def test_plus_convention_differs(self):
+        # With the literal "+" phase convention the paper's angles give S = 0 on |Φ+⟩.
+        value = chsh_value(
+            bell_state(BellState.PHI_PLUS),
+            PAPER_ALICE_ANGLES,
+            PAPER_BOB_ANGLES,
+            conjugate_bob=False,
+        )
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestObservableMeasurement:
+    def test_x_measurement_on_plus_state_is_deterministic(self):
+        plus = Statevector.from_label("+")
+        outcome, post = measure_observable(plus, equatorial_observable(0.0), [0], rng=0)
+        assert outcome == 1
+        assert post.fidelity(plus) == pytest.approx(1.0)
+
+    def test_measurement_outcomes_are_pm_one(self):
+        state = Statevector.from_label("0")
+        outcomes = {
+            measure_observable(state, equatorial_observable(0.0), [0], rng=seed)[0]
+            for seed in range(20)
+        }
+        assert outcomes <= {-1, 1}
+        assert len(outcomes) == 2  # |0> gives ±1 with probability 1/2 each
+
+    def test_measurement_on_density_matrix(self):
+        dm = DensityMatrix(Statevector.from_label("+"))
+        outcome, post = measure_observable(dm, equatorial_observable(0.0), [0], rng=1)
+        assert outcome == 1
+        assert isinstance(post, DensityMatrix)
+
+    def test_non_hermitian_observable_rejected(self):
+        with pytest.raises(DimensionError):
+            measure_observable(
+                Statevector.from_label("0"), np.array([[0, 1], [0, 0]]), [0]
+            )
+
+    def test_non_involutory_observable_rejected(self):
+        with pytest.raises(DimensionError):
+            measure_observable(
+                Statevector.from_label("0"), np.diag([2.0, -1.0]), [0]
+            )
+
+    def test_projective_measurement_statevector(self):
+        outcome, post = projective_measurement(Statevector.from_label("1"), rng=0)
+        assert outcome == "1"
+
+    def test_projective_measurement_density_matrix(self):
+        dm = DensityMatrix.maximally_mixed(1)
+        outcome, post = projective_measurement(dm, rng=3)
+        assert outcome in ("0", "1")
+        assert post.probability_of(outcome) == pytest.approx(1.0)
+
+
+class TestBellMeasurement:
+    def test_bell_measurement_identifies_each_bell_state(self):
+        for which in BellState:
+            result = bell_measurement(bell_state(which), [0, 1], rng=0)
+            assert result.bell_state is which
+            assert result.bits == BELL_STATE_TO_BITS[which]
+
+    def test_bell_measurement_probabilities_sum_to_one(self):
+        probs = bell_measurement_probabilities(Statevector.from_label("00"), [0, 1])
+        assert sum(probs.values()) == pytest.approx(1.0)
+        # |00> = (|Φ+> + |Φ->)/sqrt2.
+        assert probs[BellState.PHI_PLUS] == pytest.approx(0.5)
+        assert probs[BellState.PHI_MINUS] == pytest.approx(0.5)
+
+    def test_bell_measurement_counts(self):
+        counts = bell_measurement_counts(
+            bell_state(BellState.PSI_PLUS), [0, 1], shots=500, rng=1
+        )
+        assert counts == {BellState.PSI_PLUS: 500}
+
+    def test_bell_measurement_on_noisy_state(self):
+        noisy = depolarizing_channel(0.3).apply(
+            bell_state(BellState.PHI_PLUS).density_matrix(), [0]
+        )
+        counts = bell_measurement_counts(noisy, [0, 1], shots=2000, rng=2)
+        assert counts[BellState.PHI_PLUS] > 1000
+        assert sum(counts.values()) == 2000
+
+    def test_bell_measurement_requires_two_qubits(self):
+        with pytest.raises(DimensionError):
+            bell_measurement(bell_state(BellState.PHI_PLUS), [0])
+
+    def test_bell_measurement_on_subset_of_register(self):
+        # Pair on qubits (1, 2) of a 3-qubit register encoded with X on qubit 1.
+        register = Statevector.from_label("0").tensor(bell_state(BellState.PHI_PLUS))
+        encoded = register.apply_pauli("X", [1])
+        result = bell_measurement(encoded, [1, 2], rng=5)
+        assert result.bell_state is BellState.PSI_PLUS

@@ -1,0 +1,172 @@
+"""Unit tests for Kraus noise channels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from repro.quantum.density import DensityMatrix
+from repro.quantum.states import Statevector
+
+
+def _plus_state() -> DensityMatrix:
+    return DensityMatrix(Statevector.from_label("+"))
+
+
+class TestKrausChannelValidation:
+    def test_requires_operators(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel([])
+
+    def test_rejects_incomplete_kraus_set(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel([np.array([[0.5, 0], [0, 0.5]])])
+
+    def test_identity_channel_is_unital(self):
+        assert identity_channel().is_unital()
+
+    def test_amplitude_damping_not_unital(self):
+        assert not amplitude_damping_channel(0.3).is_unital()
+
+    def test_channel_composition_preserves_cptp(self):
+        composed = bit_flip_channel(0.1).compose(phase_flip_channel(0.2))
+        total = sum(k.conj().T @ k for k in composed.kraus_operators)
+        assert np.allclose(total, np.eye(2), atol=1e-10)
+
+    def test_tensor_product_channel(self):
+        tensored = bit_flip_channel(0.1).tensor(identity_channel())
+        assert tensored.num_qubits == 2
+        total = sum(k.conj().T @ k for k in tensored.kraus_operators)
+        assert np.allclose(total, np.eye(4), atol=1e-10)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(NoiseModelError):
+            bit_flip_channel(1.5)
+        with pytest.raises(NoiseModelError):
+            depolarizing_channel(-0.1)
+
+    def test_choi_matrix_trace(self):
+        choi = depolarizing_channel(0.3).choi_matrix()
+        assert np.trace(choi).real == pytest.approx(2.0)
+
+
+class TestChannelAction:
+    def test_identity_channel_preserves_state(self):
+        state = _plus_state()
+        assert identity_channel().apply(state).fidelity(state) == pytest.approx(1.0)
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        result = depolarizing_channel(1.0).apply(DensityMatrix.zero_state(1))
+        np.testing.assert_allclose(result.matrix, np.eye(2) / 2, atol=1e-10)
+
+    def test_depolarizing_purity_decreases(self):
+        noisy = depolarizing_channel(0.2).apply(_plus_state())
+        assert noisy.purity() < 1.0
+
+    def test_depolarizing_two_qubit(self):
+        channel = depolarizing_channel(0.5, num_qubits=2)
+        result = channel.apply(DensityMatrix.zero_state(2))
+        # rho -> (1-p) rho + p I/4: diagonal (1-p) + p/4 on |00>.
+        assert result.probability_of("00") == pytest.approx(0.5 + 0.125)
+
+    def test_bit_flip_probability(self):
+        result = bit_flip_channel(0.3).apply(DensityMatrix.zero_state(1))
+        assert result.probability_of("1") == pytest.approx(0.3)
+
+    def test_phase_flip_destroys_coherence(self):
+        result = phase_flip_channel(0.5).apply(_plus_state())
+        assert abs(result.matrix[0, 1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bit_phase_flip(self):
+        result = bit_phase_flip_channel(0.25).apply(DensityMatrix.zero_state(1))
+        assert result.probability_of("1") == pytest.approx(0.25)
+
+    def test_pauli_channel_combines_probabilities(self):
+        result = pauli_channel(0.1, 0.2, 0.0).apply(DensityMatrix.zero_state(1))
+        assert result.probability_of("1") == pytest.approx(0.3)
+
+    def test_pauli_channel_rejects_sum_above_one(self):
+        with pytest.raises(NoiseModelError):
+            pauli_channel(0.5, 0.4, 0.3)
+
+    def test_amplitude_damping_decays_excited_state(self):
+        excited = DensityMatrix(Statevector.from_label("1"))
+        result = amplitude_damping_channel(0.4).apply(excited)
+        assert result.probability_of("0") == pytest.approx(0.4)
+
+    def test_amplitude_damping_preserves_ground_state(self):
+        ground = DensityMatrix.zero_state(1)
+        result = amplitude_damping_channel(0.7).apply(ground)
+        assert result.fidelity(ground) == pytest.approx(1.0)
+
+    def test_phase_damping_reduces_off_diagonals_only(self):
+        result = phase_damping_channel(0.36).apply(_plus_state())
+        np.testing.assert_allclose(np.diag(result.matrix).real, [0.5, 0.5], atol=1e-12)
+        assert abs(result.matrix[0, 1]) == pytest.approx(0.5 * math.sqrt(1 - 0.36))
+
+
+class TestThermalRelaxation:
+    T1 = 233.04e-6  # ibm_brisbane median from the paper
+    T2 = 145.75e-6
+    GATE_TIME = 60e-9
+
+    def test_rejects_unphysical_times(self):
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation_channel(1e-6, 3e-6, 1e-7)
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation_channel(-1.0, 1e-6, 1e-7)
+
+    def test_excited_state_decay_matches_t1(self):
+        gate_time = 50e-6
+        channel = thermal_relaxation_channel(self.T1, self.T2, gate_time)
+        excited = DensityMatrix(Statevector.from_label("1"))
+        result = channel.apply(excited)
+        expected_p1 = math.exp(-gate_time / self.T1)
+        assert result.probability_of("1") == pytest.approx(expected_p1, rel=1e-6)
+
+    def test_coherence_decay_matches_t2(self):
+        gate_time = 30e-6
+        channel = thermal_relaxation_channel(self.T1, self.T2, gate_time)
+        result = channel.apply(_plus_state())
+        expected_coherence = 0.5 * math.exp(-gate_time / self.T2)
+        assert abs(result.matrix[0, 1]) == pytest.approx(expected_coherence, rel=1e-6)
+
+    def test_zero_time_is_identity(self):
+        channel = thermal_relaxation_channel(self.T1, self.T2, 0.0)
+        state = _plus_state()
+        assert channel.apply(state).fidelity(state) == pytest.approx(1.0)
+
+    def test_single_identity_gate_fidelity_is_high(self):
+        # One 60 ns identity gate on ibm_brisbane barely decoheres the qubit.
+        channel = thermal_relaxation_channel(self.T1, self.T2, self.GATE_TIME)
+        assert channel.average_gate_fidelity() > 0.999
+
+    def test_excited_population_mixes_towards_one(self):
+        channel = thermal_relaxation_channel(1e-5, 1e-5, 1e-4, excited_state_population=1.0)
+        result = channel.apply(DensityMatrix.zero_state(1))
+        assert result.probability_of("1") > 0.9
+
+
+class TestAverageGateFidelity:
+    def test_identity_channel_has_unit_fidelity(self):
+        assert identity_channel().average_gate_fidelity() == pytest.approx(1.0)
+
+    def test_depolarizing_fidelity_formula(self):
+        p = 0.12
+        # F_avg = 1 - p/2 for a single-qubit depolarizing channel.
+        assert depolarizing_channel(p).average_gate_fidelity() == pytest.approx(1 - p / 2)

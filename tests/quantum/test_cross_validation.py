@@ -1,0 +1,161 @@
+"""Cross-validation tests: independent code paths must agree with each other.
+
+These tests pin down consistency between
+
+* the statevector and density-matrix simulators on the same circuits,
+* the circuit-level Bell-state measurement used by the hardware-emulation
+  experiments and the projector-based Bell measurement used by the protocol's
+  pair-level simulation,
+* the analytic CHSH value and the sampled CHSH estimator,
+* the composed identity-chain channel and the gate-by-gate circuit
+  realisation of the same channel.
+
+Agreement between such independent implementations is the main internal
+evidence that the reproduction's numbers can be trusted.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.quantum_channel import IdentityChainChannel
+from repro.device.backend import NoisyBackend
+from repro.device.device_model import DeviceModel
+from repro.experiments.emulation import build_message_transfer_circuit, decode_counts_to_messages
+from repro.protocol.chsh import CHSHSettings, DISecurityCheck
+from repro.protocol.encoding import decode_bell_state_to_bits, encode_bits_to_pauli, pauli_operator
+from repro.quantum.bell import BellState, bell_state, chsh_value
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.measurement import bell_measurement_probabilities
+from repro.quantum.random import haar_random_unitary
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def random_circuit(num_qubits: int, depth: int, rng: np.random.Generator) -> QuantumCircuit:
+    """A random circuit over the standard gate set (no measurements)."""
+    circuit = QuantumCircuit(num_qubits)
+    single_qubit = ("h", "x", "y", "z", "s", "t")
+    for _ in range(depth):
+        if num_qubits > 1 and rng.random() < 0.3:
+            control, target = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(control), int(target))
+        else:
+            name = single_qubit[int(rng.integers(0, len(single_qubit)))]
+            getattr(circuit, name)(int(rng.integers(0, num_qubits)))
+        if rng.random() < 0.3:
+            circuit.rz(float(rng.uniform(-math.pi, math.pi)), int(rng.integers(0, num_qubits)))
+    return circuit
+
+
+class TestSimulatorAgreement:
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_final_states_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(num_qubits=3, depth=8, rng=rng)
+        pure = StatevectorSimulator().final_statevector(circuit)
+        mixed = DensityMatrixSimulator().final_density_matrix(circuit)
+        assert mixed.fidelity(pure) == pytest.approx(1.0, abs=1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_measurement_distributions_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(num_qubits=3, depth=6, rng=rng)
+        circuit.measure_all()
+        sv_result = StatevectorSimulator(seed=1).run(circuit, shots=4000)
+        dm_result = DensityMatrixSimulator(seed=2).run(circuit, shots=4000)
+        for outcome in set(sv_result.counts) | set(dm_result.counts):
+            sv_probability = sv_result.counts.get(outcome, 0) / 4000
+            dm_probability = dm_result.counts.get(outcome, 0) / 4000
+            assert sv_probability == pytest.approx(dm_probability, abs=0.05)
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_random_unitary_expectations_agree(self, seed):
+        unitary = haar_random_unitary(2, rng=seed)
+        pure = bell_state(BellState.PHI_PLUS).apply_operator(unitary)
+        mixed = bell_state(BellState.PHI_PLUS).density_matrix().evolve(unitary)
+        assert chsh_value(pure) == pytest.approx(chsh_value(mixed), abs=1e-9)
+
+
+class TestCircuitVersusPairLevelDecoding:
+    @pytest.mark.parametrize("bits", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_bsm_circuit_matches_projector_measurement(self, bits):
+        """The (CNOT, H, measure) circuit and the Bell projectors agree exactly."""
+        label = encode_bits_to_pauli(bits)
+        # Pair-level path: Pauli on qubit 0 of |Φ+⟩, projector-based BSM.
+        pair = bell_state(BellState.PHI_PLUS).density_matrix()
+        if label != "I":
+            pair = pair.evolve(pauli_operator(label), [0])
+        probabilities = bell_measurement_probabilities(pair, [0, 1])
+        dominant_state = max(probabilities, key=probabilities.get)
+        assert decode_bell_state_to_bits(dominant_state) == bits
+
+        # Circuit-level path on an ideal backend.
+        backend = NoisyBackend(DeviceModel.ideal(2), seed=0)
+        circuit = build_message_transfer_circuit("".join(map(str, bits)), eta=3)
+        decoded = decode_counts_to_messages(backend.run(circuit, shots=256))
+        assert decoded == {"".join(map(str, bits)): 256}
+
+    @pytest.mark.parametrize("eta", [50, 400])
+    def test_channel_models_agree_between_paths(self, eta):
+        """Composed-channel fidelity matches the gate-by-gate circuit noise model.
+
+        The pair-level protocol applies the analytically composed η-gate
+        channel; the emulation experiments apply η noisy identity gates one by
+        one through the backend.  Both must give the same Bell-state fidelity
+        up to the (small) difference between composing depolarizing+relaxation
+        once versus per gate.
+        """
+        # Pair-level composed channel.
+        channel = IdentityChainChannel(eta=eta)
+        composed = channel.transmit(bell_state(BellState.PHI_PLUS).density_matrix(), 0)
+        composed_fidelity = composed.fidelity(bell_state(BellState.PHI_PLUS))
+
+        # Circuit-level: EPR preparation + eta ideal-identity gates with the
+        # device noise attached, no SPAM beyond the gates themselves.
+        device = DeviceModel.ibm_brisbane()
+        backend = NoisyBackend(device, seed=1)
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        for _ in range(eta):
+            circuit.id(0)
+        circuit_state = backend.final_density_matrix(circuit)
+        circuit_fidelity = circuit_state.fidelity(bell_state(BellState.PHI_PLUS))
+
+        # The circuit path additionally contains the (noisy) H and CX of the
+        # EPR preparation, so it sits slightly below the composed-channel
+        # value; both must agree to within that preparation overhead.
+        assert circuit_fidelity <= composed_fidelity + 1e-6
+        assert composed_fidelity - circuit_fidelity < 0.02
+
+
+class TestAnalyticVersusSampledCHSH:
+    @pytest.mark.parametrize("depolarizing", [0.0, 0.1, 0.3])
+    def test_sampled_estimator_converges_to_analytic_value(self, depolarizing):
+        from repro.quantum.channels import depolarizing_channel
+
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        if depolarizing > 0:
+            state = depolarizing_channel(depolarizing).apply(state, [0])
+        analytic = chsh_value(state)
+        estimate = DISecurityCheck(CHSHSettings()).estimate([state] * 3000, rng=7)
+        assert estimate.value == pytest.approx(analytic, abs=0.15)
+
+    def test_settings_follow_paper_angles(self):
+        settings_obj = CHSHSettings()
+        analytic = chsh_value(
+            bell_state(BellState.PHI_PLUS),
+            settings_obj.chsh_alice_angles,
+            settings_obj.bob_angles,
+        )
+        assert analytic == pytest.approx(2 * math.sqrt(2))

@@ -1,0 +1,162 @@
+"""Unit tests for repro.quantum.density."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NonPhysicalStateError
+from repro.quantum.bell import BellState, bell_state
+from repro.quantum.density import DensityMatrix
+from repro.quantum.operators import H_MATRIX, X_MATRIX
+from repro.quantum.states import Statevector
+
+
+class TestConstruction:
+    def test_from_statevector(self):
+        dm = DensityMatrix(Statevector.from_label("1"))
+        assert dm.probability_of("1") == pytest.approx(1.0)
+
+    def test_zero_state(self):
+        dm = DensityMatrix.zero_state(2)
+        assert dm.probability_of("00") == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        dm = DensityMatrix.maximally_mixed(2)
+        assert dm.purity() == pytest.approx(0.25)
+        np.testing.assert_allclose(dm.probabilities(), [0.25] * 4)
+
+    def test_rejects_non_hermitian(self):
+        with pytest.raises(NonPhysicalStateError):
+            DensityMatrix(np.array([[1, 1], [0, 0]], dtype=complex))
+
+    def test_rejects_wrong_trace(self):
+        with pytest.raises(NonPhysicalStateError):
+            DensityMatrix(np.eye(2, dtype=complex))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_require_physical_rejects_negative_eigenvalue(self):
+        matrix = np.array([[1.5, 0], [0, -0.5]], dtype=complex)
+        with pytest.raises(NonPhysicalStateError):
+            DensityMatrix(matrix, validate=False).require_physical()
+
+
+class TestPurityAndEntropy:
+    def test_pure_state_entropy_zero(self):
+        dm = DensityMatrix(Statevector.from_label("+"))
+        assert dm.von_neumann_entropy() == pytest.approx(0.0, abs=1e-9)
+        assert dm.is_pure()
+
+    def test_maximally_mixed_entropy(self):
+        dm = DensityMatrix.maximally_mixed(1)
+        assert dm.von_neumann_entropy() == pytest.approx(1.0)
+        assert not dm.is_pure()
+
+    def test_bell_reduced_state_entropy_is_one_bit(self):
+        dm = bell_state(BellState.PHI_PLUS).density_matrix().partial_trace([1])
+        assert dm.von_neumann_entropy() == pytest.approx(1.0)
+
+
+class TestEvolutionAndChannels:
+    def test_unitary_evolution(self):
+        dm = DensityMatrix.zero_state(1).evolve(X_MATRIX)
+        assert dm.probability_of("1") == pytest.approx(1.0)
+
+    def test_evolution_on_subset(self):
+        dm = DensityMatrix.zero_state(2).evolve(H_MATRIX, [1])
+        np.testing.assert_allclose(dm.probabilities([1]), [0.5, 0.5], atol=1e-12)
+
+    def test_kraus_completely_dephasing(self):
+        plus = DensityMatrix(Statevector.from_label("+"))
+        kraus = [
+            np.array([[1, 0], [0, 0]], dtype=complex),
+            np.array([[0, 0], [0, 1]], dtype=complex),
+        ]
+        dephased = plus.apply_kraus(kraus)
+        assert dephased.purity() == pytest.approx(0.5)
+        np.testing.assert_allclose(dephased.probabilities(), [0.5, 0.5])
+
+    def test_kraus_requires_operators(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.zero_state(1).apply_kraus([])
+
+    def test_evolve_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.zero_state(2).evolve(X_MATRIX)
+
+
+class TestPartialTrace:
+    def test_product_state_partial_trace(self):
+        state = Statevector.from_label("0+")
+        reduced = DensityMatrix(state).partial_trace([1])
+        np.testing.assert_allclose(reduced.probabilities(), [0.5, 0.5], atol=1e-12)
+
+    def test_bell_partial_trace_is_maximally_mixed(self):
+        reduced = bell_state(BellState.PHI_PLUS).density_matrix().partial_trace([0])
+        np.testing.assert_allclose(reduced.matrix, np.eye(2) / 2, atol=1e-12)
+
+    def test_partial_trace_keep_order(self):
+        # |01> reduced to (qubit1, qubit0) must be |10><10|.
+        dm = DensityMatrix(Statevector.from_label("01"))
+        reduced = dm.partial_trace([1, 0])
+        assert reduced.probability_of("10") == pytest.approx(1.0)
+
+    def test_partial_trace_invalid_qubit(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.zero_state(2).partial_trace([3])
+
+    def test_partial_trace_preserves_trace(self):
+        dm = bell_state(BellState.PSI_MINUS).density_matrix()
+        reduced = dm.partial_trace([0])
+        assert reduced.trace().real == pytest.approx(1.0)
+
+
+class TestMeasurementAndSampling:
+    def test_probabilities_of_mixed_state(self):
+        dm = DensityMatrix.maximally_mixed(1)
+        np.testing.assert_allclose(dm.probabilities(), [0.5, 0.5])
+
+    def test_sample_counts_sums_to_shots(self):
+        counts = DensityMatrix.maximally_mixed(2).sample_counts(200, rng=1)
+        assert sum(counts.values()) == 200
+
+    def test_expectation_value(self):
+        dm = DensityMatrix(Statevector.from_label("+"))
+        assert np.real(dm.expectation_value(X_MATRIX)) == pytest.approx(1.0)
+
+    def test_expectation_value_subset(self):
+        dm = DensityMatrix(Statevector.from_label("0+"))
+        assert np.real(dm.expectation_value(X_MATRIX, [1])) == pytest.approx(1.0)
+
+
+class TestFidelity:
+    def test_fidelity_with_itself(self):
+        dm = DensityMatrix(Statevector.from_label("+"))
+        assert dm.fidelity(dm) == pytest.approx(1.0)
+
+    def test_fidelity_with_pure_state(self):
+        dm = DensityMatrix.maximally_mixed(1)
+        assert dm.fidelity(Statevector.from_label("0")) == pytest.approx(0.5)
+
+    def test_fidelity_orthogonal_states(self):
+        zero = DensityMatrix(Statevector.from_label("0"))
+        one = DensityMatrix(Statevector.from_label("1"))
+        assert zero.fidelity(one) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fidelity_symmetry(self):
+        a = DensityMatrix(Statevector.from_label("+"))
+        b = DensityMatrix.maximally_mixed(1)
+        assert a.fidelity(b) == pytest.approx(b.fidelity(a))
+
+    def test_fidelity_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.zero_state(1).fidelity(DensityMatrix.zero_state(2))
+
+    def test_tensor_product(self):
+        dm = DensityMatrix.zero_state(1).tensor(
+            DensityMatrix(Statevector.from_label("1"))
+        )
+        assert dm.probability_of("01") == pytest.approx(1.0)

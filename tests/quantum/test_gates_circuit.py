@@ -1,0 +1,168 @@
+"""Unit tests for the gate library and circuit representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import Gate, make_gate, standard_gates
+from repro.quantum.operators import is_unitary_matrix
+from repro.quantum.states import Statevector
+
+
+class TestGateLibrary:
+    def test_all_standard_gates_are_unitary(self):
+        for name, num_qubits in standard_gates().items():
+            if name in ("rx", "ry", "rz", "p"):
+                gate = make_gate(name, 0.7)
+            elif name == "u3":
+                gate = make_gate(name, 0.3, 0.5, 0.7)
+            else:
+                gate = make_gate(name)
+            assert gate.num_qubits == num_qubits
+            assert is_unitary_matrix(gate.matrix), name
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            make_gate("toffoli")
+
+    def test_fixed_gate_rejects_parameters(self):
+        with pytest.raises(CircuitError):
+            make_gate("x", 0.5)
+
+    def test_parametric_gate_requires_parameters(self):
+        with pytest.raises(CircuitError):
+            make_gate("rx")
+
+    def test_rx_pi_equals_x_up_to_phase(self):
+        rx = make_gate("rx", np.pi).matrix
+        x = make_gate("x").matrix
+        phase = rx[0, 1] / x[0, 1]
+        assert np.allclose(rx, phase * x)
+
+    def test_gate_inverse(self):
+        s = make_gate("s")
+        identity = s.matrix @ s.inverse().matrix
+        assert np.allclose(identity, np.eye(2))
+
+    def test_gate_shape_validation(self):
+        with pytest.raises(CircuitError):
+            Gate("bad", 2, np.eye(2))
+
+
+class TestCircuitConstruction:
+    def test_instruction_counting(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).measure_all()
+        ops = qc.count_ops()
+        assert ops["h"] == 1
+        assert ops["cx"] == 1
+        assert ops["measure"] == 1
+        assert qc.num_gates() == 2
+
+    def test_invalid_qubit_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.x(2)
+
+    def test_duplicate_qubits_in_two_qubit_gate_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.cx(1, 1)
+
+    def test_measure_requires_matching_clbits(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.measure([0, 1], [0])
+
+    def test_measure_all_requires_enough_clbits(self):
+        qc = QuantumCircuit(2, num_clbits=1)
+        with pytest.raises(CircuitError):
+            qc.measure_all()
+
+    def test_needs_at_least_one_qubit(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_unitary_instruction_requires_unitary(self):
+        qc = QuantumCircuit(1)
+        with pytest.raises(Exception):
+            qc.unitary(np.array([[1, 0], [0, 2]]), [0])
+
+    def test_pauli_string_helper(self):
+        qc = QuantumCircuit(3)
+        qc.pauli("XIZ", [0, 1, 2])
+        names = [instr.name for instr in qc.instructions]
+        assert names == ["x", "id", "z"]
+
+    def test_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1).cx(0, 1)
+        assert qc.depth() == 2
+
+    def test_barrier_does_not_affect_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().h(0)
+        assert qc.depth() == 2
+
+    def test_has_measurements_and_measured_qubits(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).measure([2, 0], [2, 0])
+        assert qc.has_measurements()
+        assert set(qc.measured_qubits()) == {0, 2}
+
+
+class TestCircuitOperations:
+    def test_to_operator_matches_statevector(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        op = qc.to_operator()
+        state = op.matrix @ Statevector.zero_state(2).vector
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_to_operator_rejects_measurements(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).measure([0], [0])
+        with pytest.raises(CircuitError):
+            qc.to_operator()
+
+    def test_inverse_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).s(1)
+        product = qc.copy().compose(qc.inverse()).to_operator()
+        assert np.allclose(product.matrix, np.eye(4), atol=1e-10)
+
+    def test_inverse_rejects_measurement(self):
+        qc = QuantumCircuit(1)
+        qc.measure([0], [0])
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+    def test_compose_with_qubit_mapping(self):
+        inner = QuantumCircuit(1)
+        inner.x(0)
+        outer = QuantumCircuit(3)
+        outer.compose(inner, qubits=[2])
+        assert outer.instructions[0].qubits == (2,)
+
+    def test_compose_rejects_wrong_mapping_length(self):
+        inner = QuantumCircuit(2)
+        outer = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, qubits=[0])
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        copy = qc.copy()
+        copy.x(0)
+        assert len(qc) == 1
+        assert len(copy) == 2
+
+    def test_iteration_and_len(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).measure([0], [0])
+        assert len(list(iter(qc))) == len(qc) == 2

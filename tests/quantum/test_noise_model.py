@@ -1,0 +1,103 @@
+"""Unit tests for NoiseModel, QuantumError and ReadoutError."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.quantum.channels import bit_flip_channel, depolarizing_channel
+from repro.quantum.noise_model import NoiseModel, QuantumError, ReadoutError
+
+
+class TestQuantumError:
+    def test_wraps_channel(self):
+        error = QuantumError(depolarizing_channel(0.1))
+        assert error.num_qubits == 1
+        assert "depolarizing" in error.name
+
+    def test_rejects_non_channel(self):
+        with pytest.raises(NoiseModelError):
+            QuantumError("not-a-channel")
+
+
+class TestReadoutError:
+    def test_assignment_matrix_columns_sum_to_one(self):
+        error = ReadoutError(0.02, 0.05)
+        matrix = error.assignment_matrix
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_symmetric_constructor(self):
+        error = ReadoutError.symmetric(0.03)
+        assert error.prob_1_given_0 == error.prob_0_given_1 == 0.03
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(1.5, 0.0)
+
+
+class TestNoiseModel:
+    def test_ideal_by_default(self):
+        assert NoiseModel().is_ideal()
+
+    def test_all_qubit_error_lookup(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.1), "id")
+        assert len(model.errors_for("id", [0])) == 1
+        assert len(model.errors_for("id", [5])) == 1
+        assert len(model.errors_for("x", [0])) == 0
+
+    def test_local_error_lookup(self):
+        model = NoiseModel()
+        model.add_qubit_error(bit_flip_channel(0.2), "x", [3])
+        assert len(model.errors_for("x", [3])) == 1
+        assert len(model.errors_for("x", [1])) == 0
+
+    def test_local_and_default_errors_combine(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.1), "cx")
+        model.add_qubit_error(bit_flip_channel(0.2), "cx", [0, 1])
+        assert len(model.errors_for("cx", [0, 1])) == 2
+        assert len(model.errors_for("cx", [1, 2])) == 1
+
+    def test_multiple_gate_names_at_once(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.1), ["x", "y", "z"])
+        assert model.noisy_gate_names == {"x", "y", "z"}
+
+    def test_gate_name_case_insensitive(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.1), "CX")
+        assert len(model.errors_for("cx", [0, 1])) == 1
+
+    def test_readout_error_default_and_override(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError.symmetric(0.01))
+        model.add_readout_error(ReadoutError.symmetric(0.2), qubit=3)
+        assert model.readout_error_for(0).prob_1_given_0 == pytest.approx(0.01)
+        assert model.readout_error_for(3).prob_1_given_0 == pytest.approx(0.2)
+        assert model.has_readout_error()
+
+    def test_apply_readout_errors_single_qubit(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.1, 0.0), qubit=0)
+        probs = model.apply_readout_errors(np.array([1.0, 0.0]), [0])
+        np.testing.assert_allclose(probs, [0.9, 0.1])
+
+    def test_apply_readout_errors_two_qubits(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.1, 0.1), qubit=0)
+        # Qubit 1 has no readout error; only the first bit should flip.
+        probs = model.apply_readout_errors(np.array([1.0, 0.0, 0.0, 0.0]), [0, 1])
+        np.testing.assert_allclose(probs, [0.9, 0.0, 0.1, 0.0])
+
+    def test_apply_readout_errors_shape_mismatch(self):
+        model = NoiseModel()
+        with pytest.raises(NoiseModelError):
+            model.apply_readout_errors(np.array([1.0, 0.0]), [0, 1])
+
+    def test_apply_readout_preserves_normalisation(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.07, 0.11))
+        probs = model.apply_readout_errors(np.array([0.25, 0.25, 0.25, 0.25]), [0, 1])
+        assert probs.sum() == pytest.approx(1.0)

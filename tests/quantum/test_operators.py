@@ -1,0 +1,158 @@
+"""Unit tests for repro.quantum.operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NonUnitaryError
+from repro.quantum.operators import (
+    H_MATRIX,
+    I_MATRIX,
+    Operator,
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    X_MATRIX,
+    Y_MATRIX,
+    Z_MATRIX,
+    embed_operator,
+    is_hermitian_matrix,
+    is_unitary_matrix,
+    kron_all,
+)
+
+
+class TestMatrixPredicates:
+    def test_paulis_are_unitary_and_hermitian(self):
+        for matrix in (I_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX, H_MATRIX):
+            assert is_unitary_matrix(matrix)
+            assert is_hermitian_matrix(matrix)
+
+    def test_non_unitary_detected(self):
+        assert not is_unitary_matrix(np.array([[1, 0], [0, 2]]))
+
+    def test_non_square_rejected(self):
+        assert not is_unitary_matrix(np.ones((2, 3)))
+        assert not is_hermitian_matrix(np.ones((2, 3)))
+
+
+class TestKron:
+    def test_kron_all_order(self):
+        result = kron_all([X_MATRIX, Z_MATRIX])
+        assert np.allclose(result, np.kron(X_MATRIX, Z_MATRIX))
+
+    def test_kron_all_empty(self):
+        assert np.allclose(kron_all([]), np.eye(1))
+
+
+class TestOperatorBasics:
+    def test_dimension_inference(self):
+        assert Operator(np.eye(4)).num_qubits == 2
+        assert Operator(np.eye(8)).num_qubits == 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            Operator(np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(DimensionError):
+            Operator(np.eye(3))
+
+    def test_copy_constructor(self):
+        op = Operator(X_MATRIX)
+        assert Operator(op) == op
+
+    def test_require_unitary_raises(self):
+        with pytest.raises(NonUnitaryError):
+            Operator(np.array([[1, 0], [0, 2]])).require_unitary()
+
+    def test_adjoint(self):
+        s_gate = Operator(np.array([[1, 0], [0, 1j]]))
+        assert np.allclose(s_gate.adjoint().matrix, np.array([[1, 0], [0, -1j]]))
+
+
+class TestOperatorAlgebra:
+    def test_pauli_products(self):
+        # X Y = i Z
+        product = PAULI_Y @ PAULI_X
+        assert np.allclose(product.matrix, 1j * Z_MATRIX) or np.allclose(
+            product.matrix, -1j * Z_MATRIX
+        )
+
+    def test_compose_order(self):
+        # compose applies self first: (H . X)|0> = H X |0> = H|1> = |->
+        op = Operator(X_MATRIX).compose(Operator(H_MATRIX))
+        state = op.matrix @ np.array([1, 0], dtype=complex)
+        minus = np.array([1, -1], dtype=complex) / np.sqrt(2)
+        assert np.allclose(state, minus)
+
+    def test_matmul_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            PAULI_X @ Operator(np.eye(4))
+
+    def test_tensor(self):
+        op = PAULI_X.tensor(PAULI_Z)
+        assert op.num_qubits == 2
+        assert np.allclose(op.matrix, np.kron(X_MATRIX, Z_MATRIX))
+
+    def test_power(self):
+        assert PAULI_X.power(2) == PAULI_I
+
+    def test_scale_i_sigma_y_is_real(self):
+        i_sigma_y = PAULI_Y.scale(1j)
+        assert np.allclose(i_sigma_y.matrix.imag, 0)
+        assert i_sigma_y.is_unitary()
+
+    def test_expectation_value(self):
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        assert Operator(X_MATRIX).expectation(plus) == pytest.approx(1.0)
+        assert Operator(Z_MATRIX).expectation(plus) == pytest.approx(0.0)
+
+    def test_expectation_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            Operator(np.eye(4)).expectation(np.array([1, 0]))
+
+    def test_eigenvalues_of_pauli(self):
+        assert sorted(np.round(PAULI_Z.eigenvalues(), 6)) == [-1.0, 1.0]
+
+    def test_equiv_up_to_phase(self):
+        op = Operator(X_MATRIX)
+        assert op.equiv(Operator(np.exp(1j * 0.3) * X_MATRIX), up_to_phase=True)
+        assert not op.equiv(Operator(np.exp(1j * 0.3) * X_MATRIX), up_to_phase=False)
+
+
+class TestEmbedOperator:
+    def test_single_qubit_embedding_matches_kron(self):
+        embedded = embed_operator(X_MATRIX, [0], 2)
+        assert np.allclose(embedded, np.kron(X_MATRIX, I_MATRIX))
+        embedded = embed_operator(X_MATRIX, [1], 2)
+        assert np.allclose(embedded, np.kron(I_MATRIX, X_MATRIX))
+
+    def test_two_qubit_embedding_reordered_targets(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        # control = qubit 2, target = qubit 0 in a 3-qubit register.
+        embedded = embed_operator(cx, [2, 0], 3)
+        state = np.zeros(8, dtype=complex)
+        state[0b001] = 1.0  # q0=0, q1=0, q2=1
+        flipped = embedded @ state
+        assert np.argmax(np.abs(flipped)) == 0b101  # q0 flipped because control q2 = 1
+
+    def test_embedding_preserves_unitarity(self):
+        embedded = embed_operator(H_MATRIX, [1], 3)
+        assert is_unitary_matrix(embedded)
+
+    def test_rejects_duplicate_targets(self):
+        with pytest.raises(DimensionError):
+            embed_operator(np.eye(4), [0, 0], 2)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(DimensionError):
+            embed_operator(X_MATRIX, [3], 2)
+
+    def test_rejects_wrong_target_count(self):
+        with pytest.raises(DimensionError):
+            embed_operator(np.eye(4), [0], 3)

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the quantum substrate invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.bell import BellState, bell_state, chsh_value, TSIRELSON_BOUND
+from repro.quantum.channels import (
+    amplitude_damping_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    thermal_relaxation_channel,
+)
+from repro.quantum.density import DensityMatrix
+from repro.quantum.operators import PAULI_MATRICES
+from repro.quantum.random import (
+    haar_random_state,
+    haar_random_unitary,
+    random_bloch_state,
+    random_pauli,
+)
+from repro.quantum.states import Statevector
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+class TestRandomObjects:
+    @given(seed=seeds, num_qubits=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_haar_unitary_is_unitary(self, seed, num_qubits):
+        unitary = haar_random_unitary(num_qubits, rng=seed)
+        assert unitary.is_unitary()
+
+    @given(seed=seeds, num_qubits=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_haar_state_is_normalised(self, seed, num_qubits):
+        state = haar_random_state(num_qubits, rng=seed)
+        assert state.norm() == pytest.approx(1.0)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_random_pauli_is_valid(self, seed):
+        label, operator = random_pauli(rng=seed)
+        assert label in ("I", "X", "Y", "Z")
+        assert np.allclose(operator.matrix, PAULI_MATRICES[label])
+
+    def test_random_pauli_without_identity(self):
+        labels = {random_pauli(rng=seed, include_identity=False)[0] for seed in range(40)}
+        assert "I" not in labels
+        assert labels == {"X", "Y", "Z"}
+
+    def test_bloch_state_single_qubit(self):
+        assert random_bloch_state(rng=0).num_qubits == 1
+
+
+class TestUnitaryInvariance:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_unitary_evolution_preserves_norm(self, seed):
+        state = haar_random_state(2, rng=seed)
+        unitary = haar_random_unitary(2, rng=seed + 1)
+        evolved = state.apply_operator(unitary)
+        assert evolved.norm() == pytest.approx(1.0)
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_unitary_evolution_preserves_purity(self, seed):
+        state = haar_random_state(2, rng=seed).density_matrix()
+        unitary = haar_random_unitary(2, rng=seed + 1)
+        assert state.evolve(unitary).purity() == pytest.approx(1.0)
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_fidelity_is_unitarily_invariant(self, seed):
+        state_a = haar_random_state(2, rng=seed)
+        state_b = haar_random_state(2, rng=seed + 1)
+        unitary = haar_random_unitary(2, rng=seed + 2)
+        before = state_a.fidelity(state_b)
+        after = state_a.apply_operator(unitary).fidelity(state_b.apply_operator(unitary))
+        assert after == pytest.approx(before, abs=1e-9)
+
+
+class TestChannelInvariants:
+    @given(p=probabilities, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_depolarizing_preserves_trace_and_positivity(self, p, seed):
+        state = haar_random_state(1, rng=seed).density_matrix()
+        noisy = depolarizing_channel(p).apply(state)
+        assert noisy.trace().real == pytest.approx(1.0)
+        noisy.require_physical()
+
+    @given(p=probabilities, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_amplitude_damping_preserves_trace(self, p, seed):
+        state = haar_random_state(1, rng=seed).density_matrix()
+        noisy = amplitude_damping_channel(p).apply(state)
+        assert noisy.trace().real == pytest.approx(1.0)
+        noisy.require_physical()
+
+    @given(p=probabilities, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_phase_damping_never_increases_purity(self, p, seed):
+        state = haar_random_state(1, rng=seed).density_matrix()
+        noisy = phase_damping_channel(p).apply(state)
+        assert noisy.purity() <= state.purity() + 1e-9
+
+    @given(
+        t1=st.floats(min_value=1e-6, max_value=1e-3),
+        ratio=st.floats(min_value=0.1, max_value=2.0),
+        gate_time=st.floats(min_value=0.0, max_value=1e-4),
+        seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_thermal_relaxation_is_physical(self, t1, ratio, gate_time, seed):
+        t2 = min(ratio * t1, 2 * t1)
+        channel = thermal_relaxation_channel(t1, t2, gate_time)
+        state = haar_random_state(1, rng=seed).density_matrix()
+        channel.apply(state).require_physical()
+
+    @given(p=probabilities)
+    @settings(max_examples=25, deadline=None)
+    def test_depolarizing_chsh_scales_linearly(self, p):
+        """Two-sided depolarizing noise scales the CHSH value by (1-p)."""
+        state = bell_state(BellState.PHI_PLUS).density_matrix()
+        noisy = depolarizing_channel(p).apply(state, [0])
+        expected = (1 - p) * TSIRELSON_BOUND
+        assert chsh_value(noisy) == pytest.approx(expected, abs=1e-8)
+
+
+class TestMeasurementStatistics:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_probabilities_sum_to_one(self, seed):
+        state = haar_random_state(3, rng=seed)
+        assert state.probabilities().sum() == pytest.approx(1.0)
+        for qubits in ([0], [1, 2], [2, 0]):
+            assert state.probabilities(qubits).sum() == pytest.approx(1.0)
+
+    @given(seed=seeds, shots=st.integers(1, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_sample_counts_total_equals_shots(self, seed, shots):
+        state = haar_random_state(2, rng=seed)
+        counts = state.sample_counts(shots, rng=seed)
+        assert sum(counts.values()) == shots
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_partial_trace_trace_preserved(self, seed):
+        state = haar_random_state(3, rng=seed).density_matrix()
+        for keep in ([0], [1, 2], [0, 2]):
+            assert state.partial_trace(keep).trace().real == pytest.approx(1.0)
+
+    @given(seed=seeds, angle=angles)
+    @settings(max_examples=20, deadline=None)
+    def test_chsh_never_exceeds_tsirelson(self, seed, angle):
+        state = haar_random_state(2, rng=seed)
+        value = chsh_value(state, (angle, angle + math.pi / 2), (angle + math.pi / 4, angle - math.pi / 4))
+        assert abs(value) <= TSIRELSON_BOUND + 1e-9

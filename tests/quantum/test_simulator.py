@@ -1,0 +1,179 @@
+"""Unit tests for the statevector and density-matrix simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.channels import bit_flip_channel, depolarizing_channel
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.noise_model import NoiseModel, ReadoutError
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+from repro.quantum.states import Statevector
+
+
+def bell_circuit(measure: bool = True) -> QuantumCircuit:
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+class TestStatevectorSimulator:
+    def test_final_statevector_of_bell_circuit(self):
+        sim = StatevectorSimulator(seed=0)
+        state = sim.final_statevector(bell_circuit(measure=False))
+        expected = Statevector(np.array([1, 0, 0, 1]) / np.sqrt(2))
+        assert state.fidelity(expected) == pytest.approx(1.0)
+
+    def test_final_statevector_rejects_measurement(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().final_statevector(bell_circuit(measure=True))
+
+    def test_bell_counts_only_correlated_outcomes(self):
+        result = StatevectorSimulator(seed=1).run(bell_circuit(), shots=2000)
+        assert set(result.counts) <= {"00", "11"}
+        assert sum(result.counts.values()) == 2000
+        assert 800 < result.counts["00"] < 1200
+
+    def test_no_measurement_returns_no_counts(self):
+        result = StatevectorSimulator().run(bell_circuit(measure=False), shots=100)
+        assert result.counts == {}
+        assert result.statevector is not None
+
+    def test_deterministic_with_seed(self):
+        counts_a = StatevectorSimulator(seed=7).run(bell_circuit(), shots=500).counts
+        counts_b = StatevectorSimulator(seed=7).run(bell_circuit(), shots=500).counts
+        assert counts_a == counts_b
+
+    def test_initial_state_override(self):
+        qc = QuantumCircuit(1)
+        qc.measure_all()
+        result = StatevectorSimulator(seed=2).run(
+            qc, shots=50, initial_state=Statevector.from_label("1")
+        )
+        assert result.counts == {"1": 50}
+
+    def test_initial_state_dimension_check(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(qc, initial_state=Statevector.from_label("1"))
+
+    def test_partial_measurement_maps_to_clbits(self):
+        qc = QuantumCircuit(2, num_clbits=2)
+        qc.x(1)
+        qc.measure([1], [0])
+        result = StatevectorSimulator(seed=3).run(qc, shots=10)
+        # Clbit 0 receives qubit 1's value (1); clbit 1 stays 0.
+        assert result.counts == {"10": 10}
+
+    def test_mid_circuit_measurement_per_shot_path(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure([0], [0])
+        qc.x(0)
+        qc.measure([0], [0])
+        result = StatevectorSimulator(seed=4).run(qc, shots=64)
+        assert result.metadata["terminal_sampling"] is False
+        assert sum(result.counts.values()) == 64
+
+    def test_reset_instruction(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.reset(0)
+        qc.measure_all()
+        result = StatevectorSimulator(seed=5).run(qc, shots=32)
+        assert result.counts == {"0": 32}
+
+    def test_most_frequent_and_probabilities(self):
+        result = StatevectorSimulator(seed=6).run(bell_circuit(), shots=100)
+        assert result.most_frequent() in ("00", "11")
+        assert sum(result.probabilities().values()) == pytest.approx(1.0)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(bell_circuit(), shots=-1)
+
+
+class TestDensityMatrixSimulator:
+    def test_matches_statevector_simulator_without_noise(self):
+        qc = bell_circuit()
+        dm_counts = DensityMatrixSimulator(seed=1).run(qc, shots=4000).counts
+        assert set(dm_counts) <= {"00", "11"}
+        assert 1700 < dm_counts["00"] < 2300
+
+    def test_gate_noise_is_applied(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(bit_flip_channel(1.0), "id")
+        qc = QuantumCircuit(1)
+        qc.id(0)
+        qc.measure_all()
+        result = DensityMatrixSimulator(noise_model=model, seed=2).run(qc, shots=100)
+        assert result.counts == {"1": 100}
+
+    def test_noise_only_on_matching_gate(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(bit_flip_channel(1.0), "id")
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.measure_all()
+        result = DensityMatrixSimulator(noise_model=model, seed=3).run(qc, shots=100)
+        assert result.counts == {"1": 100}
+
+    def test_single_qubit_error_broadcast_over_two_qubit_gate(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.2), "cx")
+        qc = bell_circuit()
+        result = DensityMatrixSimulator(noise_model=model, seed=4).run(qc, shots=3000)
+        # Depolarizing noise introduces anti-correlated outcomes.
+        assert set(result.counts) == {"00", "01", "10", "11"}
+
+    def test_readout_error_flips_outcomes(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(1.0, 0.0), qubit=0)
+        qc = QuantumCircuit(1)
+        qc.measure_all()
+        result = DensityMatrixSimulator(noise_model=model, seed=5).run(qc, shots=10)
+        assert result.counts == {"1": 10}
+
+    def test_mid_circuit_measurement_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.measure([0], [0])
+        qc.x(0)
+        qc.measure([0], [0])
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator().run(qc)
+
+    def test_reset_channel(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.reset(0)
+        qc.measure_all()
+        result = DensityMatrixSimulator(seed=6).run(qc, shots=20)
+        assert result.counts == {"0": 20}
+
+    def test_final_density_matrix(self):
+        dm = DensityMatrixSimulator().final_density_matrix(bell_circuit(measure=False))
+        assert isinstance(dm, DensityMatrix)
+        assert dm.purity() == pytest.approx(1.0)
+
+    def test_final_density_matrix_with_noise_is_mixed(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.3), "h")
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        dm = DensityMatrixSimulator(noise_model=model).final_density_matrix(qc)
+        assert dm.purity() < 1.0
+
+    def test_counts_without_measurement(self):
+        result = DensityMatrixSimulator().run(bell_circuit(measure=False), shots=10)
+        assert result.counts == {}
+        assert result.density_matrix is not None
+
+    def test_metadata_reports_noise_model(self):
+        model = NoiseModel(name="custom")
+        result = DensityMatrixSimulator(noise_model=model).run(bell_circuit(), shots=1)
+        assert result.metadata["noise_model"] == "custom"

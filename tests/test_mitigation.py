@@ -1,0 +1,180 @@
+"""Tests for the error-mitigation extension (readout mitigation and ZNE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.backend import NoisyBackend
+from repro.device.counts import Counts
+from repro.device.device_model import DeviceModel
+from repro.exceptions import ReproError
+from repro.experiments.emulation import decode_distribution_to_messages
+from repro.experiments.mitigation_study import run_mitigation_study
+from repro.experiments.report import render_result
+from repro.mitigation import (
+    ReadoutMitigator,
+    ZeroNoiseExtrapolator,
+    fold_channel_length,
+)
+from repro.quantum.noise_model import NoiseModel, ReadoutError
+
+
+def noise_model_with_readout(p01: float = 0.1, p10: float = 0.05) -> NoiseModel:
+    model = NoiseModel()
+    model.add_readout_error(ReadoutError(p01, p10))
+    return model
+
+
+class TestReadoutMitigator:
+    def test_from_noise_model(self):
+        mitigator = ReadoutMitigator.from_noise_model(noise_model_with_readout(), [0, 1])
+        assert mitigator.num_qubits == 2
+        matrix = mitigator.assignment_matrix()
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(matrix.sum(axis=0), np.ones(4))
+
+    def test_qubit_without_error_gets_identity(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.2, 0.2), qubit=1)
+        mitigator = ReadoutMitigator.from_noise_model(model, [0, 1])
+        np.testing.assert_allclose(mitigator.assignment_matrix()[:2, :2].diagonal(), [0.8, 0.8])
+
+    def test_mitigation_recovers_true_distribution(self):
+        # True state always "00"; readout error flips each bit with prob 0.1.
+        error = ReadoutError(0.1, 0.1)
+        a = error.assignment_matrix
+        full = np.kron(a, a)
+        true = np.array([1.0, 0.0, 0.0, 0.0])
+        measured = full @ true
+        counts = {format(i, "02b"): int(round(p * 100000)) for i, p in enumerate(measured)}
+        model = NoiseModel()
+        model.add_readout_error(error)
+        mitigator = ReadoutMitigator.from_noise_model(model, [0, 1])
+        mitigated = mitigator.apply(counts)
+        assert mitigated["00"] == pytest.approx(1.0, abs=0.01)
+
+    def test_mitigated_distribution_is_normalised_and_non_negative(self):
+        mitigator = ReadoutMitigator.from_noise_model(noise_model_with_readout(), [0, 1])
+        mitigated = mitigator.apply({"00": 90, "01": 5, "10": 4, "11": 1})
+        assert sum(mitigated.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in mitigated.values())
+
+    def test_calibration_on_noisy_backend(self):
+        backend = NoisyBackend(DeviceModel.ibm_brisbane(), seed=4)
+        mitigator = ReadoutMitigator.calibrate(backend, num_qubits=2, shots=4096)
+        matrix = mitigator.assignment_matrix()
+        # The calibrated diagonal should be close to 1 - readout error (≈ 0.987).
+        assert matrix[0, 0] == pytest.approx(0.974, abs=0.02)
+
+    def test_mitigation_improves_fig2_style_accuracy(self):
+        backend = NoisyBackend(DeviceModel.ibm_brisbane(), seed=6)
+        from repro.experiments.emulation import run_message_transfer_raw
+
+        counts = run_message_transfer_raw("10", eta=10, backend=backend, shots=2048)
+        raw = decode_distribution_to_messages(
+            {k: v / counts.shots for k, v in counts.items()}
+        )
+        mitigator = ReadoutMitigator.from_noise_model(backend.noise_model, [0, 1])
+        mitigated = decode_distribution_to_messages(mitigator.apply(counts))
+        assert mitigated["10"] >= raw["10"]
+
+    def test_expectation_of(self):
+        mitigator = ReadoutMitigator.from_noise_model(noise_model_with_readout(), [0])
+        assert mitigator.expectation_of({"0": 95, "1": 5}, "0") > 0.9
+
+    def test_validation_errors(self):
+        with pytest.raises(ReproError):
+            ReadoutMitigator([])
+        with pytest.raises(ReproError):
+            ReadoutMitigator([np.eye(3)])
+        with pytest.raises(ReproError):
+            ReadoutMitigator([np.array([[0.5, 0.5], [0.6, 0.5]])])
+        mitigator = ReadoutMitigator([np.eye(2)])
+        with pytest.raises(ReproError):
+            mitigator.apply({})
+        with pytest.raises(ReproError):
+            mitigator.apply({"00": 5})  # wrong width
+        with pytest.raises(ReproError):
+            ReadoutMitigator.calibrate(NoisyBackend(DeviceModel.ideal(1)), num_qubits=0)
+
+    def test_counts_object_accepted(self):
+        mitigator = ReadoutMitigator.from_noise_model(noise_model_with_readout(), [0])
+        mitigated = mitigator.apply(Counts({"0": 90, "1": 10}))
+        assert sum(mitigated.values()) == pytest.approx(1.0)
+
+
+class TestZeroNoiseExtrapolation:
+    def test_fold_channel_length(self):
+        assert fold_channel_length(100, 1.0) == 100
+        assert fold_channel_length(100, 2.5) == 250
+        with pytest.raises(ReproError):
+            fold_channel_length(100, 0.5)
+        with pytest.raises(ReproError):
+            fold_channel_length(-1, 1.0)
+
+    def test_linear_extrapolation_recovers_intercept(self):
+        extrapolator = ZeroNoiseExtrapolator(model="linear")
+        result = extrapolator.extrapolate([1, 2, 3], [0.9, 0.8, 0.7])
+        assert result.zero_noise_value == pytest.approx(1.0)
+        assert result.model == "linear"
+        assert result.rms_residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_quadratic_extrapolation(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1.0 - 0.1 * x - 0.01 * x**2 for x in xs]
+        result = ZeroNoiseExtrapolator(model="quadratic").extrapolate(xs, ys)
+        assert result.zero_noise_value == pytest.approx(1.0, abs=1e-6)
+
+    def test_exponential_extrapolation_recovers_noiseless_accuracy(self):
+        # Simulated accuracy a(s) = 0.72 exp(-0.4 s) + 0.25.
+        xs = [1.0, 1.5, 2.0, 3.0]
+        ys = [0.72 * np.exp(-0.4 * x) + 0.25 for x in xs]
+        result = ZeroNoiseExtrapolator(model="exponential", floor=0.25).extrapolate(xs, ys)
+        assert result.zero_noise_value == pytest.approx(0.97, abs=0.01)
+        assert result.improvement_over_unmitigated > 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ZeroNoiseExtrapolator(model="cubic")
+        with pytest.raises(ReproError):
+            ZeroNoiseExtrapolator(floor=1.5)
+        extrapolator = ZeroNoiseExtrapolator(model="quadratic")
+        with pytest.raises(ReproError):
+            extrapolator.extrapolate([1, 2], [0.9, 0.8])
+        with pytest.raises(ReproError):
+            extrapolator.extrapolate([1, 1, 2], [0.9, 0.9, 0.8])
+        with pytest.raises(ReproError):
+            extrapolator.extrapolate([1, 2, 3], [0.9, 0.8])
+
+
+class TestMitigationStudy:
+    def test_study_improves_accuracy(self):
+        result = run_mitigation_study(
+            etas=(100, 500),
+            shots=256,
+            messages=("00", "11"),
+            noise_scales=(1.0, 2.0, 3.0),
+            seed=3,
+        )
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.readout_mitigated_accuracy >= point.raw_accuracy - 0.02
+            assert point.zne_accuracy >= point.raw_accuracy - 0.02
+        assert result.improvement("readout") > 0.0
+        assert result.improvement("zne") > 0.0
+        assert "Error mitigation" in render_result(result)
+
+    def test_study_validation(self):
+        with pytest.raises(Exception):
+            run_mitigation_study(shots=0)
+        with pytest.raises(Exception):
+            run_mitigation_study(noise_scales=(2.0, 3.0))
+        with pytest.raises(Exception):
+            run_mitigation_study(messages=())
+
+    def test_registry_contains_mitigation(self):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment("mitigation")
+        assert experiment.paper_artifact.startswith("Section IV-B")

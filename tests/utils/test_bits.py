@@ -1,0 +1,187 @@
+"""Unit tests for bitstring utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ReproError
+from repro.utils import bits as bits_mod
+from repro.utils.bits import (
+    bits_to_int,
+    bits_to_str,
+    bitstring_to_bits,
+    chunk_bits,
+    hamming_distance,
+    insert_check_bits,
+    int_to_bits,
+    pad_bits,
+    random_bits,
+    remove_check_bits,
+    validate_bits,
+    xor_bits,
+)
+
+
+class TestValidateBits:
+    def test_accepts_zeros_and_ones(self):
+        assert validate_bits([0, 1, 1, 0]) == (0, 1, 1, 0)
+
+    def test_accepts_numpy_integers(self):
+        assert validate_bits(np.array([1, 0, 1])) == (1, 0, 1)
+
+    def test_accepts_booleans(self):
+        assert validate_bits([True, False]) == (1, 0)
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ReproError):
+            validate_bits([0, 2, 1])
+
+    def test_empty_sequence_is_allowed(self):
+        assert validate_bits([]) == ()
+
+
+class TestConversions:
+    def test_bits_to_str(self):
+        assert bits_to_str((1, 0, 1, 1)) == "1011"
+
+    def test_bitstring_to_bits_round_trip(self):
+        assert bitstring_to_bits("0101") == (0, 1, 0, 1)
+        assert bits_to_str(bitstring_to_bits("110")) == "110"
+
+    def test_bitstring_rejects_non_binary_characters(self):
+        with pytest.raises(ReproError):
+            bitstring_to_bits("01a1")
+
+    def test_bits_to_int_big_endian(self):
+        assert bits_to_int((1, 0, 1)) == 5
+        assert bits_to_int((0, 0, 1, 1)) == 3
+
+    def test_int_to_bits_round_trip(self):
+        for value in (0, 1, 5, 42, 255):
+            assert bits_to_int(int_to_bits(value, 9)) == value
+
+    def test_int_to_bits_rejects_overflow(self):
+        with pytest.raises(ReproError):
+            int_to_bits(8, 3)
+
+    def test_int_to_bits_rejects_negative(self):
+        with pytest.raises(ReproError):
+            int_to_bits(-1, 4)
+
+    def test_int_to_bits_zero_width(self):
+        assert int_to_bits(0, 0) == ()
+
+
+class TestRandomBits:
+    def test_deterministic_with_seed(self):
+        assert random_bits(32, rng=7) == random_bits(32, rng=7)
+
+    def test_length(self):
+        assert len(random_bits(17, rng=1)) == 17
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ReproError):
+            random_bits(-1)
+
+    def test_roughly_balanced(self):
+        bits = random_bits(2000, rng=3)
+        ones = sum(bits)
+        assert 800 < ones < 1200
+
+
+class TestXorAndHamming:
+    def test_xor(self):
+        assert xor_bits((1, 0, 1), (1, 1, 0)) == (0, 1, 1)
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ReproError):
+            xor_bits((1, 0), (1,))
+
+    def test_hamming_distance(self):
+        assert hamming_distance((1, 0, 1, 1), (1, 1, 1, 0)) == 2
+
+    def test_hamming_distance_identical(self):
+        assert hamming_distance((0, 1, 0), (0, 1, 0)) == 0
+
+
+class TestChunkAndPad:
+    def test_chunk_pairs(self):
+        assert chunk_bits((1, 0, 1, 1), 2) == [(1, 0), (1, 1)]
+
+    def test_chunk_rejects_indivisible(self):
+        with pytest.raises(ReproError):
+            chunk_bits((1, 0, 1), 2)
+
+    def test_chunk_rejects_nonpositive_size(self):
+        with pytest.raises(ReproError):
+            chunk_bits((1, 0), 0)
+
+    def test_pad_to_multiple(self):
+        padded, n_pad = pad_bits((1, 0, 1), 2, rng=0)
+        assert n_pad == 1
+        assert len(padded) == 4
+        assert padded[:3] == (1, 0, 1)
+
+    def test_pad_noop_when_aligned(self):
+        padded, n_pad = pad_bits((1, 0), 2, rng=0)
+        assert n_pad == 0
+        assert padded == (1, 0)
+
+
+class TestCheckBits:
+    def test_insert_then_remove_round_trip(self):
+        message = (1, 0, 1, 1, 0, 0)
+        check = (1, 1, 0)
+        positions = (0, 4, 7)
+        combined = insert_check_bits(message, check, positions)
+        assert len(combined) == 9
+        recovered, recovered_check = remove_check_bits(combined, positions)
+        assert recovered == message
+        assert recovered_check == check
+
+    def test_insert_rejects_duplicate_positions(self):
+        with pytest.raises(ReproError):
+            insert_check_bits((1, 0), (1, 1), (1, 1))
+
+    def test_insert_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            insert_check_bits((1, 0), (1,), (5,))
+
+    def test_insert_rejects_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            insert_check_bits((1, 0), (1, 1), (0,))
+
+    def test_remove_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            remove_check_bits((1, 0, 1), (5,))
+
+    @given(
+        message=st.lists(st.integers(0, 1), min_size=0, max_size=64),
+        check=st.lists(st.integers(0, 1), min_size=0, max_size=16),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_round_trip_property(self, message, check, seed):
+        rng = np.random.default_rng(seed)
+        total = len(message) + len(check)
+        positions = tuple(
+            int(p) for p in rng.choice(total, size=len(check), replace=False)
+        ) if check else ()
+        combined = insert_check_bits(message, check, positions)
+        recovered, recovered_check = remove_check_bits(combined, positions)
+        assert recovered == tuple(message)
+        assert recovered_check == tuple(check)
+
+
+class TestRandomPositions:
+    def test_positions_sorted_unique_in_range(self):
+        positions = bits_mod.random_positions(100, 20, rng=5)
+        assert len(positions) == 20
+        assert len(set(positions)) == 20
+        assert list(positions) == sorted(positions)
+        assert all(0 <= p < 100 for p in positions)
+
+    def test_too_many_positions_rejected(self):
+        with pytest.raises(ReproError):
+            bits_mod.random_positions(3, 5)

@@ -1,0 +1,91 @@
+"""Unit tests for RNG plumbing and JSON serialization helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_rng, spawn_rngs
+from repro.utils.serialization import from_json, to_json, to_jsonable
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(0, 1000) == as_rng(42).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert as_rng(generator) is generator
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("not-a-seed")
+
+
+class TestDeriveAndSpawn:
+    def test_derive_is_deterministic_given_parent_state(self):
+        child_a = derive_rng(np.random.default_rng(7), "alice")
+        child_b = derive_rng(np.random.default_rng(7), "alice")
+        assert child_a.integers(0, 10**9) == child_b.integers(0, 10**9)
+
+    def test_derive_differs_by_tag(self):
+        parent = np.random.default_rng(7)
+        child_a = derive_rng(parent, "alice")
+        parent = np.random.default_rng(7)
+        child_b = derive_rng(parent, "bob")
+        assert child_a.integers(0, 10**9) != child_b.integers(0, 10**9)
+
+    def test_spawn_count(self):
+        children = spawn_rngs(3, 5)
+        assert len(children) == 5
+        values = {int(c.integers(0, 10**9)) for c in children}
+        assert len(values) == 5
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class Colour(Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Sample:
+    name: str
+    values: list
+    score: float
+
+
+class TestSerialization:
+    def test_numpy_scalars(self):
+        payload = {"a": np.int64(3), "b": np.float64(2.5), "c": np.bool_(True)}
+        assert to_jsonable(payload) == {"a": 3, "b": 2.5, "c": True}
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+
+    def test_complex_number(self):
+        assert to_jsonable(1 + 2j) == {"real": 1.0, "imag": 2.0}
+
+    def test_enum(self):
+        assert to_jsonable(Colour.RED) == "red"
+
+    def test_dataclass_round_trip(self):
+        sample = Sample(name="x", values=[1, 2], score=0.5)
+        parsed = from_json(to_json(sample))
+        assert parsed == {"name": "x", "values": [1, 2], "score": 0.5}
+
+    def test_nested_structures(self):
+        data = {"outer": [{"inner": np.array([0.5])}, (1, 2)]}
+        assert to_jsonable(data) == {"outer": [{"inner": [0.5]}, [1, 2]]}
+
+    def test_unserialisable_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
