@@ -10,6 +10,7 @@ delivery) are backed by executing code.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.baselines.base import BaselineResult, DIQSDCBaseline
@@ -21,10 +22,10 @@ from repro.baselines.zhou2023_single_photon import Zhou2023SinglePhotonDIQSDC
 from repro.channel.quantum_channel import QuantumChannel
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.runner import UADIQSDCProtocol
-from repro.utils.rng import as_rng
 
 __all__ = [
     "PROPOSED_FEATURES",
+    "BASELINE_BUILDERS",
     "all_baselines",
     "table1_features",
     "render_table1",
@@ -43,13 +44,24 @@ PROPOSED_FEATURES = ProtocolFeatures(
 )
 
 
+#: Constructors of the prior protocols in Table I row order, keyed by the
+#: scenario names the functional-comparison sweep uses.  Workers look the
+#: constructor up by name, so baseline classes themselves never cross a
+#: process boundary (the worker's bound message/channel/check_pairs context
+#: still must stay picklable).  This is the single source of truth for the
+#: baseline set; :func:`all_baselines` instantiates from it.
+BASELINE_BUILDERS: dict[str, type[DIQSDCBaseline]] = {
+    "zhou2020": Zhou2020DIQSDC,
+    "zhou2022_onestep": Zhou2022OneStepDIQSDC,
+    "zhou2023_single_photon": Zhou2023SinglePhotonDIQSDC,
+    "zeng2023_hyperencoding": Zeng2023HyperEncodingDIQSDC,
+}
+
+
 def all_baselines(check_pairs: int = 128) -> list[DIQSDCBaseline]:
     """Instantiate the four prior DI-QSDC protocols in Table I order."""
     return [
-        Zhou2020DIQSDC(check_pairs=check_pairs),
-        Zhou2022OneStepDIQSDC(check_pairs=check_pairs),
-        Zhou2023SinglePhotonDIQSDC(check_pairs=check_pairs),
-        Zeng2023HyperEncodingDIQSDC(check_pairs=check_pairs),
+        builder(check_pairs=check_pairs) for builder in BASELINE_BUILDERS.values()
     ]
 
 
@@ -108,30 +120,65 @@ class FunctionalComparison:
         return outcome
 
 
+def _comparison_worker(
+    params: dict,
+    seed: int,
+    message: str,
+    channel: QuantumChannel | None,
+    check_pairs: int,
+):
+    """Run one Table I protocol (module-level so process pools can import it)."""
+    protocol = params["protocol"]
+    if protocol == "proposed":
+        config = ProtocolConfig.default(
+            message_length=len(message),
+            seed=seed,
+            check_pairs_per_round=check_pairs,
+        )
+        if channel is not None:
+            config = config.with_channel(channel)
+        return UADIQSDCProtocol(config).run(message).summary()
+    baseline = BASELINE_BUILDERS[protocol](check_pairs=check_pairs)
+    return baseline.transmit(message, channel=channel, rng=seed)
+
+
 def run_functional_comparison(
     message: str = "1011001110001111",
     channel: QuantumChannel | None = None,
     check_pairs: int = 96,
     seed: int | None = 7,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> FunctionalComparison:
-    """Run every Table I protocol once on the same message and channel."""
-    generator = as_rng(seed)
-    baseline_results = [
-        baseline.transmit(message, channel=channel, rng=generator)
-        for baseline in all_baselines(check_pairs=check_pairs)
-    ]
+    """Run every Table I protocol once on the same message and channel.
 
-    config = ProtocolConfig.default(
-        message_length=len(message),
-        seed=None if seed is None else seed + 1,
-        check_pairs_per_round=check_pairs,
+    The five protocols (four baselines plus the proposed UA-DI-QSDC) are
+    independent sweep points with deterministic per-protocol seeds, so the
+    comparison is identical whether it runs serially or fanned across
+    ``concurrent.futures`` workers.
+    """
+    from repro.experiments.sweep import parameter_grid, resolve_base_seed, run_sweep
+
+    base_seed = resolve_base_seed(seed)
+    worker = functools.partial(
+        _comparison_worker, message=message, channel=channel, check_pairs=check_pairs
     )
-    if channel is not None:
-        config = config.with_channel(channel)
-    proposed_result = UADIQSDCProtocol(config).run(message)
-
+    swept = run_sweep(
+        worker,
+        parameter_grid(protocol=list(BASELINE_BUILDERS) + ["proposed"]),
+        base_seed=base_seed,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    baseline_results = []
+    proposed_summary: dict = {}
+    for point, value in swept:
+        if point.params["protocol"] == "proposed":
+            proposed_summary = value
+        else:
+            baseline_results.append(value)
     return FunctionalComparison(
         features=table1_features(),
         baseline_results=baseline_results,
-        proposed_result_summary=proposed_result.summary(),
+        proposed_result_summary=proposed_summary,
     )

@@ -20,6 +20,7 @@ All channels expose two complementary interfaces:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.device.calibration import (
@@ -71,6 +72,48 @@ class QuantumChannel:
     def transmit(self, state: DensityMatrix, qubit: int) -> DensityMatrix:
         """Send one qubit of *state* through the channel and return the new state."""
         return self.single_use_channel().apply(state, [qubit])
+
+    def transmit_batch(
+        self, states: Sequence[DensityMatrix], qubit: int
+    ) -> list[DensityMatrix]:
+        """Send qubit *qubit* of every state through the channel in one pass.
+
+        The channel map is applied once per *distinct* input state (keyed by
+        the raw matrix bytes) and the result is shared between identical
+        inputs.  Protocol sessions transmit hundreds of pairs that are all
+        the same ``|Φ+⟩`` emission, so the hot loop collapses to a single
+        Kraus application; the output order matches the input order.
+        Sharing is safe because :class:`~repro.quantum.density.DensityMatrix`
+        operations never mutate in place — **and** because :meth:`transmit`
+        is deterministic (a CPTP map application), which every channel in
+        this module is.  A subclass whose ``transmit`` samples a random
+        error realization per use MUST override ``transmit_batch`` too
+        (e.g. with a per-pair loop), or all identical pairs of a session
+        would silently share one realization instead of drawing
+        independently.
+
+        Parameters
+        ----------
+        states:
+            Input states, one per transmitted pair.
+        qubit:
+            The qubit index (within each state) that traverses the channel.
+
+        Returns
+        -------
+        list of DensityMatrix
+            Transmitted states, aligned with *states*.
+        """
+        transformed: dict[bytes, DensityMatrix] = {}
+        output: list[DensityMatrix] = []
+        for state in states:
+            key = state.matrix.tobytes()
+            result = transformed.get(key)
+            if result is None:
+                result = self.transmit(state, qubit)
+                transformed[key] = result
+            output.append(result)
+        return output
 
     def survival_probability(self) -> float:
         """Probability that a traversal applies no error at all (analytic estimate)."""

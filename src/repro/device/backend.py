@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections.abc import Sequence
+
 from repro.device.counts import Counts
 from repro.device.device_model import DeviceModel
 from repro.exceptions import DeviceError
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.density import DensityMatrix
 from repro.quantum.simulator import DensityMatrixSimulator, SimulationResult
+from repro.quantum.density import DensityMatrix
 from repro.utils.rng import as_rng
 
 __all__ = ["NoisyBackend", "BackendJob"]
@@ -84,6 +86,46 @@ class NoisyBackend:
             )
         )
         return counts
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: int = 1024
+    ) -> list[Counts]:
+        """Execute several circuits through the batched simulator path.
+
+        Each circuit is compiled once into a cached propagator (see
+        :mod:`repro.quantum.batch`) and sampled with a single multinomial
+        draw, which is the fast path the experiment sweeps use.  One
+        :class:`BackendJob` is recorded per circuit, exactly as with
+        repeated :meth:`run` calls.
+
+        Parameters
+        ----------
+        circuits:
+            Circuits to execute, in order.
+        shots:
+            Shots sampled per circuit.
+
+        Returns
+        -------
+        list of Counts
+            One histogram per circuit, in submission order.
+        """
+        for circuit in circuits:
+            self._validate(circuit)
+        batch = self._simulator.run_batch(circuits, shots=shots, rng=self._rng)
+        histograms: list[Counts] = []
+        for circuit, result in zip(circuits, batch):
+            counts = Counts(result.counts, shots=shots)
+            self.jobs.append(
+                BackendJob(
+                    circuit_name=circuit.name,
+                    shots=shots,
+                    counts=counts,
+                    metadata=dict(result.metadata),
+                )
+            )
+            histograms.append(counts)
+        return histograms
 
     def run_result(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:
         """Execute *circuit* and return the full simulator result (incl. the state)."""

@@ -30,6 +30,7 @@ from repro.experiments.emulation import (
     build_message_transfer_circuit,
     decode_counts_to_messages,
     run_message_transfer,
+    run_message_transfer_batch,
 )
 from repro.experiments.fig2_message_counts import Fig2Result, PAPER_FIG2_COUNTS, run_fig2
 from repro.experiments.fig3_channel_length import Fig3Result, default_eta_sweep, run_fig3
@@ -41,6 +42,13 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.report import render_result
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    parameter_grid,
+    point_seed,
+    run_sweep,
+)
 from repro.experiments.table1_comparison import Table1Result, run_table1
 
 __all__ = [
@@ -54,6 +62,12 @@ __all__ = [
     "build_message_transfer_circuit",
     "decode_counts_to_messages",
     "run_message_transfer",
+    "run_message_transfer_batch",
+    "SweepPoint",
+    "SweepResult",
+    "parameter_grid",
+    "point_seed",
+    "run_sweep",
     "Fig2Result",
     "PAPER_FIG2_COUNTS",
     "run_fig2",

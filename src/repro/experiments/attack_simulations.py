@@ -18,6 +18,7 @@ message information.  This experiment reproduces those claims quantitatively:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.attacks import (
@@ -32,6 +33,7 @@ from repro.attacks import (
 from repro.attacks.detection import AttackEvaluation
 from repro.channel.quantum_channel import IdentityChainChannel
 from repro.exceptions import ExperimentError
+from repro.experiments.sweep import parameter_grid, run_sweep
 from repro.protocol.config import ProtocolConfig
 
 __all__ = [
@@ -40,6 +42,19 @@ __all__ = [
     "run_attack_simulations",
     "run_impersonation_sweep",
 ]
+
+#: Attack factories per scenario name, in the paper's presentation order.
+#: ``None`` marks the honest baseline.  Workers look the factory up by name,
+#: so the (unpicklable) lambdas never cross a process boundary — only the
+#: name and the worker's bound primitive context do.
+SCENARIO_FACTORIES = {
+    "honest": None,
+    "impersonation_alice": lambda rng: ImpersonationAttack("alice", rng=rng),
+    "impersonation_bob": lambda rng: ImpersonationAttack("bob", rng=rng),
+    "intercept_resend": lambda rng: InterceptResendAttack(rng=rng),
+    "man_in_the_middle": lambda rng: ManInTheMiddleAttack(rng=rng),
+    "entangle_measure": lambda rng: EntangleMeasureAttack(strength=1.0, rng=rng),
+}
 
 
 @dataclass
@@ -86,6 +101,21 @@ def _base_config(
     return config.with_channel(IdentityChainChannel(eta=eta))
 
 
+def _attack_scenario_worker(
+    params: dict,
+    seed: int,
+    eta: int,
+    identity_pairs: int,
+    check_pairs: int,
+    message: str,
+    trials: int,
+) -> AttackEvaluation:
+    """Evaluate one attack scenario (module-level for process pools)."""
+    config = _base_config(eta, identity_pairs, check_pairs, len(message))
+    factory = SCENARIO_FACTORIES[params["scenario"]]
+    return evaluate_attack(config, factory, message, trials=trials, rng=seed)
+
+
 def run_attack_simulations(
     trials: int = 10,
     eta: int = 10,
@@ -95,25 +125,37 @@ def run_attack_simulations(
     include_leakage: bool = True,
     leakage_sessions: int = 8,
     seed: int = 99,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> AttackSimulationResult:
-    """Run the honest baseline and all four active attacks against the protocol."""
+    """Run the honest baseline and all four active attacks against the protocol.
+
+    The six scenarios are independent sweep points fanned through
+    :func:`repro.experiments.sweep.run_sweep`: each scenario derives its own
+    seed from *seed* and its name, so detection statistics are identical for
+    every *executor* choice (``"serial"``/``"thread"``/``"process"``).
+    """
     if trials < 1:
         raise ExperimentError("trials must be at least 1")
-    config = _base_config(eta, identity_pairs, check_pairs, len(message))
     result = AttackSimulationResult()
 
-    scenarios = {
-        "honest": None,
-        "impersonation_alice": lambda rng: ImpersonationAttack("alice", rng=rng),
-        "impersonation_bob": lambda rng: ImpersonationAttack("bob", rng=rng),
-        "intercept_resend": lambda rng: InterceptResendAttack(rng=rng),
-        "man_in_the_middle": lambda rng: ManInTheMiddleAttack(rng=rng),
-        "entangle_measure": lambda rng: EntangleMeasureAttack(strength=1.0, rng=rng),
-    }
-    for offset, (name, factory) in enumerate(scenarios.items()):
-        result.evaluations[name] = evaluate_attack(
-            config, factory, message, trials=trials, rng=seed + offset
-        )
+    worker = functools.partial(
+        _attack_scenario_worker,
+        eta=eta,
+        identity_pairs=identity_pairs,
+        check_pairs=check_pairs,
+        message=message,
+        trials=trials,
+    )
+    swept = run_sweep(
+        worker,
+        parameter_grid(scenario=list(SCENARIO_FACTORIES)),
+        base_seed=seed,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    for point, evaluation in swept:
+        result.evaluations[point.params["scenario"]] = evaluation
 
     if include_leakage:
         leakage_config = _base_config(eta, max(2, identity_pairs // 2), 32, len(message))
@@ -127,6 +169,35 @@ def run_attack_simulations(
     return result
 
 
+def _impersonation_point_worker(
+    params: dict,
+    seed: int,
+    target: str,
+    eta: int,
+    check_pairs: int,
+    message: str,
+    trials: int,
+) -> ImpersonationSweepPoint:
+    """Evaluate one identity-length point (module-level for process pools)."""
+    identity_pairs = int(params["identity_pairs"])
+    config = _base_config(eta, identity_pairs, check_pairs, len(message))
+    evaluation = evaluate_attack(
+        config,
+        lambda rng: ImpersonationAttack(target, rng=rng),
+        message,
+        trials=trials,
+        rng=seed,
+    )
+    return ImpersonationSweepPoint(
+        identity_pairs=identity_pairs,
+        empirical_detection_rate=evaluation.detection_rate,
+        theoretical_detection_probability=ImpersonationAttack.detection_probability(
+            identity_pairs
+        ),
+        trials=trials,
+    )
+
+
 def run_impersonation_sweep(
     identity_lengths: tuple[int, ...] = (1, 2, 3, 4, 6, 8),
     trials: int = 40,
@@ -135,28 +206,30 @@ def run_impersonation_sweep(
     check_pairs: int = 48,
     message: str = "10110010",
     seed: int = 7,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> list[ImpersonationSweepPoint]:
-    """Empirical vs. theoretical impersonation detection probability as a function of ``l``."""
+    """Empirical vs. theoretical impersonation detection probability as a function of ``l``.
+
+    Each identity length is one sweep point with a deterministic derived
+    seed; points can be fanned across workers via *executor* without changing
+    the empirical rates.
+    """
     if trials < 1:
         raise ExperimentError("trials must be at least 1")
-    sweep: list[ImpersonationSweepPoint] = []
-    for offset, identity_pairs in enumerate(identity_lengths):
-        config = _base_config(eta, identity_pairs, check_pairs, len(message))
-        evaluation = evaluate_attack(
-            config,
-            lambda rng: ImpersonationAttack(target, rng=rng),
-            message,
-            trials=trials,
-            rng=seed + offset,
-        )
-        sweep.append(
-            ImpersonationSweepPoint(
-                identity_pairs=identity_pairs,
-                empirical_detection_rate=evaluation.detection_rate,
-                theoretical_detection_probability=ImpersonationAttack.detection_probability(
-                    identity_pairs
-                ),
-                trials=trials,
-            )
-        )
-    return sweep
+    worker = functools.partial(
+        _impersonation_point_worker,
+        target=target,
+        eta=eta,
+        check_pairs=check_pairs,
+        message=message,
+        trials=trials,
+    )
+    swept = run_sweep(
+        worker,
+        parameter_grid(identity_pairs=list(identity_lengths)),
+        base_seed=seed,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    return list(swept.values)

@@ -26,6 +26,7 @@ __all__ = [
     "build_message_transfer_circuit",
     "decode_counts_to_messages",
     "run_message_transfer",
+    "run_message_transfer_batch",
     "MESSAGE_SYMBOLS",
 ]
 
@@ -102,6 +103,43 @@ def run_message_transfer(
     circuit = build_message_transfer_circuit(message, eta)
     counts = backend.run(circuit, shots=shots)
     return decode_counts_to_messages(counts)
+
+
+def run_message_transfer_batch(
+    messages: "tuple[str, ...] | list[str]",
+    eta: int,
+    backend: NoisyBackend,
+    shots: int = 1024,
+) -> list[dict[str, int]]:
+    """Run the emulation circuit for several messages through the batched path.
+
+    All circuits are submitted together via
+    :meth:`~repro.device.backend.NoisyBackend.run_batch`, so they share one
+    compiled-propagator cache — the η-identity-gate channel segment is
+    composed once and reused by every message symbol.  Repeated message
+    symbols are allowed and sample independently (each circuit draws its own
+    multinomial from the backend RNG stream).
+
+    Parameters
+    ----------
+    messages:
+        Message symbols to encode (each a two-bit string); duplicates allowed.
+    eta:
+        Channel length in identity gates, shared by every circuit.
+    backend:
+        The backend to execute on.
+    shots:
+        Shots per message circuit.
+
+    Returns
+    -------
+    list of dict
+        One decoded-counts histogram per entry of *messages*, aligned with
+        the input order.
+    """
+    circuits = [build_message_transfer_circuit(message, eta) for message in messages]
+    histograms = backend.run_batch(circuits, shots=shots)
+    return [decode_counts_to_messages(counts) for counts in histograms]
 
 
 def run_message_transfer_raw(

@@ -20,7 +20,7 @@ from repro.analysis.fidelity import distribution_fidelity
 from repro.device.backend import NoisyBackend
 from repro.device.device_model import DeviceModel
 from repro.exceptions import ExperimentError
-from repro.experiments.emulation import MESSAGE_SYMBOLS, run_message_transfer
+from repro.experiments.emulation import MESSAGE_SYMBOLS, run_message_transfer_batch
 
 __all__ = ["Fig2MessageResult", "Fig2Result", "run_fig2", "PAPER_FIG2_COUNTS"]
 
@@ -95,8 +95,8 @@ def run_fig2(
         raise ExperimentError("shots must be positive")
     backend = NoisyBackend(device or DeviceModel.ibm_brisbane(), seed=seed)
     result = Fig2Result(eta=eta, shots=shots, backend_name=backend.name)
-    for message in MESSAGE_SYMBOLS:
-        decoded = run_message_transfer(message, eta, backend, shots=shots)
+    histograms = run_message_transfer_batch(MESSAGE_SYMBOLS, eta, backend, shots=shots)
+    for message, decoded in zip(MESSAGE_SYMBOLS, histograms):
         accuracy = decoded.get(message, 0) / shots
         fidelity = distribution_fidelity(decoded, {message: 1.0})
         result.panels.append(

@@ -19,6 +19,7 @@ notes (also recorded in EXPERIMENTS.md):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -34,7 +35,8 @@ from repro.device.calibration import (
 from repro.device.device_model import DeviceModel
 from repro.device.topology import EAGLE_NUM_QUBITS, heavy_hex_coupling_map
 from repro.exceptions import ExperimentError
-from repro.experiments.emulation import MESSAGE_SYMBOLS, run_message_transfer
+from repro.experiments.emulation import MESSAGE_SYMBOLS, run_message_transfer_batch
+from repro.experiments.sweep import parameter_grid, resolve_base_seed, run_sweep
 
 __all__ = ["Fig3Result", "run_fig3", "default_eta_sweep", "PAPER_FIG3_THRESHOLD"]
 
@@ -109,6 +111,39 @@ def _device_with_scaled_identity_error(multiplier: float) -> DeviceModel:
     )
 
 
+def _fig3_point(
+    params: dict,
+    seed: int,
+    shots: int,
+    messages: tuple[str, ...],
+    device: DeviceModel,
+) -> AccuracyPoint:
+    """Measure one η point of the Fig. 3 sweep (module-level for process pools).
+
+    A fresh backend is seeded from the point's deterministic seed, so the
+    point's counts are identical whether the sweep runs serially or fanned
+    across workers.  All message circuits of the point go through the
+    batched execution path and share one compiled channel segment.
+    """
+    eta = int(params["eta"])
+    backend = NoisyBackend(device, seed=seed)
+    histograms = run_message_transfer_batch(messages, eta, backend, shots=shots)
+    correct = sum(
+        decoded.get(message, 0) for message, decoded in zip(messages, histograms)
+    )
+    fidelities = [
+        distribution_fidelity(decoded, {message: 1.0})
+        for message, decoded in zip(messages, histograms)
+    ]
+    return AccuracyPoint(
+        eta=eta,
+        duration=eta * backend.device.gate_duration("id"),
+        accuracy=correct / (shots * len(messages)),
+        shots=shots * len(messages),
+        fidelity=sum(fidelities) / len(fidelities),
+    )
+
+
 def run_fig3(
     etas: Sequence[int] | None = None,
     shots: int = 1024,
@@ -116,8 +151,15 @@ def run_fig3(
     device: DeviceModel | None = None,
     gate_error_multiplier: float = 1.0,
     seed: int | None = 2024,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> Fig3Result:
     """Reproduce Fig. 3: Bob's measurement accuracy versus channel length.
+
+    The η grid is fanned through :func:`repro.experiments.sweep.run_sweep`
+    with a deterministic per-point seed, so the result is identical for every
+    *executor* choice; each point executes its message circuits through the
+    batched simulator path.
 
     Parameters
     ----------
@@ -133,6 +175,15 @@ def run_fig3(
     gate_error_multiplier:
         Sensitivity knob: scales the identity-gate depolarizing error to model
         hardware whose effective channel error exceeds the median calibration.
+    seed:
+        Base seed for the per-point seed derivation; ``None`` draws a random
+        base seed (the sweep is then unreproducible but still internally
+        consistent).
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"`` — how the η
+        points are distributed (see :mod:`repro.experiments.sweep`).
+    max_workers:
+        Worker count for the parallel executors.
     """
     if shots < 1:
         raise ExperimentError("shots must be positive")
@@ -145,31 +196,23 @@ def run_fig3(
             if gate_error_multiplier == 1.0
             else _device_with_scaled_identity_error(gate_error_multiplier)
         )
-    backend = NoisyBackend(device, seed=seed)
+    base_seed = resolve_base_seed(seed)
 
-    result = Fig3Result(
-        backend_name=backend.name,
+    worker = functools.partial(
+        _fig3_point, shots=shots, messages=tuple(messages), device=device
+    )
+    swept = run_sweep(
+        worker,
+        parameter_grid(eta=sweep),
+        base_seed=base_seed,
+        executor=executor,
+        max_workers=max_workers,
+    )
+
+    return Fig3Result(
+        backend_name=device.name,
         shots=shots,
         messages=tuple(messages),
         gate_error_multiplier=gate_error_multiplier,
+        points=list(swept.values),
     )
-    for eta in sweep:
-        correct = 0
-        total = 0
-        fidelities = []
-        for message in messages:
-            decoded = run_message_transfer(message, eta, backend, shots=shots)
-            correct += decoded.get(message, 0)
-            total += shots
-            fidelities.append(distribution_fidelity(decoded, {message: 1.0}))
-        duration = eta * backend.device.gate_duration("id")
-        result.points.append(
-            AccuracyPoint(
-                eta=int(eta),
-                duration=duration,
-                accuracy=correct / total,
-                shots=total,
-                fidelity=sum(fidelities) / len(fidelities),
-            )
-        )
-    return result

@@ -52,6 +52,8 @@ def run_table1(
     eta: int = 10,
     check_pairs: int = 96,
     seed: int | None = 7,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> Table1Result:
     """Regenerate Table I, optionally backing each row with a protocol run.
 
@@ -62,6 +64,9 @@ def run_table1(
         the same η-identity-gate channel so the table rows correspond to
         working implementations; if False only the static feature rows are
         produced (fast path used by unit tests).
+    executor, max_workers:
+        How the five backing runs are distributed (each protocol is one
+        deterministic sweep point; see :mod:`repro.experiments.sweep`).
     """
     result = Table1Result(features=table1_features(), rendered=render_table1())
     if functional:
@@ -70,5 +75,7 @@ def run_table1(
             channel=IdentityChainChannel(eta=eta),
             check_pairs=check_pairs,
             seed=seed,
+            executor=executor,
+            max_workers=max_workers,
         )
     return result

@@ -307,25 +307,43 @@ class UADIQSDCProtocol:
         return encoding_alice, encoding_bob
 
     def _share_entanglement(self, register: EPRPairRegister) -> dict[int, DensityMatrix]:
-        pairs: dict[int, DensityMatrix] = {}
-        for index in range(register.total_pairs):
-            state = self.config.source.emit(index)
-            if self.config.distribution_channel is not None:
-                state = self.config.distribution_channel.transmit(state, 1)
-            if self.attack is not None and hasattr(self.attack, "intercept_source"):
-                state = self.attack.intercept_source(index, state)
-            pairs[index] = state
-        return pairs
+        """Emit every pair and distribute Bob's halves (batched channel pass).
+
+        The honest source emits the same ``|Φ+⟩`` state for every index, so
+        the distribution channel is applied through
+        :meth:`~repro.channel.quantum_channel.QuantumChannel.transmit_batch`,
+        which collapses identical inputs to a single Kraus application.  The
+        attack's source hook (if any) still sees every pair individually, in
+        index order, after distribution — the same observation point as the
+        sequential implementation.
+        """
+        emitted = self.config.source.emit_many(register.total_pairs)
+        if self.config.distribution_channel is not None:
+            emitted = self.config.distribution_channel.transmit_batch(emitted, 1)
+        if self.attack is not None and hasattr(self.attack, "intercept_source"):
+            emitted = [
+                self.attack.intercept_source(index, state)
+                for index, state in enumerate(emitted)
+            ]
+        return dict(enumerate(emitted))
 
     def _transmit(self, pairs: dict[int, DensityMatrix]) -> dict[int, DensityMatrix]:
-        """Send Alice's halves through the quantum channel (and any attack)."""
-        transmitted: dict[int, DensityMatrix] = {}
-        for position, state in pairs.items():
-            state = self.config.channel.transmit(state, ALICE_QUBIT)
-            if self.attack is not None and hasattr(self.attack, "intercept_transmission"):
-                state = self.attack.intercept_transmission(position, state)
-            transmitted[position] = state
-        return transmitted
+        """Send Alice's halves through the quantum channel (and any attack).
+
+        The channel pass is batched over identical pair states; the attack's
+        transmission hook (if any) then intercepts each transmitted pair in
+        position order, exactly as in the sequential implementation.
+        """
+        positions = list(pairs)
+        transmitted = self.config.channel.transmit_batch(
+            [pairs[position] for position in positions], ALICE_QUBIT
+        )
+        if self.attack is not None and hasattr(self.attack, "intercept_transmission"):
+            transmitted = [
+                self.attack.intercept_transmission(position, state)
+                for position, state in zip(positions, transmitted)
+            ]
+        return dict(zip(positions, transmitted))
 
     def _metadata(self) -> dict[str, Any]:
         return {

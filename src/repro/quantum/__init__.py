@@ -51,6 +51,11 @@ from repro.quantum.measurement import (
 from repro.quantum.noise_model import NoiseModel, QuantumError, ReadoutError
 from repro.quantum.operators import Operator, PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
 from repro.quantum.random import haar_random_state, haar_random_unitary, random_pauli
+from repro.quantum.batch import (
+    BatchResult,
+    PropagatorCache,
+    circuit_structure_key,
+)
 from repro.quantum.simulator import (
     DensityMatrixSimulator,
     SimulationResult,
@@ -59,6 +64,9 @@ from repro.quantum.simulator import (
 from repro.quantum.states import Statevector
 
 __all__ = [
+    "BatchResult",
+    "PropagatorCache",
+    "circuit_structure_key",
     "BellState",
     "bell_state",
     "bell_states",

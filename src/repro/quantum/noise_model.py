@@ -10,6 +10,7 @@ is what the paper's ``ibm_brisbane`` emulation relies on.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -88,12 +89,56 @@ class NoiseModel:
     gate name.
     """
 
+    #: Process-wide counter handing every model a unique cache token
+    #: (``id()`` would be reusable after garbage collection).
+    _token_counter = itertools.count()
+
     def __init__(self, name: str = "noise_model"):
         self.name = name
         self._default_errors: dict[str, list[QuantumError]] = {}
         self._local_errors: dict[tuple[str, tuple[int, ...]], list[QuantumError]] = {}
         self._readout_errors: dict[int, ReadoutError] = {}
         self._default_readout: ReadoutError | None = None
+        self._version = 0
+        self._cache_token = next(NoiseModel._token_counter)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every ``add_*`` call.
+
+        Compiled-propagator caches key on ``(cache_token, version)`` so that
+        in-place additions invalidate previously compiled circuits.
+        """
+        return self._version
+
+    @property
+    def cache_token(self) -> int:
+        """Process-unique identity token for compiled-propagator cache keys.
+
+        Unlike ``id()``, tokens are never reused, so a cache outliving this
+        model can never serve its compiled superoperators for another model.
+        Copies and unpickled instances re-issue a fresh token (see
+        :meth:`__setstate__`), so they never alias their source either.
+        """
+        return self._cache_token
+
+    def __setstate__(self, state: dict) -> None:
+        # Runs for unpickling and for copy/deepcopy (via __reduce_ex__): a
+        # restored model must not share its source's cache token, or two
+        # models that diverge after the copy would alias each other's
+        # compiled superoperators in a shared cache.  The error containers
+        # are unshared too — under copy.copy the state dict holds the
+        # *source's* dicts, and mutating them through the copy would stale
+        # the source's compiled propagators without bumping its version.
+        self.__dict__.update(state)
+        self._default_errors = {
+            name: list(errors) for name, errors in self._default_errors.items()
+        }
+        self._local_errors = {
+            key: list(errors) for key, errors in self._local_errors.items()
+        }
+        self._readout_errors = dict(self._readout_errors)
+        self._cache_token = next(NoiseModel._token_counter)
 
     # -- construction ------------------------------------------------------------
     def add_all_qubit_error(
@@ -104,6 +149,7 @@ class NoiseModel:
         names = [gate_names] if isinstance(gate_names, str) else list(gate_names)
         for name in names:
             self._default_errors.setdefault(name.lower(), []).append(error)
+        self._version += 1
         return self
 
     def add_qubit_error(
@@ -118,6 +164,7 @@ class NoiseModel:
         key_qubits = tuple(int(q) for q in qubits)
         for name in names:
             self._local_errors.setdefault((name.lower(), key_qubits), []).append(error)
+        self._version += 1
         return self
 
     def add_readout_error(
@@ -128,6 +175,7 @@ class NoiseModel:
             self._default_readout = error
         else:
             self._readout_errors[int(qubit)] = error
+        self._version += 1
         return self
 
     # -- queries ---------------------------------------------------------------------

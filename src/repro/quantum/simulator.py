@@ -9,6 +9,17 @@ simulation" reference the paper compares hardware results against.
 readout assignment errors — which is how the repository reproduces the
 ``ibm_brisbane`` executions of the paper's evaluation section without access
 to the hardware.
+
+Both simulators expose two execution paths:
+
+* :meth:`~StatevectorSimulator.run` — the sequential reference path, applying
+  one instruction at a time;
+* :meth:`~StatevectorSimulator.run_batch` — the batched path, which folds each
+  circuit into a cached propagator (see :mod:`repro.quantum.batch`) and
+  samples every circuit's counts with a single multinomial draw.  The batched
+  path computes the same final distribution as the sequential path up to
+  floating-point rounding; parity is asserted by
+  ``tests/quantum/test_batch.py``.
 """
 
 from __future__ import annotations
@@ -19,6 +30,16 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.quantum.batch import (
+    BatchResult,
+    MAX_SUPEROP_QUBITS,
+    MAX_UNITARY_QUBITS,
+    PropagatorCache,
+    RESET_KRAUS,
+    compile_channel,
+    compile_unitary,
+    measurements_are_terminal,
+)
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.density import DensityMatrix
 from repro.quantum.noise_model import NoiseModel
@@ -26,7 +47,12 @@ from repro.quantum.operators import Operator
 from repro.quantum.states import Statevector
 from repro.utils.rng import as_rng
 
-__all__ = ["SimulationResult", "StatevectorSimulator", "DensityMatrixSimulator"]
+__all__ = [
+    "BatchResult",
+    "SimulationResult",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+]
 
 
 @dataclass
@@ -89,6 +115,7 @@ class StatevectorSimulator:
 
     def __init__(self, seed=None):
         self._rng = as_rng(seed)
+        self._cache = PropagatorCache()
 
     # -- public API -------------------------------------------------------------
     def run(
@@ -117,6 +144,74 @@ class StatevectorSimulator:
         if self._measurements_are_terminal(circuit) and not self._has_nonunitary(circuit):
             return self._run_terminal(circuit, state, shots, generator)
         return self._run_per_shot(circuit, state, shots, generator)
+
+    def run_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        shots: int = 1024,
+        initial_state: Statevector | None = None,
+        rng=None,
+    ) -> BatchResult:
+        """Execute a sequence of circuits through the batched (compiled) path.
+
+        Each eligible circuit — terminal measurements, no resets, at most
+        :data:`~repro.quantum.batch.MAX_UNITARY_QUBITS` qubits — is folded
+        into a single cached unitary and its counts are sampled with one
+        multinomial draw; ineligible circuits fall back to :meth:`run`.
+
+        Parameters
+        ----------
+        circuits:
+            The circuits to execute, in order.
+        shots:
+            Shots sampled per circuit.
+        initial_state:
+            Optional common initial state (defaults to ``|0...0>``).
+        rng:
+            Seed or generator for all sampling in this batch; defaults to the
+            simulator's own generator.
+
+        Returns
+        -------
+        BatchResult
+            One :class:`SimulationResult` per circuit, in submission order.
+        """
+        if shots < 0:
+            raise SimulationError(f"shots must be non-negative, got {shots}")
+        generator = as_rng(rng) if rng is not None else self._rng
+        hits_before, misses_before = self._cache.hits, self._cache.misses
+        results = []
+        for circuit in circuits:
+            if (
+                circuit.num_qubits > MAX_UNITARY_QUBITS
+                or self._has_nonunitary(circuit)
+                or not self._measurements_are_terminal(circuit)
+            ):
+                results.append(
+                    self.run(circuit, shots=shots, initial_state=initial_state, rng=generator)
+                )
+                continue
+            compiled = compile_unitary(circuit, self._cache)
+            state = self._initial_state(circuit, initial_state)
+            final = Statevector(compiled.matrix @ state.vector)
+            results.append(
+                self._sample_terminal(
+                    final,
+                    compiled.measure_map,
+                    circuit.num_clbits,
+                    shots,
+                    generator,
+                )
+            )
+        return BatchResult(
+            results=results,
+            shots=shots,
+            metadata={
+                "method": "statevector_batch",
+                "cache_hits": self._cache.hits - hits_before,
+                "cache_misses": self._cache.misses - misses_before,
+            },
+        )
 
     def final_statevector(
         self, circuit: QuantumCircuit, initial_state: Statevector | None = None
@@ -150,14 +245,7 @@ class StatevectorSimulator:
     @staticmethod
     def _measurements_are_terminal(circuit: QuantumCircuit) -> bool:
         """True if no gate or reset acts on a qubit after it has been measured."""
-        measured: set[int] = set()
-        for instruction in circuit.instructions:
-            if instruction.kind == "measure":
-                measured.update(instruction.qubits)
-            elif instruction.kind in ("gate", "reset"):
-                if measured.intersection(instruction.qubits):
-                    return False
-        return True
+        return measurements_are_terminal(circuit)
 
     @staticmethod
     def _apply_gates(circuit: QuantumCircuit, state: Statevector) -> Statevector:
@@ -193,9 +281,21 @@ class StatevectorSimulator:
                 for qubit, clbit in zip(instruction.qubits, instruction.clbits):
                     measure_map[qubit] = clbit
 
+        return self._sample_terminal(
+            final, measure_map, circuit.num_clbits, shots, generator
+        )
+
+    @staticmethod
+    def _sample_terminal(
+        final: Statevector,
+        measure_map: dict[int, int],
+        num_clbits: int,
+        shots: int,
+        generator: np.random.Generator,
+    ) -> SimulationResult:
+        """Sample counts from a final state under a terminal measurement map."""
         if not measure_map:
             return SimulationResult(counts={}, shots=0, statevector=final)
-
         measured_qubits = sorted(measure_map)
         qubit_counts = final.sample_counts(shots, qubits=measured_qubits, rng=generator)
         counts: dict[str, int] = {}
@@ -204,7 +304,7 @@ class StatevectorSimulator:
                 measure_map[qubit]: int(bit)
                 for qubit, bit in zip(measured_qubits, outcome)
             }
-            key = _format_clbits(values, circuit.num_clbits)
+            key = _format_clbits(values, num_clbits)
             counts[key] = counts.get(key, 0) + count
         return SimulationResult(
             counts=counts, shots=shots, statevector=final,
@@ -258,8 +358,22 @@ class DensityMatrixSimulator:
     """
 
     def __init__(self, noise_model: NoiseModel | None = None, seed=None):
-        self.noise_model = noise_model
+        self._noise_model = noise_model
         self._rng = as_rng(seed)
+        self._cache = PropagatorCache()
+
+    @property
+    def noise_model(self) -> NoiseModel | None:
+        """The noise model applied to every gate (settable)."""
+        return self._noise_model
+
+    @noise_model.setter
+    def noise_model(self, noise_model: NoiseModel | None) -> None:
+        # Compiled superoperators bake the noise channels in, so swapping the
+        # model invalidates every cached propagator.
+        if noise_model is not self._noise_model:
+            self._cache.clear()
+        self._noise_model = noise_model
 
     # -- public API --------------------------------------------------------------
     def run(
@@ -296,6 +410,93 @@ class DensityMatrixSimulator:
             elif instruction.kind == "barrier":
                 continue
 
+        return self._sample_measurements(
+            state, measure_map, circuit.num_clbits, shots, generator
+        )
+
+    def run_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        shots: int = 1024,
+        initial_state: "DensityMatrix | Statevector | None" = None,
+        rng=None,
+    ) -> BatchResult:
+        """Execute a sequence of circuits through the batched (compiled) path.
+
+        Each eligible circuit — terminal measurements, at most
+        :data:`~repro.quantum.batch.MAX_SUPEROP_QUBITS` qubits — is folded
+        into a single cached superoperator (gates, attached noise-model
+        errors and resets included) and its counts are sampled with one
+        multinomial draw.  Runs of repeated instructions, such as the η
+        identity gates of the paper's channel emulation, are collapsed with
+        ``matrix_power``, so cost grows logarithmically rather than linearly
+        with η.  Circuits too large for a superoperator fall back to
+        :meth:`run`.
+
+        Parameters
+        ----------
+        circuits:
+            The circuits to execute, in order.
+        shots:
+            Shots sampled per circuit.
+        initial_state:
+            Optional common initial state (defaults to ``|0...0>``).
+        rng:
+            Seed or generator for all sampling in this batch; defaults to the
+            simulator's own generator.
+
+        Returns
+        -------
+        BatchResult
+            One :class:`SimulationResult` per circuit, in submission order.
+        """
+        if shots < 0:
+            raise SimulationError(f"shots must be non-negative, got {shots}")
+        generator = as_rng(rng) if rng is not None else self._rng
+        hits_before, misses_before = self._cache.hits, self._cache.misses
+        results = []
+        for circuit in circuits:
+            if not StatevectorSimulator._measurements_are_terminal(circuit):
+                raise SimulationError(
+                    "DensityMatrixSimulator supports only terminal measurements"
+                )
+            if circuit.num_qubits > MAX_SUPEROP_QUBITS:
+                results.append(
+                    self.run(circuit, shots=shots, initial_state=initial_state, rng=generator)
+                )
+                continue
+            compiled = compile_channel(circuit, self.noise_model, self._cache)
+            state = self._initial_state(circuit, initial_state)
+            final = DensityMatrix(compiled.propagate(state.matrix), validate=False)
+            results.append(
+                self._sample_measurements(
+                    final,
+                    compiled.measure_map,
+                    circuit.num_clbits,
+                    shots,
+                    generator,
+                )
+            )
+        return BatchResult(
+            results=results,
+            shots=shots,
+            metadata={
+                "method": "density_matrix_batch",
+                "noise_model": None if self.noise_model is None else self.noise_model.name,
+                "cache_hits": self._cache.hits - hits_before,
+                "cache_misses": self._cache.misses - misses_before,
+            },
+        )
+
+    def _sample_measurements(
+        self,
+        state: DensityMatrix,
+        measure_map: dict[int, int],
+        num_clbits: int,
+        shots: int,
+        generator: np.random.Generator,
+    ) -> SimulationResult:
+        """Sample counts (readout errors included) from a final mixed state."""
         if not measure_map:
             return SimulationResult(
                 counts={}, shots=0, density_matrix=state,
@@ -322,7 +523,7 @@ class DensityMatrixSimulator:
                 measure_map[qubit]: int(bit)
                 for qubit, bit in zip(measured_qubits, outcome)
             }
-            key = _format_clbits(values, circuit.num_clbits)
+            key = _format_clbits(values, num_clbits)
             counts[key] = counts.get(key, 0) + int(count)
         return SimulationResult(
             counts=counts, shots=shots, density_matrix=state, metadata=self._metadata(),
@@ -390,6 +591,4 @@ class DensityMatrixSimulator:
 
     @staticmethod
     def _apply_reset(state: DensityMatrix, qubit: int) -> DensityMatrix:
-        kraus_0 = np.array([[1, 0], [0, 0]], dtype=complex)
-        kraus_1 = np.array([[0, 1], [0, 0]], dtype=complex)
-        return state.apply_kraus([kraus_0, kraus_1], [qubit])
+        return state.apply_kraus(RESET_KRAUS, [qubit])
