@@ -1,0 +1,65 @@
+"""Bench ``network_scale``: sessions/second on a quick grid topology.
+
+Starts the bench trajectory for network-scale performance: 50 concurrent
+Poisson sessions on a 3×3 trusted-relay grid (a full UA-DI-QSDC session per
+hop), scheduled deterministically and executed through the threaded worker
+pool.  Records both the *simulated* throughput (sessions per simulated
+second — the operator-facing metric) and the *wall-clock* session execution
+rate (hop sessions simulated per real second — the engine-speed metric this
+bench exists to track).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result, run_network_scale
+from repro.network.sessions import STATUS_REJECTED
+
+
+def test_bench_network_throughput(benchmark, record, capsys):
+    started = time.perf_counter()
+    result = run_once(
+        benchmark,
+        run_network_scale,
+        rows=3,
+        cols=3,
+        num_sessions=50,
+        message_length=8,
+        check_pairs=32,
+        qubit_capacity=220,
+        executor="thread",
+        seed=7,
+    )
+    elapsed = time.perf_counter() - started
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Shape: a 9-node grid carrying 50 sessions, none lost to bookkeeping.
+    assert result.num_nodes == 9
+    assert result.num_sessions == 50
+    assert (
+        result.delivered_count + result.aborted_count + result.rejected_count == 50
+    )
+    # The network must actually deliver traffic (small DI-check budgets make
+    # statistical aborts common, but far from total).
+    assert result.delivered_count >= 15
+    assert result.mean_chsh is not None and result.mean_chsh > 2.0
+    # CI-quick budget: the whole simulation stays under 10 s of wall clock.
+    assert elapsed < 10.0
+
+    hop_sessions = sum(len(r.hop_reports) for r in result.records)
+    record(
+        delivered=result.delivered_count,
+        aborted=result.aborted_count,
+        rejected=result.count(STATUS_REJECTED),
+        simulated_throughput_sessions_per_s=result.throughput_sessions,
+        simulated_throughput_bits_per_s=result.throughput_bits,
+        hop_sessions_executed=hop_sessions,
+        wall_clock_hop_sessions_per_s=hop_sessions / elapsed,
+        mean_qber=result.mean_qber,
+        mean_chsh=result.mean_chsh,
+    )

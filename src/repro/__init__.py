@@ -10,6 +10,8 @@ The package is organised in layers:
   device-independent QSDC protocol.
 * :mod:`repro.attacks` — the five attack models analysed in the paper.
 * :mod:`repro.baselines` — prior DI-QSDC protocols compared in Table I.
+* :mod:`repro.network` — multi-node QSDC network simulation (topologies,
+  routing, trusted-relay sessions, discrete-event scheduling, metrics).
 * :mod:`repro.analysis` — fidelity, QBER, CHSH statistics.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
 

@@ -75,6 +75,14 @@ class QuantumMemory:
         """Keys of all stored items."""
         return list(self._items)
 
+    def qubits_in_use(self) -> int:
+        """Total number of qubits currently held across all stored items.
+
+        Network schedulers use this as the occupancy side of a node's qubit
+        capacity check (see :mod:`repro.network.scheduler`).
+        """
+        return sum(len(item.qubits) for item in self._items.values())
+
     def __len__(self) -> int:
         return len(self._items)
 

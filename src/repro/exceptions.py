@@ -27,6 +27,7 @@ __all__ = [
     "ConfigurationError",
     "AttackError",
     "ExperimentError",
+    "NetworkError",
 ]
 
 
@@ -105,3 +106,7 @@ class AttackError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
+
+
+class NetworkError(ReproError):
+    """Invalid network topology, routing request, or scheduler configuration."""

@@ -13,6 +13,7 @@ Experiment id             Paper artefact
 ``atk-impersonation-sweep``  §III-A — detection probability vs identity length
 ``atk-leakage``           §III-E — classical-channel information leakage
 ``e2e``                   §II — full protocol end to end
+``network_scale``         System extension — multi-node QSDC network traffic
 ========================  =====================================================
 
 Run them from Python (:func:`run_experiment`) or from the command line
@@ -35,6 +36,7 @@ from repro.experiments.emulation import (
 from repro.experiments.fig2_message_counts import Fig2Result, PAPER_FIG2_COUNTS, run_fig2
 from repro.experiments.fig3_channel_length import Fig3Result, default_eta_sweep, run_fig3
 from repro.experiments.mitigation_study import MitigationStudyResult, run_mitigation_study
+from repro.experiments.network_scale import run_network_scale
 from repro.experiments.registry import (
     Experiment,
     get_experiment,
@@ -76,6 +78,7 @@ __all__ = [
     "run_fig3",
     "MitigationStudyResult",
     "run_mitigation_study",
+    "run_network_scale",
     "Experiment",
     "get_experiment",
     "list_experiments",

@@ -5,10 +5,13 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig2
     python -m repro.experiments run fig3 --full
+    python -m repro.experiments run network_scale
     python -m repro.experiments run-all
 
 ``--full`` disables the reduced "quick" parameter sets and reproduces each
-artefact at the paper's scale (slower).
+artefact at the paper's scale (slower).  Beyond the paper artefacts the
+registry also exposes system-scale studies such as ``network_scale``
+(concurrent QSDC traffic over a multi-node relay network).
 """
 
 from __future__ import annotations
@@ -27,7 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the tables and figures of the UA-DI-QSDC paper.",
+        description=(
+            "Reproduce the tables and figures of the UA-DI-QSDC paper, and run "
+            "system-scale studies such as `network_scale` (multi-node QSDC "
+            "network traffic)."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

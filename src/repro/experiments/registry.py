@@ -89,6 +89,7 @@ def _populate_registry() -> None:
     from repro.experiments.fig2_message_counts import run_fig2
     from repro.experiments.fig3_channel_length import run_fig3
     from repro.experiments.mitigation_study import run_mitigation_study
+    from repro.experiments.network_scale import run_network_scale
     from repro.experiments.table1_comparison import run_table1
 
     register(
@@ -165,6 +166,22 @@ def _populate_registry() -> None:
                 "shots": 384,
                 "messages": ("00", "11"),
                 "noise_scales": (1.0, 2.0, 3.0),
+            },
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="network_scale",
+            paper_artifact="System extension (multi-node QSDC network)",
+            description="Concurrent sessions over a relay network: throughput, latency, aborts, QBER",
+            runner=run_network_scale,
+            quick_kwargs={
+                "rows": 3,
+                "cols": 3,
+                "num_sessions": 50,
+                "message_length": 8,
+                "check_pairs": 32,
+                "qubit_capacity": 220,
             },
         )
     )

@@ -19,9 +19,10 @@ from repro.experiments.fig2_message_counts import Fig2Result
 from repro.experiments.fig3_channel_length import Fig3Result
 from repro.experiments.mitigation_study import MitigationStudyResult
 from repro.experiments.table1_comparison import Table1Result
+from repro.network.metrics import NetworkResult
 
 __all__ = ["render_result", "render_fig2", "render_fig3", "render_table1_result",
-           "render_attacks", "render_chsh", "render_e2e"]
+           "render_attacks", "render_chsh", "render_e2e", "render_network"]
 
 
 def render_fig2(result: Fig2Result) -> str:
@@ -158,6 +159,46 @@ def render_e2e(result: EndToEndResult) -> str:
     ])
 
 
+def render_network(result: NetworkResult) -> str:
+    """Render a network simulation as an operator-style status block."""
+
+    def fmt(value: "float | None", pattern: str = "{:.4f}") -> str:
+        return "n/a" if value is None else pattern.format(value)
+
+    lines = [
+        f"Network simulation — {result.topology_name} "
+        f"({result.num_nodes} nodes, {result.num_links} links, "
+        f"routing={result.routing_policy})",
+        f"  sessions: {result.num_sessions} total — "
+        f"{result.delivered_count} delivered "
+        f"({result.count('delivered_with_errors')} with bit errors), "
+        f"{result.aborted_count} aborted, {result.rejected_count} rejected",
+        f"  throughput : {result.throughput_sessions:.1f} sessions/s, "
+        f"{result.throughput_bits:.0f} bits/s (simulated time "
+        f"{result.sim_time:.4f} s)",
+        f"  latency    : mean {fmt(result.mean_latency)} s "
+        f"(admission wait {fmt(result.mean_wait)} s)",
+        f"  abort rate : {result.abort_rate:.2f} of admitted   "
+        f"rejection rate: {result.rejection_rate:.2f} of offered",
+        f"  quality    : mean QBER {fmt(result.mean_qber, '{:.3f}')}, "
+        f"mean CHSH {fmt(result.mean_chsh, '{:.3f}')}, "
+        f"mean route length {fmt(result.mean_hops, '{:.2f}')} hops",
+    ]
+    reasons = result.abort_reasons()
+    if reasons:
+        rendered = ", ".join(f"{name}:{count}" for name, count in sorted(reasons.items()))
+        lines.append(f"  abort reasons: {rendered}")
+    busiest = sorted(
+        result.link_utilisation().items(), key=lambda item: (-item[1], item[0])
+    )[:5]
+    if busiest:
+        lines.append(
+            "  busiest links: "
+            + ", ".join(f"{a}—{b} ({count})" for (a, b), count in busiest)
+        )
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     Fig2Result: render_fig2,
     Fig3Result: render_fig3,
@@ -166,6 +207,7 @@ _RENDERERS = {
     CHSHExperimentResult: render_chsh,
     EndToEndResult: render_e2e,
     MitigationStudyResult: render_mitigation,
+    NetworkResult: render_network,
 }
 
 

@@ -1,0 +1,155 @@
+"""Route selection over a network topology.
+
+Trusted-relay QSDC forwards a message hop by hop: each hop runs a full
+authenticated protocol session and the relay re-encodes the decoded bits for
+the next hop (see :mod:`repro.network.sessions`).  Which hops to use is this
+module's job:
+
+* ``"hops"`` — fewest relays (every relay adds protocol overhead and a
+  trust assumption);
+* ``"loss"`` — lowest accumulated channel loss, weighting each link by
+  ``-log(survival_probability)`` of its quantum channel so path loss is
+  additive.
+
+Both policies run Dijkstra with a *deterministic* tie-break (lexicographic on
+the path's node names), which the scheduler's reproducibility guarantee
+relies on: the same topology and endpoints always yield the same route,
+regardless of dict iteration quirks or insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import NetworkError
+from repro.network.topology import NetworkLink, NetworkTopology
+
+__all__ = ["ROUTING_POLICIES", "Route", "link_loss_weight", "find_route", "RoutingTable"]
+
+#: Routing policies understood by :func:`find_route`.
+ROUTING_POLICIES = ("hops", "loss")
+
+#: Numerical floor applied to per-link survival probabilities so that a fully
+#: lossy link gets a very large (but finite) weight instead of breaking the
+#: comparison with an infinity.
+_MIN_SURVIVAL = 1e-12
+
+
+@dataclass(frozen=True)
+class Route:
+    """A loop-free path through the network.
+
+    Attributes
+    ----------
+    nodes:
+        The path's node names, source first, target last.
+    cost:
+        Accumulated Dijkstra cost under the policy that produced the route
+        (hop count for ``"hops"``, additive loss for ``"loss"``).
+    """
+
+    nodes: tuple[str, ...]
+    cost: float = 0.0
+
+    def __post_init__(self):
+        if len(self.nodes) < 2:
+            raise NetworkError("a route needs at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise NetworkError(f"route {self.nodes} visits a node twice")
+
+    @property
+    def source(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def relays(self) -> tuple[str, ...]:
+        """The intermediate (trusted-relay) nodes."""
+        return self.nodes[1:-1]
+
+    def hops(self) -> list[tuple[str, str]]:
+        """Consecutive ``(sender, receiver)`` pairs along the path."""
+        return list(zip(self.nodes[:-1], self.nodes[1:]))
+
+
+def link_loss_weight(link: NetworkLink) -> float:
+    """Additive loss weight of one link: ``-log(survival_probability)``."""
+    survival = max(link.quantum_channel.survival_probability(), _MIN_SURVIVAL)
+    return -math.log(survival)
+
+
+def find_route(
+    topology: NetworkTopology, source: str, target: str, policy: str = "hops"
+) -> Route:
+    """Best route from *source* to *target* under the given policy.
+
+    Raises :class:`NetworkError` for unknown nodes, unknown policies, or when
+    no path exists.
+    """
+    if policy not in ROUTING_POLICIES:
+        raise NetworkError(f"unknown routing policy {policy!r}; known: {ROUTING_POLICIES}")
+    topology.node(source)
+    topology.node(target)
+    if source == target:
+        raise NetworkError("source and target must differ")
+
+    def weight(link: NetworkLink) -> float:
+        return 1.0 if policy == "hops" else link_loss_weight(link)
+
+    # Heap entries are (cost, path); comparing the path tuple on equal cost
+    # gives the deterministic lexicographic tie-break.
+    frontier: list[tuple[float, tuple[str, ...]]] = [(0.0, (source,))]
+    settled: set[str] = set()
+    while frontier:
+        cost, path = heapq.heappop(frontier)
+        current = path[-1]
+        if current == target:
+            return Route(nodes=path, cost=cost)
+        if current in settled:
+            continue
+        settled.add(current)
+        for neighbor in topology.neighbors(current):
+            if neighbor in settled:
+                continue
+            link = topology.link(current, neighbor)
+            heapq.heappush(frontier, (cost + weight(link), path + (neighbor,)))
+    raise NetworkError(f"no route from {source!r} to {target!r}")
+
+
+class RoutingTable:
+    """Memoised route lookup for one topology (the scheduler's view).
+
+    Routes are computed lazily and cached per ``(source, target)`` pair; the
+    topology is assumed static for the lifetime of the table (the scheduler
+    builds a fresh table per simulation).
+    """
+
+    def __init__(self, topology: NetworkTopology, policy: str = "hops"):
+        if policy not in ROUTING_POLICIES:
+            raise NetworkError(
+                f"unknown routing policy {policy!r}; known: {ROUTING_POLICIES}"
+            )
+        self.topology = topology
+        self.policy = policy
+        self._routes: dict[tuple[str, str], Route] = {}
+
+    def route(self, source: str, target: str) -> Route:
+        """The (cached) route between two endpoints."""
+        key = (source, target)
+        if key not in self._routes:
+            self._routes[key] = find_route(
+                self.topology, source, target, policy=self.policy
+            )
+        return self._routes[key]
+
+    def __len__(self) -> int:
+        return len(self._routes)

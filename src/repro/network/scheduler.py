@@ -1,0 +1,450 @@
+"""Deterministic discrete-event scheduling of network traffic.
+
+The simulator runs in **two phases**, which is what makes large simulations
+both reproducible and parallel:
+
+1. **Reservation pass (serial, discrete-event).**  Traffic requests arrive
+   from a generator (Poisson or trace-driven), each is routed, and admission
+   control reserves EPR-pair capacity in every route node's
+   :class:`~repro.channel.memory.QuantumMemory` (endpoints hold one qubit
+   per pair, relays hold two — one per adjacent hop).  Sessions that do not
+   fit wait in a FIFO queue and are retried whenever capacity frees; a
+   session still queued after ``max_wait`` is rejected.  Admitted sessions
+   occupy their reservation for a duration derived from route length, pair
+   budget and per-link channel delay.  The event queue is a heap ordered by
+   ``(time, kind, sequence)``, so the pass is fully deterministic.
+
+2. **Execution pass (parallel).**  Every admitted session becomes one point
+   of a :func:`repro.experiments.sweep.run_sweep` grid with a
+   :func:`~repro.experiments.sweep.point_seed`-derived seed, and the
+   hop-by-hop protocol runs (:func:`repro.network.sessions.run_session`)
+   fan out across the worker pool.  Because each session's randomness
+   derives only from its own seed, serial and threaded execution produce
+   identical :class:`~repro.network.metrics.NetworkResult` objects — the
+   subsystem's headline guarantee.
+
+The reservation pass deliberately books resources for the session's *full*
+scheduled duration whether or not a hop later aborts (circuit-switched
+reservation, as in trusted-relay QKD networks), which keeps scheduling
+independent of quantum outcomes — the property that allows phase 2 to run in
+parallel at all.  Queueing delay is fed back into the quantum layer as
+memory hold time on the session's first hop, so congestion physically
+degrades stored qubits when node memories are non-ideal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import NetworkError
+from repro.network.metrics import NetworkResult, SessionRecord
+from repro.network.routing import ROUTING_POLICIES, Route, RoutingTable
+from repro.network.sessions import (
+    SessionOutcome,
+    SessionParameters,
+    SessionRequest,
+    run_session,
+)
+from repro.network.topology import NetworkTopology
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "PoissonTraffic",
+    "TraceTraffic",
+    "NetworkScheduler",
+    "simulate_network",
+]
+
+#: Executors the scheduler accepts.  ``"process"`` is excluded: the session
+#: worker closes over the live topology (channels, attack factories), which
+#: is not generally picklable — and threads already parallelise the NumPy
+#:-heavy protocol sessions well.
+SCHEDULER_EXECUTORS = ("serial", "thread")
+
+# Event-kind priorities at equal timestamps: completions free capacity before
+# timeouts give up on queued sessions, and both precede new arrivals.
+_COMPLETION, _TIMEOUT, _ARRIVAL = 0, 1, 2
+
+
+class PoissonTraffic:
+    """Memoryless traffic: exponential inter-arrivals, uniform random pairs.
+
+    Parameters
+    ----------
+    num_sessions:
+        Total number of requests to generate.
+    rate:
+        Mean arrivals per unit time (λ of the Poisson process).
+    message_length:
+        Secret bits per session.
+    """
+
+    def __init__(self, num_sessions: int, rate: float = 100.0, message_length: int = 8):
+        if num_sessions < 1:
+            raise NetworkError("num_sessions must be positive")
+        if rate <= 0:
+            raise NetworkError("rate must be positive")
+        if message_length < 1:
+            raise NetworkError("message_length must be positive")
+        self.num_sessions = num_sessions
+        self.rate = rate
+        self.message_length = message_length
+
+    def generate(self, topology: NetworkTopology, rng: Any = None) -> list[SessionRequest]:
+        """Draw the request list (deterministic for a given generator state)."""
+        generator = as_rng(rng)
+        names = topology.node_names
+        if len(names) < 2:
+            raise NetworkError("traffic needs at least two nodes")
+        requests = []
+        clock = 0.0
+        for session_id in range(self.num_sessions):
+            clock += float(generator.exponential(1.0 / self.rate))
+            source, target = (
+                names[int(index)]
+                for index in generator.choice(len(names), size=2, replace=False)
+            )
+            requests.append(
+                SessionRequest(
+                    session_id=session_id,
+                    source=source,
+                    target=target,
+                    message_length=self.message_length,
+                    arrival_time=clock,
+                )
+            )
+        return requests
+
+
+class TraceTraffic:
+    """Trace-driven traffic: explicit ``(time, source, target, length)`` entries."""
+
+    def __init__(self, entries: Sequence[tuple[float, str, str, int]]):
+        if not entries:
+            raise NetworkError("a trace needs at least one entry")
+        self.entries = [tuple(entry) for entry in entries]
+
+    def generate(self, topology: NetworkTopology, rng: Any = None) -> list[SessionRequest]:
+        """Materialise the trace (validates node names; ignores *rng*)."""
+        ordered = sorted(self.entries, key=lambda entry: entry[0])
+        requests = []
+        for session_id, (time, source, target, message_length) in enumerate(ordered):
+            topology.node(source)
+            topology.node(target)
+            requests.append(
+                SessionRequest(
+                    session_id=session_id,
+                    source=source,
+                    target=target,
+                    message_length=int(message_length),
+                    arrival_time=float(time),
+                )
+            )
+        return requests
+
+
+@dataclass
+class _Pending:
+    """Scheduling state of one request during the reservation pass."""
+
+    request: SessionRequest
+    record: SessionRecord
+    route: Route | None
+    qubits_needed: dict[str, int]
+    duration: float
+    admitted: bool = False
+    resolved: bool = False
+
+
+class NetworkScheduler:
+    """Admission control + discrete-event timing + parallel session execution.
+
+    Parameters
+    ----------
+    topology:
+        The network to simulate (treated as read-only during execution).
+    routing_policy:
+        ``"hops"`` or ``"loss"`` (see :mod:`repro.network.routing`).
+    session_params:
+        Fleet-wide protocol parameters (defaults:
+        :class:`~repro.network.sessions.SessionParameters`).
+    hop_overhead:
+        Classical coordination time added per hop (seconds); dominates hop
+        duration since per-pair channel delays are microseconds.
+    hold_time_unit:
+        Seconds of queueing delay per quantum-memory time unit — the
+        conversion between scheduler waiting time and storage-decoherence
+        applications on the first hop.
+    max_wait:
+        Patience window: a session still queued this long after arrival is
+        rejected (``None`` = wait indefinitely).
+    seed:
+        Master seed; traffic and every per-session seed derive from it.
+    executor:
+        ``"serial"`` or ``"thread"`` — both produce identical results.
+    max_workers:
+        Worker-pool size for the ``"thread"`` executor.
+    """
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        *,
+        routing_policy: str = "hops",
+        session_params: SessionParameters | None = None,
+        hop_overhead: float = 1e-3,
+        hold_time_unit: float = 1e-3,
+        max_wait: float | None = None,
+        seed: int = 0,
+        executor: str = "serial",
+        max_workers: int | None = None,
+    ):
+        if routing_policy not in ROUTING_POLICIES:
+            raise NetworkError(
+                f"unknown routing policy {routing_policy!r}; known: {ROUTING_POLICIES}"
+            )
+        if executor not in SCHEDULER_EXECUTORS:
+            raise NetworkError(
+                f"unknown executor {executor!r}; the scheduler supports "
+                f"{SCHEDULER_EXECUTORS} (session workers close over the live "
+                "topology and cannot be pickled for process pools)"
+            )
+        if hop_overhead < 0:
+            raise NetworkError("hop_overhead must be non-negative")
+        if hold_time_unit <= 0:
+            raise NetworkError("hold_time_unit must be positive")
+        if max_wait is not None and max_wait < 0:
+            raise NetworkError("max_wait must be non-negative or None")
+        self.topology = topology
+        self.routing = RoutingTable(topology, policy=routing_policy)
+        self.session_params = session_params or SessionParameters()
+        self.hop_overhead = hop_overhead
+        self.hold_time_unit = hold_time_unit
+        self.max_wait = max_wait
+        self.seed = int(seed)
+        self.executor = executor
+        self.max_workers = max_workers
+
+    # -- public API --------------------------------------------------------------------
+    def run(self, traffic: Any) -> NetworkResult:
+        """Simulate the given traffic and return the aggregated result."""
+        # Imported here (not at module level): the experiments package pulls
+        # in the network-scale experiment, which imports this module — a
+        # top-level import of the sweep substrate would close that cycle.
+        from repro.experiments.sweep import point_seed
+
+        traffic_rng = as_rng(point_seed(self.seed, {"stream": "traffic"}))
+        requests = traffic.generate(self.topology, traffic_rng)
+        requests = sorted(requests, key=lambda r: (r.arrival_time, r.session_id))
+        pendings = [self._prepare(request) for request in requests]
+        sim_time = self._reservation_pass(pendings)
+        self._execution_pass(pendings)
+        return NetworkResult(
+            topology_name=self.topology.name,
+            num_nodes=self.topology.num_nodes,
+            num_links=self.topology.num_links,
+            routing_policy=self.routing.policy,
+            sim_time=sim_time,
+            records=[pending.record for pending in pendings],
+        )
+
+    # -- phase 1: reservation ------------------------------------------------------------
+    def _prepare(self, request: SessionRequest) -> _Pending:
+        """Route one request and precompute its capacity and duration needs."""
+        record = SessionRecord(
+            session_id=request.session_id,
+            source=request.source,
+            target=request.target,
+            message_length=request.message_length,
+            arrival_time=request.arrival_time,
+        )
+        try:
+            route = self.routing.route(request.source, request.target)
+        except NetworkError:
+            record.abort_reason = "no_route"
+            return _Pending(request, record, None, {}, 0.0)
+        record.route_nodes = route.nodes
+
+        pairs = self.session_params.pairs_per_hop(request.message_length)
+        qubits_needed: dict[str, int] = {}
+        for sender, receiver in route.hops():
+            qubits_needed[sender] = qubits_needed.get(sender, 0) + pairs
+            qubits_needed[receiver] = qubits_needed.get(receiver, 0) + pairs
+        duration = sum(
+            pairs * self.topology.link(sender, receiver).quantum_channel.duration()
+            + self.hop_overhead
+            for sender, receiver in route.hops()
+        )
+        return _Pending(request, record, route, qubits_needed, duration)
+
+    def _reservation_pass(self, pendings: list[_Pending]) -> float:
+        """Discrete-event admission/timing; fills scheduling fields of records."""
+        memories = {
+            name: self.topology.node(name).spawn_memory()
+            for name in self.topology.node_names
+        }
+        events: list[tuple[float, int, int, _Pending]] = []
+        sequence = 0
+
+        def push(time: float, kind: int, pending: _Pending) -> None:
+            nonlocal sequence
+            heapq.heappush(events, (time, kind, sequence, pending))
+            sequence += 1
+
+        for pending in pendings:
+            if pending.route is None:
+                pending.resolved = True  # rejected outright: no route
+                continue
+            push(pending.request.arrival_time, _ARRIVAL, pending)
+            if self.max_wait is not None:
+                push(pending.request.arrival_time + self.max_wait, _TIMEOUT, pending)
+
+        queue: list[_Pending] = []
+        sim_time = max((p.request.arrival_time for p in pendings), default=0.0)
+
+        def fits(pending: _Pending) -> bool:
+            return all(
+                memories[name].qubits_in_use() + needed <= capacity
+                for name, needed in pending.qubits_needed.items()
+                if (capacity := self.topology.node(name).qubit_capacity) is not None
+            )
+
+        def viable(pending: _Pending) -> bool:
+            """Could the session ever fit, even on an idle network?"""
+            return all(
+                self.topology.node(name).qubit_capacity is None
+                or needed <= self.topology.node(name).qubit_capacity
+                for name, needed in pending.qubits_needed.items()
+            )
+
+        def admit(pending: _Pending, now: float) -> None:
+            record = pending.record
+            session_id = pending.request.session_id
+            for name, needed in pending.qubits_needed.items():
+                memories[name].store(session_id, tuple(range(needed)))
+            record.start_time = now
+            record.finish_time = now + pending.duration
+            record.hold_time = (now - pending.request.arrival_time) / self.hold_time_unit
+            pending.admitted = True
+            pending.resolved = True
+            for sender, receiver in pending.route.hops():
+                self.topology.link(sender, receiver).classical_channel.broadcast(
+                    "scheduler",
+                    "route_reserved",
+                    {"session": session_id, "start": now, "finish": record.finish_time},
+                )
+            push(record.finish_time, _COMPLETION, pending)
+
+        while events:
+            now, kind, _, pending = heapq.heappop(events)
+            if kind == _TIMEOUT and pending.resolved:
+                # Stale timeout of an already-scheduled session: must not
+                # advance sim_time, or every run with max_wait set would have
+                # its horizon padded to last_arrival + max_wait and all
+                # throughput figures silently deflated.
+                continue
+            sim_time = max(sim_time, now)
+            if kind == _ARRIVAL:
+                if not viable(pending):
+                    pending.resolved = True
+                    pending.record.abort_reason = "insufficient_capacity"
+                elif fits(pending):
+                    admit(pending, now)
+                else:
+                    queue.append(pending)
+            elif kind == _COMPLETION:
+                session_id = pending.request.session_id
+                for name in pending.qubits_needed:
+                    memories[name].retrieve(session_id)
+                for sender, receiver in pending.route.hops():
+                    self.topology.link(sender, receiver).classical_channel.broadcast(
+                        "scheduler", "route_released", {"session": session_id}
+                    )
+                still_waiting = []
+                for waiting in queue:
+                    if not waiting.resolved and fits(waiting):
+                        admit(waiting, now)
+                    elif not waiting.resolved:
+                        still_waiting.append(waiting)
+                queue = still_waiting
+            elif kind == _TIMEOUT:
+                pending.resolved = True
+                pending.record.abort_reason = "capacity_timeout"
+                queue = [waiting for waiting in queue if waiting is not pending]
+
+        # With max_wait=None a queued session is always admitted eventually
+        # (reservations drain, and unviable requests were rejected on
+        # arrival); this is a defensive sweep, not an expected path.
+        for pending in queue:
+            if not pending.resolved:
+                pending.resolved = True
+                pending.record.abort_reason = "capacity_timeout"
+        return sim_time
+
+    # -- phase 2: execution ----------------------------------------------------------------
+    def _execution_pass(self, pendings: list[_Pending]) -> None:
+        """Run every admitted session through the sweep worker pool."""
+        from repro.experiments.sweep import run_sweep  # see run(): cycle guard
+
+        admitted = [pending for pending in pendings if pending.admitted]
+        if not admitted:
+            return
+        by_id = {pending.request.session_id: pending for pending in admitted}
+
+        def worker(params: dict[str, Any], seed: int) -> SessionOutcome:
+            pending = by_id[params["session"]]
+            return run_session(
+                self.topology,
+                pending.route,
+                pending.request,
+                self.session_params,
+                seed=seed,
+                hold_time=pending.record.hold_time,
+            )
+
+        grid = [{"session": pending.request.session_id} for pending in admitted]
+        sweep = run_sweep(
+            worker,
+            grid,
+            base_seed=self.seed,
+            executor=self.executor,
+            max_workers=self.max_workers,
+        )
+        for pending, outcome in zip(admitted, sweep.values):
+            record = pending.record
+            record.status = outcome.status
+            record.failed_hop = outcome.failed_hop
+            record.abort_reason = outcome.abort_reason
+            record.end_to_end_error_rate = outcome.end_to_end_error_rate
+            record.hop_reports = outcome.hop_reports
+
+
+def simulate_network(
+    topology: NetworkTopology,
+    traffic: Any,
+    *,
+    routing_policy: str = "hops",
+    session_params: SessionParameters | None = None,
+    hop_overhead: float = 1e-3,
+    hold_time_unit: float = 1e-3,
+    max_wait: float | None = None,
+    seed: int = 0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> NetworkResult:
+    """One-call wrapper around :class:`NetworkScheduler` (see its docs)."""
+    scheduler = NetworkScheduler(
+        topology,
+        routing_policy=routing_policy,
+        session_params=session_params,
+        hop_overhead=hop_overhead,
+        hold_time_unit=hold_time_unit,
+        max_wait=max_wait,
+        seed=seed,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    return scheduler.run(traffic)

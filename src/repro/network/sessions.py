@@ -1,0 +1,316 @@
+"""Multi-hop QSDC sessions: trusted-relay forwarding over a route.
+
+A network session delivers one message from a source user to a target user
+along a :class:`~repro.network.routing.Route`.  QSDC has no entanglement
+swapping in this architecture — the paper's protocol is point to point — so
+forwarding is *trusted relay*: every hop runs a complete UA-DI-QSDC session
+(entanglement sharing, both DI checks, mutual authentication, decoding)
+between its two endpoint nodes, and the relay re-encodes the bits it decoded
+as the message of the next hop.  Consequences modelled here:
+
+* a hop abort (CHSH failure, authentication failure, integrity failure)
+  aborts the whole session at that hop;
+* channel bit errors *accumulate* across hops (each relay forwards exactly
+  the bits it decoded, errors included);
+* a compromised relay attacks every hop it terminates — and is caught by
+  that hop's DI check / authentication exactly like a man-in-the-middle,
+  which is the relay-compromise scenario the network experiments study;
+* the source's queueing delay (from the scheduler) becomes quantum-memory
+  hold time on the first hop, applying storage decoherence if the source
+  node's memory is non-ideal.
+
+Everything is deterministic given the session seed: per-hop seeds, the
+message bits and any attack randomness derive from it via
+:mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import NetworkError
+from repro.network.routing import Route
+from repro.network.topology import NetworkTopology
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.runner import UADIQSDCProtocol
+from repro.utils.bits import Bits, bits_to_str, hamming_distance, random_bits
+from repro.utils.rng import as_rng, derive_rng
+
+__all__ = [
+    "STATUS_DELIVERED",
+    "STATUS_DELIVERED_WITH_ERRORS",
+    "STATUS_ABORTED",
+    "STATUS_REJECTED",
+    "SessionRequest",
+    "SessionParameters",
+    "HopReport",
+    "SessionOutcome",
+    "run_session",
+]
+
+#: Terminal session statuses.
+STATUS_DELIVERED = "delivered"
+STATUS_DELIVERED_WITH_ERRORS = "delivered_with_errors"
+STATUS_ABORTED = "aborted"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One user's request to send a message across the network.
+
+    Attributes
+    ----------
+    session_id:
+        Unique id assigned by the traffic generator (grid order = id order).
+    source, target:
+        Endpoint node names.
+    message_length:
+        Number of secret bits to deliver (the bits themselves are drawn
+        deterministically from the session seed at execution time).
+    arrival_time:
+        Simulation time at which the request enters the network.
+    """
+
+    session_id: int
+    source: str
+    target: str
+    message_length: int
+    arrival_time: float
+
+    def __post_init__(self):
+        if self.source == self.target:
+            raise NetworkError("session source and target must differ")
+        if self.message_length < 1:
+            raise NetworkError("message_length must be positive")
+        if self.arrival_time < 0:
+            raise NetworkError("arrival_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SessionParameters:
+    """Protocol-level parameters shared by every hop of every session.
+
+    The per-hop quantum channel always comes from the link; these are the
+    remaining :class:`~repro.protocol.config.ProtocolConfig` tunables a
+    network operator would fix fleet-wide.
+    """
+
+    identity_pairs: int = 2
+    check_pairs_per_round: int = 32
+    num_check_bits: int | None = None
+    authentication_tolerance: float = 0.25
+    check_bit_tolerance: float = 0.15
+
+    def check_bits_for(self, message_length: int) -> int:
+        """Check-bit count for a message (auto: the `ProtocolConfig.default` rule)."""
+        if self.num_check_bits is not None:
+            check_bits = self.num_check_bits
+        else:
+            check_bits = max(2, message_length // 4)
+        if (message_length + check_bits) % 2 != 0:
+            check_bits += 1
+        return check_bits
+
+    def pairs_per_hop(self, message_length: int) -> int:
+        """EPR pairs one hop consumes: ``N + 2l + 2d`` (qubits held per endpoint)."""
+        message_pairs = (message_length + self.check_bits_for(message_length)) // 2
+        return (
+            message_pairs
+            + 2 * self.identity_pairs
+            + 2 * self.check_pairs_per_round
+        )
+
+    def hop_config(
+        self,
+        message_length: int,
+        channel: Any,
+        seed: int,
+        memory_decoherence: Any = None,
+        memory_hold_time: float = 0.0,
+    ) -> ProtocolConfig:
+        """Build the :class:`ProtocolConfig` for one hop."""
+        return ProtocolConfig(
+            message_length=message_length,
+            num_check_bits=self.check_bits_for(message_length),
+            identity_pairs=self.identity_pairs,
+            check_pairs_per_round=self.check_pairs_per_round,
+            authentication_tolerance=self.authentication_tolerance,
+            check_bit_tolerance=self.check_bit_tolerance,
+            channel=channel,
+            memory_decoherence=memory_decoherence,
+            memory_hold_time=memory_hold_time,
+            seed=seed,
+        )
+
+
+@dataclass
+class HopReport:
+    """Compact, JSON-friendly record of one hop's protocol session."""
+
+    sender: str
+    receiver: str
+    success: bool
+    abort_reason: str
+    chsh_round1: float | None = None
+    chsh_round2: float | None = None
+    check_bit_error_rate: float | None = None
+    message_bit_error_rate: float | None = None
+    attack: str | None = None
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "success": self.success,
+            "abort_reason": self.abort_reason,
+            "chsh_round1": self.chsh_round1,
+            "chsh_round2": self.chsh_round2,
+            "check_bit_error_rate": self.check_bit_error_rate,
+            "message_bit_error_rate": self.message_bit_error_rate,
+            "attack": self.attack,
+        }
+
+
+@dataclass
+class SessionOutcome:
+    """The quantum-execution result of one admitted session.
+
+    Attributes
+    ----------
+    session_id:
+        The request's id.
+    status:
+        ``"delivered"`` (exact), ``"delivered_with_errors"`` (all hops
+        succeeded but relayed bit errors corrupted the message), or
+        ``"aborted"`` (a hop's security machinery fired).
+    failed_hop:
+        Index of the aborting hop (None unless aborted).
+    abort_reason:
+        The aborting hop's :class:`~repro.protocol.results.AbortReason` value.
+    hop_reports:
+        One :class:`HopReport` per executed hop, in route order.
+    end_to_end_error_rate:
+        Fraction of delivered bits differing from the sent message (None if
+        aborted before delivery).
+    sent_message, delivered_message:
+        Bitstrings for auditing (delivered is None on abort).
+    """
+
+    session_id: int
+    status: str
+    failed_hop: int | None = None
+    abort_reason: str | None = None
+    hop_reports: list[HopReport] = field(default_factory=list)
+    end_to_end_error_rate: float | None = None
+    sent_message: str = ""
+    delivered_message: str | None = None
+
+    @property
+    def delivered(self) -> bool:
+        """True if the message reached the target (possibly with bit errors)."""
+        return self.status in (STATUS_DELIVERED, STATUS_DELIVERED_WITH_ERRORS)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "status": self.status,
+            "failed_hop": self.failed_hop,
+            "abort_reason": self.abort_reason,
+            "hops": [report.summary() for report in self.hop_reports],
+            "end_to_end_error_rate": self.end_to_end_error_rate,
+            "sent_message": self.sent_message,
+            "delivered_message": self.delivered_message,
+        }
+
+
+def run_session(
+    topology: NetworkTopology,
+    route: Route,
+    request: SessionRequest,
+    params: SessionParameters,
+    seed: int,
+    hold_time: float = 0.0,
+) -> SessionOutcome:
+    """Execute one session hop by hop along *route* (trusted-relay forwarding).
+
+    Parameters
+    ----------
+    topology:
+        The network (read-only during execution; safe to share across
+        threads).
+    route:
+        The path selected by the scheduler.
+    request:
+        The traffic request being served.
+    params:
+        Fleet-wide protocol parameters.
+    seed:
+        Deterministic session seed (the scheduler derives it with
+        :func:`repro.experiments.sweep.point_seed`); message bits, per-hop
+        protocol randomness and attack randomness all flow from it.
+    hold_time:
+        Memory time units the source held its qubits while the session was
+        queued; applied as storage hold on the first hop.
+    """
+    if route.source != request.source or route.target != request.target:
+        raise NetworkError(
+            f"route {route.nodes} does not serve request "
+            f"{request.source!r} -> {request.target!r}"
+        )
+    rng = as_rng(int(seed))
+    message: Bits = random_bits(request.message_length, rng=derive_rng(rng, "message"))
+
+    outcome = SessionOutcome(
+        session_id=request.session_id,
+        status=STATUS_DELIVERED,
+        sent_message=bits_to_str(message),
+    )
+    current = message
+    for index, (sender, receiver) in enumerate(route.hops()):
+        link = topology.link(sender, receiver)
+        hop_seed = int(derive_rng(rng, "hop", index).integers(0, 2**31 - 1))
+
+        attack = None
+        for endpoint in (sender, receiver):
+            node = topology.node(endpoint)
+            if node.compromised:
+                attack = node.attack_factory(derive_rng(rng, "attack", index))
+                break
+
+        config = params.hop_config(
+            message_length=len(current),
+            channel=link.quantum_channel,
+            seed=hop_seed,
+            memory_decoherence=topology.node(sender).memory_decoherence,
+            memory_hold_time=hold_time if index == 0 else 0.0,
+        )
+        result = UADIQSDCProtocol(config, attack=attack).run(current)
+
+        outcome.hop_reports.append(
+            HopReport(
+                sender=sender,
+                receiver=receiver,
+                success=result.success,
+                abort_reason=result.abort_reason.value,
+                chsh_round1=None if result.chsh_round1 is None else result.chsh_round1.value,
+                chsh_round2=None if result.chsh_round2 is None else result.chsh_round2.value,
+                check_bit_error_rate=result.check_bit_error_rate,
+                message_bit_error_rate=result.message_bit_error_rate,
+                attack=None if attack is None else getattr(attack, "name", "attack"),
+            )
+        )
+        if not result.success:
+            outcome.status = STATUS_ABORTED
+            outcome.failed_hop = index
+            outcome.abort_reason = result.abort_reason.value
+            return outcome
+        current = result.delivered_message
+
+    errors = hamming_distance(current, message) / len(message)
+    outcome.end_to_end_error_rate = errors
+    outcome.delivered_message = bits_to_str(current)
+    if errors > 0:
+        outcome.status = STATUS_DELIVERED_WITH_ERRORS
+    return outcome

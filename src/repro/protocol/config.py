@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.channel.quantum_channel import IdentityChainChannel, QuantumChannel
 from repro.exceptions import ConfigurationError
 from repro.protocol.chsh import CHSHSettings
+from repro.quantum.channels import KrausChannel
 from repro.protocol.identity import Identity
 from repro.protocol.source import EntanglementSource
 from repro.utils.rng import as_rng
@@ -54,6 +55,17 @@ class ProtocolConfig:
         entanglement sharing (None = ideal distribution, the paper's setting).
     source:
         The entanglement source (default: ideal ``|Φ+⟩`` source).
+    memory_decoherence:
+        Optional single-qubit Kraus channel applied (via
+        :class:`~repro.channel.memory.QuantumMemory`) to Alice's stored halves
+        once per unit of hold time between the first DI security check and
+        the encoding step.  ``None`` models the paper's ideal memory.
+    memory_hold_time:
+        How long (in memory time units) Alice holds her halves before
+        encoding.  With an ideal memory this has no physical effect; with
+        ``memory_decoherence`` set, the channel is applied
+        ``int(memory_hold_time)`` times per stored qubit.  Network schedulers
+        map session queueing delay onto this knob.
     alice_identity, bob_identity:
         Pre-shared identities; generated from the seed when omitted.
     seed:
@@ -73,6 +85,8 @@ class ProtocolConfig:
     channel: QuantumChannel = field(default_factory=lambda: IdentityChainChannel(eta=10))
     distribution_channel: QuantumChannel | None = None
     source: EntanglementSource = field(default_factory=EntanglementSource)
+    memory_decoherence: KrausChannel | None = None
+    memory_hold_time: float = 0.0
     alice_identity: Identity | None = None
     bob_identity: Identity | None = None
     seed: int | None = None
@@ -150,6 +164,10 @@ class ProtocolConfig:
             raise ConfigurationError("authentication_tolerance must lie in [0, 1)")
         if not 0.0 <= self.check_bit_tolerance < 1.0:
             raise ConfigurationError("check_bit_tolerance must lie in [0, 1)")
+        if self.memory_hold_time < 0:
+            raise ConfigurationError("memory_hold_time cannot be negative")
+        if self.memory_decoherence is not None and self.memory_decoherence.num_qubits != 1:
+            raise ConfigurationError("memory_decoherence must be a single-qubit channel")
         if self.alice_identity is not None and self.alice_identity.num_pairs != self.identity_pairs:
             raise ConfigurationError(
                 "alice_identity length does not match identity_pairs"
@@ -178,3 +196,11 @@ class ProtocolConfig:
     def with_seed(self, seed: int | None) -> "ProtocolConfig":
         """A copy of the configuration with a different master seed."""
         return replace(self, seed=seed)
+
+    def with_memory(
+        self, decoherence: KrausChannel | None, hold_time: float
+    ) -> "ProtocolConfig":
+        """A copy with a different storage-memory model for Alice's hold period."""
+        return replace(
+            self, memory_decoherence=decoherence, memory_hold_time=hold_time
+        )

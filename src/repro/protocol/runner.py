@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.channel.memory import QuantumMemory
 from repro.exceptions import (
     AuthenticationFailure,
     ProtocolAbort,
@@ -121,6 +122,9 @@ class UADIQSDCProtocol:
                 register,
                 chsh_round1=chsh_round1,
             )
+
+        # ----- Hold period: Alice stores her halves between check and encoding ---------------
+        pairs = self._memory_hold(pairs, transcript)
 
         # ----- Step 3: Alice's encoding -----------------------------------------------------
         round2_positions = register.assign_round2_check(rng=alice_rng)
@@ -326,6 +330,51 @@ class UADIQSDCProtocol:
                 for index, state in enumerate(emitted)
             ]
         return dict(enumerate(emitted))
+
+    def _memory_hold(
+        self, pairs: dict[int, DensityMatrix], transcript: ProtocolTranscript
+    ) -> dict[int, DensityMatrix]:
+        """Hold Alice's halves in quantum memory while the round-1 check runs.
+
+        Every surviving pair is stored in a :class:`QuantumMemory`, the memory
+        clock advances by ``config.memory_hold_time``, and the pairs are
+        retrieved again — which applies the configured storage-decoherence
+        channel once per stored qubit per elapsed time unit.  With the default
+        ideal memory (no decoherence channel, zero hold time) the retrieval
+        is an exact pass-through and no phase is recorded, so results stay
+        bit-identical to the paper's ideal-memory sessions.
+
+        The decoherence application is batched over *distinct* pair states
+        (same structure-sharing trick as ``transmit_batch``): after step 2 all
+        surviving pairs carry the same post-distribution state, so a
+        decohering hold costs one Kraus application instead of one per pair.
+        """
+        decoherence = self.config.memory_decoherence
+        hold_time = self.config.memory_hold_time
+        memory = QuantumMemory(decoherence)
+        for position in pairs:
+            memory.store(position, (ALICE_QUBIT,))
+        memory.advance_time(hold_time)
+        evolved_cache: dict[bytes, DensityMatrix] = {}
+        held: dict[int, DensityMatrix] = {}
+        for position, state in pairs.items():
+            key = state.matrix.tobytes()
+            cached = evolved_cache.get(key)
+            if cached is None:
+                _, cached = memory.retrieve(position, state)
+                evolved_cache[key] = cached
+            else:
+                memory.retrieve(position)
+            held[position] = cached
+        if decoherence is not None or hold_time > 0:
+            transcript.record_phase(
+                "memory_hold",
+                True,
+                hold_time=hold_time,
+                ideal=decoherence is None,
+                stored_pairs=len(held),
+            )
+        return held
 
     def _transmit(self, pairs: dict[int, DensityMatrix]) -> dict[int, DensityMatrix]:
         """Send Alice's halves through the quantum channel (and any attack).

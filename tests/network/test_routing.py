@@ -1,0 +1,120 @@
+"""Routing correctness on known graphs, including the loss-aware policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
+from repro.exceptions import NetworkError
+from repro.network.routing import Route, RoutingTable, find_route, link_loss_weight
+from repro.network.topology import (
+    NetworkTopology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+
+
+class TestRoute:
+    def test_properties(self):
+        route = Route(nodes=("a", "b", "c"))
+        assert route.source == "a"
+        assert route.target == "c"
+        assert route.num_hops == 2
+        assert route.relays == ("b",)
+        assert route.hops() == [("a", "b"), ("b", "c")]
+
+    def test_rejects_degenerate_paths(self):
+        with pytest.raises(NetworkError):
+            Route(nodes=("a",))
+        with pytest.raises(NetworkError):
+            Route(nodes=("a", "b", "a"))
+
+
+class TestShortestHops:
+    def test_line_end_to_end(self):
+        topology = line_topology(5)
+        route = find_route(topology, "n0", "n4")
+        assert route.nodes == ("n0", "n1", "n2", "n3", "n4")
+        assert route.cost == 4
+
+    def test_ring_takes_short_side(self):
+        topology = ring_topology(6)
+        route = find_route(topology, "n0", "n2")
+        assert route.nodes == ("n0", "n1", "n2")
+
+    def test_grid_manhattan_distance(self):
+        topology = grid_topology(3, 3)
+        route = find_route(topology, "n0_0", "n2_2")
+        assert route.num_hops == 4
+
+    def test_deterministic_tiebreak(self):
+        # A 2×2 grid has two equal-length paths between opposite corners;
+        # Dijkstra's lexicographic tie-break must always pick the same one.
+        topology = grid_topology(2, 2)
+        routes = {find_route(topology, "n0_0", "n1_1").nodes for _ in range(10)}
+        assert routes == {("n0_0", "n0_1", "n1_1")}
+
+    def test_unreachable_raises(self):
+        topology = NetworkTopology()
+        topology.add_node("a")
+        topology.add_node("b")
+        topology.add_node("c")
+        topology.add_link("a", "b")
+        with pytest.raises(NetworkError):
+            find_route(topology, "a", "c")
+
+    def test_same_endpoints_rejected(self):
+        topology = line_topology(3)
+        with pytest.raises(NetworkError):
+            find_route(topology, "n0", "n0")
+
+    def test_unknown_policy_rejected(self):
+        topology = line_topology(3)
+        with pytest.raises(NetworkError):
+            find_route(topology, "n0", "n2", policy="fastest")
+
+
+class TestLowestLoss:
+    def _triangle(self) -> NetworkTopology:
+        """Direct edge a—c is very noisy; the a—b—c detour is clean."""
+        topology = NetworkTopology()
+        for name in ("a", "b", "c"):
+            topology.add_node(name)
+        topology.add_link("a", "c", IdentityChainChannel(eta=500))
+        topology.add_link("a", "b", NoiselessChannel())
+        topology.add_link("b", "c", NoiselessChannel())
+        return topology
+
+    def test_hops_policy_takes_direct_edge(self):
+        route = find_route(self._triangle(), "a", "c", policy="hops")
+        assert route.nodes == ("a", "c")
+
+    def test_loss_policy_takes_clean_detour(self):
+        route = find_route(self._triangle(), "a", "c", policy="loss")
+        assert route.nodes == ("a", "b", "c")
+
+    def test_loss_weight_monotone_in_eta(self):
+        topology = NetworkTopology()
+        for name in ("a", "b"):
+            topology.add_node(name)
+        short = topology.add_link("a", "b", IdentityChainChannel(eta=10))
+        assert link_loss_weight(short) > 0
+        long_link = NetworkTopology()
+        for name in ("a", "b"):
+            long_link.add_node(name)
+        longer = long_link.add_link("a", "b", IdentityChainChannel(eta=100))
+        assert link_loss_weight(longer) > link_loss_weight(short)
+
+
+class TestRoutingTable:
+    def test_caches_routes(self):
+        table = RoutingTable(grid_topology(3, 3))
+        first = table.route("n0_0", "n2_2")
+        second = table.route("n0_0", "n2_2")
+        assert first is second
+        assert len(table) == 1
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(NetworkError):
+            RoutingTable(line_topology(3), policy="magic")
