@@ -3,9 +3,12 @@
 The paper's conclusion highlights financial transactions and critical
 infrastructure as target applications: the receiver must be certain the order
 came from the authentic sender, and the sender must be certain only the
-authentic receiver can read it.  This example encodes a small payment order,
-transmits it with UA-DI-QSDC, and then shows what happens when an impostor who
-does not know the pre-shared identity tries to collect the same order.
+authentic receiver can read it.  This example sends a small JSON payment
+order as *bytes* through the :class:`~repro.api.service.MessagingService`
+facade, then shows an impostor who does not know the pre-shared identity
+failing to collect the same order — every fragment session (first attempt
+and retransmission alike) is rejected at identity verification, so the
+delivery fails as a whole.
 
 Run with::
 
@@ -16,71 +19,68 @@ from __future__ import annotations
 
 import json
 
+from repro import MessagingService, ServiceConfig
 from repro.attacks import ImpersonationAttack
 from repro.channel.quantum_channel import IdentityChainChannel
-from repro.protocol import Identity, ProtocolConfig, UADIQSDCProtocol
+from repro.protocol import Identity
 
 
-def encode_record(record: dict) -> str:
-    """Serialise a small JSON record as a bitstring (8 bits per byte)."""
-    payload = json.dumps(record, separators=(",", ":")).encode("ascii")
-    return "".join(format(byte, "08b") for byte in payload)
-
-
-def decode_record(bits: str) -> dict:
-    """Inverse of :func:`encode_record`."""
-    data = bytes(int(bits[i:i + 8], 2) for i in range(0, len(bits), 8))
-    return json.loads(data.decode("ascii"))
-
-
-def build_config(message_bits: str, seed: int) -> ProtocolConfig:
-    """Protocol parameters shared by the honest and the attacked session."""
-    return ProtocolConfig(
-        message_length=len(message_bits),
-        num_check_bits=16,
-        identity_pairs=8,
-        check_pairs_per_round=128,
-        channel=IdentityChainChannel(eta=20),
-        alice_identity=Identity.from_string("1101001011010010", owner="bank"),
-        bob_identity=Identity.from_string("0011100101101100", owner="broker"),
-        seed=seed,
+def build_config(seed: int) -> ServiceConfig:
+    """Service parameters shared by the honest and the attacked delivery."""
+    return (
+        ServiceConfig.paper_default(seed=seed)
+        .with_channel(IdentityChainChannel(eta=20))
+        .with_check_pairs(128)
+        .with_fragment_bits(32)
+        .with_retries(4)
+        .with_identities(
+            Identity.from_string("1101001011010010", owner="bank"),
+            Identity.from_string("0011100101101100", owner="broker"),
+        )
     )
 
 
 def main() -> None:
     order = {"op": "BUY", "sym": "QKD", "qty": 5}
-    message_bits = encode_record(order)
+    payload = json.dumps(order, separators=(",", ":")).encode("ascii")
 
     print("Authenticated transaction transfer with UA-DI-QSDC")
     print("===================================================")
-    print(f"order: {order}  ({len(message_bits)} bits)")
+    print(f"order: {order}  ({8 * len(payload)} bits)")
     print()
 
-    # Honest session: the genuine broker receives and verifies the order.
-    honest = UADIQSDCProtocol(build_config(message_bits, seed=31)).run(message_bits)
+    # Honest delivery: the genuine broker receives and verifies the order.
+    honest = MessagingService(build_config(seed=31)).send(payload)
     print("1) genuine broker (knows the pre-shared identity)")
-    print(f"   protocol succeeded : {honest.success}")
-    if honest.delivered_message_string:
-        print(f"   order received     : {decode_record(honest.delivered_message_string)}")
-    print(f"   identity mismatch  : {honest.bob_authentication_error:.2f}")
+    print(f"   delivery succeeded : {honest.success} "
+          f"({honest.num_fragments} fragments, {honest.total_attempts} sessions)")
+    if honest.success:
+        print(f"   order received     : {json.loads(honest.delivered_payload)}")
     print()
 
-    # Attack session: an impostor tries to receive the order without id_B.
-    impostor = ImpersonationAttack("bob", rng=5)
-    attacked = UADIQSDCProtocol(build_config(message_bits, seed=32), attack=impostor).run(
-        message_bits
+    # Attacked delivery: an impostor tries to receive the order without id_B.
+    impostor_config = build_config(seed=32).with_attack_factory(
+        lambda index, attempt, rng: ImpersonationAttack("bob", rng=rng)
     )
-    print("2) impostor broker (guesses the identity at random)")
-    print(f"   protocol succeeded : {attacked.success}")
-    print(f"   abort reason       : {attacked.abort_reason.value}")
-    print(f"   identity mismatch  : {attacked.bob_authentication_error:.2f} "
-          "(expected ≈ 0.75 for random guesses)")
-    print(f"   order delivered    : {attacked.delivered_message_string}")
+    attacked = MessagingService(impostor_config).send(payload)
+    mismatches = [
+        attempt.bob_authentication_error
+        for fragment in attacked.fragments
+        for attempt in fragment.attempts
+        if attempt.bob_authentication_error is not None
+    ]
+    print("2) impostor broker (guesses the identity at random, every attempt)")
+    print(f"   delivery succeeded : {attacked.success}")
+    print(f"   abort reasons      : {attacked.abort_reasons()}")
+    print(f"   identity mismatch  : "
+          f"{sum(mismatches) / len(mismatches):.2f} mean over "
+          f"{len(mismatches)} sessions (expected ≈ 0.75 for random guesses)")
+    print(f"   order delivered    : {attacked.delivered_payload}")
     print()
     print("The impostor is rejected before the bank discloses which EPR pairs")
-    print("carry the order, so no part of the transaction leaks; the genuine")
-    print(f"broker is detected as authentic with probability 1-(1/4)^l = "
-          f"{ImpersonationAttack.detection_probability(8):.8f} against impostors.")
+    print("carry the order, so no part of the transaction leaks; a genuine")
+    print(f"identity of l=8 pairs detects impostors with probability "
+          f"1-(1/4)^l = {ImpersonationAttack.detection_probability(8):.8f}.")
 
 
 if __name__ == "__main__":

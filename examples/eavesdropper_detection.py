@@ -13,6 +13,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro import ServiceConfig
 from repro.attacks import (
     EntangleMeasureAttack,
     ImpersonationAttack,
@@ -20,19 +21,16 @@ from repro.attacks import (
     ManInTheMiddleAttack,
     evaluate_attack,
 )
-from repro.channel.quantum_channel import IdentityChainChannel
-from repro.protocol import ProtocolConfig
 
 MESSAGE = "1011001110001111"
 
 
 def main() -> None:
-    config = ProtocolConfig.default(
-        message_length=len(MESSAGE),
-        identity_pairs=8,
-        check_pairs_per_round=96,
-        eta=10,
-    ).with_channel(IdentityChainChannel(eta=10))
+    # The per-session protocol parameters come from the service-level
+    # builder: paper defaults (η=10 channel, l=8) with lighter DI rounds,
+    # mapped onto a ProtocolConfig for the attack-evaluation harness.
+    service_config = ServiceConfig.paper_default().with_check_pairs(96)
+    config = service_config.protocol_config(message_length=len(MESSAGE), seed=0)
 
     scenarios = {
         "honest session (no attack)": None,

@@ -1,8 +1,15 @@
 """Quickstart: send one authenticated, device-independent secure message.
 
-Runs a single UA-DI-QSDC session with the paper's default parameters (η = 10
-identity-gate channel, 8 identity pairs, 256 check pairs per DI round) and
-prints what each protocol phase reported.
+The whole service API in three lines::
+
+    from repro import MessagingService, ServiceConfig
+
+    report = MessagingService(ServiceConfig.paper_default(seed=7)).send("hi Bob!")
+    assert report.success
+
+Below, the same send with the full :class:`~repro.api.report.DeliveryReport`
+printed: how the payload was encoded and fragmented, what every protocol
+session reported, and the security metrics of the delivery.
 
 Run with::
 
@@ -11,36 +18,38 @@ Run with::
 
 from __future__ import annotations
 
-from repro.protocol import ProtocolConfig, UADIQSDCProtocol
+from repro import MessagingService, ServiceConfig
 
 
 def main() -> None:
-    message = "1011001110001111"
+    service = MessagingService(
+        ServiceConfig.paper_default(seed=7).with_fragment_bits(32)
+    )
+    report = service.send("hi Bob!")
 
-    config = ProtocolConfig.default(message_length=len(message), seed=7, eta=10)
-    protocol = UADIQSDCProtocol(config)
-    result = protocol.run(message)
-
-    print("UA-DI-QSDC quickstart")
-    print("=====================")
-    print(f"channel                : {config.channel.name}")
-    print(f"EPR pairs shared       : {config.total_pairs} "
-          f"(message {config.num_message_pairs}, identity 2x{config.identity_pairs}, "
-          f"DI checks 2x{config.check_pairs_per_round})")
-    print(f"message sent           : {result.sent_message_string}")
-    print(f"message delivered      : {result.delivered_message_string}")
-    print(f"delivered correctly    : {result.message_delivered_correctly()}")
-    print(f"CHSH round 1           : {result.chsh_round1.value:.3f} "
-          f"(threshold {config.chsh_settings.threshold}, ideal 2.828)")
-    print(f"CHSH round 2           : {result.chsh_round2.value:.3f}")
-    print(f"Bob-identity mismatch  : {result.bob_authentication_error:.3f}")
-    print(f"Alice-identity mismatch: {result.alice_authentication_error:.3f}")
-    print(f"check-bit error rate   : {result.check_bit_error_rate:.3f}")
+    print("UA-DI-QSDC quickstart — MessagingService facade")
+    print("===============================================")
+    print(f"backend                : {report.backend}")
+    print(f"payload sent           : {report.sent_payload!r} "
+          f"({report.payload_kind}, {report.num_payload_bits} bits)")
+    print(f"fragments              : {report.num_fragments} "
+          f"(≤{service.config.fragment_bits} payload bits each + 64-bit frame header)")
+    print(f"delivered              : {report.success}")
+    print(f"payload received       : {report.delivered_payload!r}")
+    print(f"protocol sessions run  : {report.total_attempts} "
+          f"({report.retransmissions} retransmissions)")
+    print(f"mean CHSH (round 1)    : {report.mean_chsh_round1:.3f} "
+          f"(classical bound 2, ideal 2.828)")
+    print(f"mean check-bit QBER    : {report.mean_qber:.3f}")
     print()
-    print("phase-by-phase outcome:")
-    for phase in result.phases:
-        status = "ok" if phase.passed else "FAILED"
-        print(f"  {phase.name:<24s} {status}   {phase.details}")
+    print("per-fragment delivery:")
+    for fragment in report.fragments:
+        attempts = ", ".join(
+            f"attempt {a.attempt}: "
+            + ("ok" if a.success and a.frame_intact else a.abort_reason)
+            for a in fragment.attempts
+        )
+        print(f"  fragment {fragment.index}  ({fragment.num_payload_bits} bits)  {attempts}")
 
 
 if __name__ == "__main__":

@@ -2,9 +2,17 @@
 
 The paper motivates UA-DI-QSDC with applications such as secure
 communications between parties who must also be sure *who* they are talking
-to.  This example sends a short ASCII text from Alice to Bob over the
-η-identity-gate channel, shows the classical transcript an eavesdropper would
-see (no message content), and verifies the received text.
+to.  This example sends a short text from Alice to Bob through the
+:class:`~repro.api.service.MessagingService` facade over the η=50
+identity-gate channel (the ≈3 µs NISQ link), shows the classical transcript a
+passive eavesdropper would see (no message content), and verifies the
+received text.
+
+The text ↔ bit conversions come from the shared payload codec
+(:mod:`repro.api.codec`) — the facade applies them automatically for ``str``
+payloads; they are also importable for standalone use::
+
+    from repro.api.codec import text_to_bits, bits_to_text
 
 Run with::
 
@@ -13,59 +21,48 @@ Run with::
 
 from __future__ import annotations
 
+from repro import MessagingService, ServiceConfig
 from repro.attacks import ClassicalEavesdropper
-from repro.channel.quantum_channel import IdentityChainChannel
-from repro.protocol import Identity, ProtocolConfig, UADIQSDCProtocol
-
-
-def text_to_bits(text: str) -> str:
-    """Encode ASCII text as a bitstring (8 bits per character)."""
-    return "".join(format(byte, "08b") for byte in text.encode("ascii"))
-
-
-def bits_to_text(bits: str) -> str:
-    """Decode a bitstring produced by :func:`text_to_bits`."""
-    data = bytes(int(bits[i:i + 8], 2) for i in range(0, len(bits), 8))
-    return data.decode("ascii", errors="replace")
+from repro.protocol import Identity
 
 
 def main() -> None:
     plaintext = "MEET 9PM"
-    message_bits = text_to_bits(plaintext)
 
     # The pre-shared secrets both parties hold (2l bits each).
     alice_identity = Identity.from_string("1101001011010010", owner="alice")
     bob_identity = Identity.from_string("0011100101101100", owner="bob")
 
-    config = ProtocolConfig(
-        message_length=len(message_bits),
-        num_check_bits=16,
-        identity_pairs=alice_identity.num_pairs,
-        check_pairs_per_round=256,
-        channel=IdentityChainChannel(eta=50),   # a 3 µs channel
-        alice_identity=alice_identity,
-        bob_identity=bob_identity,
-        seed=2024,
-    )
-
-    # A passive eavesdropper taps the public classical channel.
+    # A passive eavesdropper taps the public classical channel of every
+    # fragment session.
     eavesdropper = ClassicalEavesdropper(rng=1)
-    result = UADIQSDCProtocol(config, attack=eavesdropper).run(message_bits)
+
+    # On the η=50 channel individual frames pick up bit errors the protocol's
+    # check-bit tolerance lets through; the facade's CRC verification catches
+    # them and retransmits, so the retry budget is what buys exact delivery.
+    config = (
+        ServiceConfig.noisy_nisq(seed=42)            # η=50 ≈ 3 µs channel
+        .with_fragment_bits(32)
+        .with_retries(12)
+        .with_identities(alice_identity, bob_identity)
+        .with_identity_pairs(alice_identity.num_pairs)
+        .with_attack_factory(lambda index, attempt, rng: eavesdropper)
+    )
+    service = MessagingService(config)
+    report = service.send(plaintext)
 
     print("Secure text messaging with UA-DI-QSDC")
     print("=====================================")
-    print(f"plaintext sent        : {plaintext!r} ({len(message_bits)} bits)")
+    print(f"plaintext sent        : {plaintext!r} ({report.num_payload_bits} bits, "
+          f"{report.num_fragments} fragments)")
     print(f"channel               : {config.channel.name} "
           f"({config.channel.duration() * 1e6:.1f} µs)")
-    print(f"protocol succeeded    : {result.success}")
-    if result.delivered_message_string is not None:
-        received = bits_to_text(result.delivered_message_string)
-        print(f"plaintext received    : {received!r}")
-        print(f"bit errors            : {result.message_bit_error_rate:.4f}")
-    print(f"CHSH round 1 / 2      : {result.chsh_round1.value:.3f} / "
-          f"{result.chsh_round2.value:.3f}")
-    print(f"identity checks       : Bob mismatch {result.bob_authentication_error:.2f}, "
-          f"Alice mismatch {result.alice_authentication_error:.2f}")
+    print(f"delivery succeeded    : {report.success} "
+          f"({report.total_attempts} sessions, "
+          f"{report.retransmissions} retransmissions)")
+    print(f"plaintext received    : {report.delivered_payload!r}")
+    print(f"mean CHSH round 1     : {report.mean_chsh_round1:.3f}")
+    print(f"mean check-bit QBER   : {report.mean_qber:.4f}")
     print()
     print("what the eavesdropper saw on the classical channel:")
     for topic in eavesdropper.overheard_topics():

@@ -12,16 +12,39 @@ The package is organised in layers:
 * :mod:`repro.baselines` — prior DI-QSDC protocols compared in Table I.
 * :mod:`repro.network` — multi-node QSDC network simulation (topologies,
   routing, trusted-relay sessions, discrete-event scheduling, metrics).
+* :mod:`repro.api` — the service-level public API: the
+  :class:`~repro.api.service.MessagingService` facade, payload codecs,
+  fragmentation and the pluggable local/batch/network backends.
 * :mod:`repro.analysis` — fidelity, QBER, CHSH statistics.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
 
+Stable public surface
+---------------------
+The names below are re-exported lazily at package level (importing
+:mod:`repro` stays cheap; heavy submodules load on first attribute access)
+and constitute the supported API:
+
+* ``MessagingService``, ``ServiceConfig``, ``DeliveryReport`` — the
+  service facade (see :mod:`repro.api`);
+* ``ProtocolConfig``, ``UADIQSDCProtocol``, ``ProtocolResult`` — the
+  single-session research surface (see :mod:`repro.protocol`);
+* the exception hierarchy rooted at ``ReproError``.
+
 Quickstart::
+
+    from repro import MessagingService, ServiceConfig
+
+    service = MessagingService(ServiceConfig.paper_default(seed=7))
+    report = service.send("any payload — text, bytes or bits")
+    assert report.success and report.delivered_payload is not None
+
+The lower-level entry point remains available and unchanged::
 
     from repro.protocol import ProtocolConfig, UADIQSDCProtocol
 
     config = ProtocolConfig.default(message_length=16, seed=7)
     result = UADIQSDCProtocol(config).run("1011001110001111")
-    assert result.delivered_message == "1011001110001111"
+    assert result.delivered_message_string == "1011001110001111"
 """
 
 from repro.exceptions import (
@@ -33,10 +56,39 @@ from repro.exceptions import (
 
 __version__ = "1.0.0"
 
+#: Lazily re-exported public names -> defining module.  Keeping these lazy
+#: means ``import repro`` does not pull in numpy-heavy protocol/simulation
+#: modules until they are actually used.
+_LAZY_EXPORTS = {
+    "MessagingService": "repro.api.service",
+    "ServiceConfig": "repro.api.config",
+    "DeliveryReport": "repro.api.report",
+    "ProtocolConfig": "repro.protocol.config",
+    "UADIQSDCProtocol": "repro.protocol.runner",
+    "ProtocolResult": "repro.protocol.results",
+}
+
 __all__ = [
     "AuthenticationFailure",
     "ProtocolAbort",
     "ReproError",
     "SecurityCheckFailure",
     "__version__",
+    *sorted(_LAZY_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    """Resolve the lazy re-exports on first access (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so subsequent accesses skip this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

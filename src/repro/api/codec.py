@@ -1,0 +1,158 @@
+"""Payload codecs: arbitrary application payloads ↔ protocol bit sequences.
+
+The UA-DI-QSDC protocol transports *bits*; applications hold *payloads* —
+text, raw bytes, or pre-encoded bit sequences.  This module is the single
+conversion point between the two worlds, shared by the
+:class:`~repro.api.service.MessagingService` facade, the examples and the
+tests (the ad-hoc ``text_to_bits``/``bits_to_text`` helpers that used to live
+inside ``examples/secure_text_messaging.py`` migrated here).
+
+Three payload *kinds* are supported:
+
+``"bytes"``
+    ``bytes``/``bytearray`` payloads, 8 bits per byte, big-endian bit order.
+``"text"``
+    ``str`` payloads, encoded to bytes first (UTF-8 by default, so non-ASCII
+    text round-trips exactly).
+``"bits"``
+    Pre-encoded bit sequences — a tuple/list of 0/1 integers or a ``'0'``/
+    ``'1'`` string.
+
+:func:`encode_payload` auto-detects the kind from the Python type (pass
+``kind="bits"`` explicitly to send a bitstring *string*, since a ``str``
+otherwise means text) and :func:`decode_payload` inverts the conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits, validate_bits
+
+__all__ = [
+    "PAYLOAD_KINDS",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "text_to_bits",
+    "bits_to_text",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: Payload kinds understood by :func:`encode_payload` / :func:`decode_payload`.
+PAYLOAD_KINDS = ("bytes", "text", "bits")
+
+
+def bytes_to_bits(data: "bytes | bytearray") -> Bits:
+    """Encode bytes as a bit tuple, 8 big-endian bits per byte."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise ReproError(f"expected bytes, got {type(data).__name__}")
+    return tuple(
+        (byte >> shift) & 1 for byte in bytes(data) for shift in range(7, -1, -1)
+    )
+
+
+def bits_to_bytes(bits: Any) -> bytes:
+    """Decode a bit sequence produced by :func:`bytes_to_bits` back into bytes.
+
+    The length of *bits* must be a multiple of 8.
+    """
+    tbits = validate_bits(bits)
+    if len(tbits) % 8 != 0:
+        raise ReproError(
+            f"bit sequence of length {len(tbits)} is not a whole number of bytes"
+        )
+    return bytes(
+        sum(bit << shift for bit, shift in zip(tbits[i:i + 8], range(7, -1, -1)))
+        for i in range(0, len(tbits), 8)
+    )
+
+
+def text_to_bits(text: str, encoding: str = "utf-8") -> str:
+    """Encode text as a bitstring (8 bits per encoded byte).
+
+    With the default UTF-8 encoding arbitrary text round-trips exactly; the
+    historical ASCII behaviour of the secure-text-messaging example is the
+    ASCII-subset special case.
+    """
+    if not isinstance(text, str):
+        raise ReproError(f"expected str, got {type(text).__name__}")
+    return bits_to_str(bytes_to_bits(text.encode(encoding)))
+
+
+def bits_to_text(bits: "str | Bits", encoding: str = "utf-8") -> str:
+    """Decode a bitstring produced by :func:`text_to_bits`.
+
+    Undecodable byte sequences (possible after an uncorrected transmission
+    error) are replaced rather than raised, mirroring what a receiving
+    application would do with a corrupted frame.
+    """
+    if isinstance(bits, str):
+        bits = bitstring_to_bits(bits)
+    return bits_to_bytes(bits).decode(encoding, errors="replace")
+
+
+def _looks_like_bits(payload: Any) -> bool:
+    return isinstance(payload, (tuple, list)) or (
+        hasattr(payload, "ndim") and hasattr(payload, "tolist")
+    )
+
+
+def encode_payload(payload: Any, kind: str = "auto") -> tuple[Bits, str]:
+    """Convert an application payload into protocol bits.
+
+    Parameters
+    ----------
+    payload:
+        ``bytes``/``bytearray``, ``str`` (text), a bit sequence, or — with
+        ``kind="bits"`` — a ``'0'``/``'1'`` string.
+    kind:
+        ``"auto"`` (detect from the Python type), or one of
+        :data:`PAYLOAD_KINDS`.
+
+    Returns
+    -------
+    (bits, kind)
+        The canonical bit tuple and the resolved payload kind (so the caller
+        can invert the conversion with :func:`decode_payload`).
+    """
+    if kind == "auto":
+        if isinstance(payload, (bytes, bytearray)):
+            kind = "bytes"
+        elif isinstance(payload, str):
+            kind = "text"
+        elif _looks_like_bits(payload):
+            kind = "bits"
+        else:
+            raise ReproError(
+                f"cannot auto-detect payload kind for {type(payload).__name__}; "
+                f"pass kind= one of {PAYLOAD_KINDS}"
+            )
+    if kind == "bytes":
+        bits = bytes_to_bits(payload)
+    elif kind == "text":
+        bits = bytes_to_bits(str(payload).encode("utf-8"))
+    elif kind == "bits":
+        bits = (
+            bitstring_to_bits(payload)
+            if isinstance(payload, str)
+            else validate_bits(payload)
+        )
+    else:
+        raise ReproError(f"unknown payload kind {kind!r}; known: {PAYLOAD_KINDS}")
+    if not bits:
+        raise ReproError("payload must contain at least one bit")
+    return bits, kind
+
+
+def decode_payload(bits: Any, kind: str) -> Any:
+    """Convert delivered protocol bits back into a payload of the given kind."""
+    tbits = validate_bits(bits)
+    if kind == "bytes":
+        return bits_to_bytes(tbits)
+    if kind == "text":
+        return bits_to_text(tbits)
+    if kind == "bits":
+        return tbits
+    raise ReproError(f"unknown payload kind {kind!r}; known: {PAYLOAD_KINDS}")

@@ -1,0 +1,301 @@
+"""Unified delivery outcomes for the messaging-service facade.
+
+The three execution paths of the repository historically returned three
+incompatible result types:
+
+* a single session → :class:`repro.protocol.results.ProtocolResult`;
+* a batched fan-out → :class:`repro.experiments.sweep.SweepResult` values;
+* a network delivery → :class:`repro.network.metrics.SessionRecord`.
+
+:class:`AttemptRecord` normalises any of them into one flat metrics row
+(:meth:`AttemptRecord.from_protocol_result` /
+:meth:`AttemptRecord.from_session_record`), :class:`FragmentRecord` stacks the
+attempts of one fragment (first transmission plus retransmissions), and
+:class:`DeliveryReport` aggregates the whole payload delivery — the single
+outcome type every :meth:`repro.api.service.MessagingService.send` returns,
+whatever backend executed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.bits import Bits
+
+__all__ = ["AttemptRecord", "FragmentRecord", "DeliveryReport"]
+
+
+def _mean(values: list[float]) -> "float | None":
+    return sum(values) / len(values) if values else None
+
+
+@dataclass
+class AttemptRecord:
+    """One delivery attempt of one fragment, normalised across backends.
+
+    Attributes
+    ----------
+    attempt:
+        0 for the first transmission, 1+ for retransmissions.
+    seed:
+        The deterministic protocol seed of this attempt.
+    success:
+        True if the execution layer delivered bits (protocol success or
+        network delivery; bit errors allowed — frame integrity is judged
+        separately by the service).
+    frame_intact:
+        True if the delivered frame passed header + CRC verification (set by
+        the service after parsing; equal to ``success`` in unframed mode).
+    abort_reason:
+        The protocol/network abort reason (``"none"`` when delivered).
+    source:
+        ``"protocol"`` for Local/Batch executions, ``"network"`` for
+        multi-hop deliveries.
+    chsh_round1, chsh_round2, bob_authentication_error,
+    alice_authentication_error, check_bit_error_rate:
+        Protocol security metrics (network attempts report the mean over
+        executed hops where applicable, or None).
+    details:
+        Backend-specific extras (route, failed hop, wait time, ...).
+    raw:
+        The original result object (``ProtocolResult`` or ``SessionRecord``)
+        for callers that need the full audit trail; excluded from
+        :meth:`summary`.
+    """
+
+    attempt: int
+    seed: int
+    success: bool
+    abort_reason: str
+    source: str
+    frame_intact: bool = False
+    chsh_round1: "float | None" = None
+    chsh_round2: "float | None" = None
+    bob_authentication_error: "float | None" = None
+    alice_authentication_error: "float | None" = None
+    check_bit_error_rate: "float | None" = None
+    details: dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+
+    @classmethod
+    def from_protocol_result(
+        cls, attempt: int, seed: int, result: Any
+    ) -> "AttemptRecord":
+        """Normalise a :class:`~repro.protocol.results.ProtocolResult`."""
+        return cls(
+            attempt=attempt,
+            seed=seed,
+            success=bool(result.success),
+            abort_reason=result.abort_reason.value,
+            source="protocol",
+            chsh_round1=None if result.chsh_round1 is None else result.chsh_round1.value,
+            chsh_round2=None if result.chsh_round2 is None else result.chsh_round2.value,
+            bob_authentication_error=result.bob_authentication_error,
+            alice_authentication_error=result.alice_authentication_error,
+            check_bit_error_rate=result.check_bit_error_rate,
+            details={"attack": result.metadata.get("attack")},
+            raw=result,
+        )
+
+    @classmethod
+    def from_session_record(
+        cls, attempt: int, seed: int, record: Any
+    ) -> "AttemptRecord":
+        """Normalise a :class:`~repro.network.metrics.SessionRecord`."""
+        chsh1 = [r.chsh_round1 for r in record.hop_reports if r.chsh_round1 is not None]
+        chsh2 = [r.chsh_round2 for r in record.hop_reports if r.chsh_round2 is not None]
+        qber = [
+            r.check_bit_error_rate
+            for r in record.hop_reports
+            if r.success and r.check_bit_error_rate is not None
+        ]
+        if record.delivered:
+            abort_reason = "none"
+        else:
+            abort_reason = record.abort_reason or record.status
+        return cls(
+            attempt=attempt,
+            seed=seed,
+            success=bool(record.delivered),
+            abort_reason=abort_reason,
+            source="network",
+            chsh_round1=_mean(chsh1),
+            chsh_round2=_mean(chsh2),
+            check_bit_error_rate=_mean(qber),
+            details={
+                "status": record.status,
+                "route": None if record.route_nodes is None else list(record.route_nodes),
+                "failed_hop": record.failed_hop,
+                "wait_time": record.wait_time,
+                "hops": [report.summary() for report in record.hop_reports],
+            },
+            raw=record,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly view (the unit compared by the determinism tests)."""
+        return {
+            "attempt": self.attempt,
+            "seed": self.seed,
+            "success": self.success,
+            "frame_intact": self.frame_intact,
+            "abort_reason": self.abort_reason,
+            "source": self.source,
+            "chsh_round1": self.chsh_round1,
+            "chsh_round2": self.chsh_round2,
+            "bob_authentication_error": self.bob_authentication_error,
+            "alice_authentication_error": self.alice_authentication_error,
+            "check_bit_error_rate": self.check_bit_error_rate,
+            "details": self.details,
+        }
+
+
+@dataclass
+class FragmentRecord:
+    """Delivery history of one fragment: first transmission + retransmissions."""
+
+    index: int
+    num_payload_bits: int
+    delivered: bool = False
+    payload: "Bits | None" = None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def retransmissions(self) -> int:
+        """Attempts beyond the first (0 when the fragment landed immediately)."""
+        return max(0, len(self.attempts) - 1)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "num_payload_bits": self.num_payload_bits,
+            "delivered": self.delivered,
+            "attempts": [attempt.summary() for attempt in self.attempts],
+        }
+
+
+@dataclass
+class DeliveryReport:
+    """The outcome of one :meth:`MessagingService.send` call.
+
+    Attributes
+    ----------
+    success:
+        True if every fragment was delivered with an intact frame and the
+        payload was reassembled.
+    backend:
+        Name of the backend that executed the delivery
+        (``"local"``/``"batch"``/``"network"``).
+    payload_kind:
+        How the payload was encoded (see :mod:`repro.api.codec`).
+    sent_payload, delivered_payload:
+        The original payload and its decoded counterpart (None on failure).
+        On a noisy channel the delivered payload can differ from the sent
+        one only if the corruption defeated both the protocol's check bits
+        and the frame CRC.
+    num_payload_bits, num_fragments:
+        Size of the encoded payload and how many fragments carried it.
+    fragments:
+        Per-fragment delivery histories.
+    metadata:
+        Service configuration echo (seed, fragment size, retry budget, ...).
+    """
+
+    success: bool
+    backend: str
+    payload_kind: str
+    sent_payload: Any
+    delivered_payload: Any
+    num_payload_bits: int
+    num_fragments: int
+    fragments: list[FragmentRecord] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- aggregates --------------------------------------------------------------
+    @property
+    def total_attempts(self) -> int:
+        """Protocol/network sessions executed across all fragments."""
+        return sum(fragment.num_attempts for fragment in self.fragments)
+
+    @property
+    def retransmissions(self) -> int:
+        """Sessions re-run because an attempt aborted or failed verification."""
+        return sum(fragment.retransmissions for fragment in self.fragments)
+
+    @property
+    def undelivered_fragments(self) -> list[int]:
+        return [f.index for f in self.fragments if not f.delivered]
+
+    @property
+    def mean_chsh_round1(self) -> "float | None":
+        """Mean first-round CHSH value across every attempt that reached it."""
+        return _mean(
+            [
+                attempt.chsh_round1
+                for fragment in self.fragments
+                for attempt in fragment.attempts
+                if attempt.chsh_round1 is not None
+            ]
+        )
+
+    @property
+    def mean_qber(self) -> "float | None":
+        """Mean check-bit error rate across successful attempts."""
+        return _mean(
+            [
+                attempt.check_bit_error_rate
+                for fragment in self.fragments
+                for attempt in fragment.attempts
+                if attempt.success and attempt.check_bit_error_rate is not None
+            ]
+        )
+
+    def abort_reasons(self) -> dict[str, int]:
+        """Histogram of abort reasons over failed attempts."""
+        histogram: dict[str, int] = {}
+        for fragment in self.fragments:
+            for attempt in fragment.attempts:
+                if not (attempt.success and attempt.frame_intact):
+                    reason = attempt.abort_reason
+                    if attempt.success and not attempt.frame_intact:
+                        reason = "frame_verification_failed"
+                    histogram[reason] = histogram.get(reason, 0) + 1
+        return histogram
+
+    @property
+    def payload_matches(self) -> bool:
+        """Diagnostic: delivered payload equals the sent one exactly.
+
+        A real receiver cannot compute this (it does not know the sent
+        payload); the simulation reports it for experiment bookkeeping, like
+        ``ProtocolResult.message_bit_error_rate``.
+        """
+        return self.success and self.delivered_payload == self.sent_payload
+
+    def summary(self) -> dict[str, Any]:
+        """Canonical JSON-friendly view of the whole delivery.
+
+        Two sends with the same configuration and seed produce *equal*
+        summaries whichever backend/executor ran them — the determinism
+        contract ``tests/api`` pins.
+        """
+        return {
+            "success": self.success,
+            "backend": self.backend,
+            "payload_kind": self.payload_kind,
+            "num_payload_bits": self.num_payload_bits,
+            "num_fragments": self.num_fragments,
+            "total_attempts": self.total_attempts,
+            "retransmissions": self.retransmissions,
+            "undelivered_fragments": self.undelivered_fragments,
+            "abort_reasons": self.abort_reasons(),
+            "mean_chsh_round1": self.mean_chsh_round1,
+            "mean_qber": self.mean_qber,
+            "fragments": [fragment.summary() for fragment in self.fragments],
+            "metadata": dict(self.metadata),
+        }

@@ -6,6 +6,13 @@ authentications) for several independent sessions on a noiseless channel and
 on the paper's η-identity-gate channel, and reports delivery and error
 statistics.  It is the reproduction's sanity anchor: every other experiment
 studies one slice of this pipeline.
+
+Sessions run through the :class:`~repro.api.service.MessagingService` facade
+(local backend, framing disabled, no retransmission), so the experiment also
+exercises the service layer end to end; with framing off each send is exactly
+one :class:`~repro.protocol.runner.UADIQSDCProtocol` session, and the raw
+:class:`~repro.protocol.results.ProtocolResult` objects are collected for the
+statistics below.
 """
 
 from __future__ import annotations
@@ -14,11 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.config import ServiceConfig
+from repro.api.service import MessagingService
 from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
 from repro.exceptions import ExperimentError
-from repro.protocol.config import ProtocolConfig
 from repro.protocol.results import ProtocolResult
-from repro.protocol.runner import UADIQSDCProtocol
 from repro.utils.bits import bits_to_str, random_bits
 from repro.utils.rng import as_rng
 
@@ -84,17 +91,22 @@ def run_end_to_end(
     result = EndToEndResult(
         message_length=message_length, num_sessions=num_sessions, eta=eta
     )
+    base_config = (
+        ServiceConfig.paper_default()
+        .with_framing(False)
+        .with_retries(0)
+        .with_identity_pairs(identity_pairs)
+        .with_check_pairs(check_pairs)
+    )
     for channel, bucket in (
         (NoiselessChannel(), result.ideal_results),
         (IdentityChainChannel(eta=eta), result.noisy_results),
     ):
+        service = MessagingService(base_config.with_channel(channel))
         for _ in range(num_sessions):
             message = bits_to_str(random_bits(message_length, rng=generator))
-            config = ProtocolConfig.default(
-                message_length=message_length,
-                identity_pairs=identity_pairs,
-                check_pairs_per_round=check_pairs,
-                seed=int(generator.integers(0, 2**31 - 1)),
-            ).with_channel(channel)
-            bucket.append(UADIQSDCProtocol(config).run(message))
+            report = service.send(
+                message, kind="bits", seed=int(generator.integers(0, 2**31 - 1))
+            )
+            bucket.append(report.fragments[0].attempts[0].raw)
     return result

@@ -61,6 +61,8 @@ class SessionRecord:
     failed_hop: int | None = None
     abort_reason: str | None = None
     end_to_end_error_rate: float | None = None
+    sent_message: str | None = None
+    delivered_message: str | None = None
     hop_reports: list[HopReport] = field(default_factory=list)
 
     @property
@@ -103,6 +105,8 @@ class SessionRecord:
             "failed_hop": self.failed_hop,
             "abort_reason": self.abort_reason,
             "end_to_end_error_rate": self.end_to_end_error_rate,
+            "sent_message": self.sent_message,
+            "delivered_message": self.delivered_message,
             "hops": [report.summary() for report in self.hop_reports],
         }
 

@@ -396,6 +396,11 @@ class NetworkScheduler:
 
         def worker(params: dict[str, Any], seed: int) -> SessionOutcome:
             pending = by_id[params["session"]]
+            # A request may pin its own seed (the messaging facade does, so
+            # fragment retransmissions stay deterministic); otherwise the
+            # sweep-derived per-session seed applies.
+            if pending.request.seed is not None:
+                seed = int(pending.request.seed)
             return run_session(
                 self.topology,
                 pending.route,
@@ -420,6 +425,8 @@ class NetworkScheduler:
             record.abort_reason = outcome.abort_reason
             record.end_to_end_error_rate = outcome.end_to_end_error_rate
             record.hop_reports = outcome.hop_reports
+            record.sent_message = outcome.sent_message
+            record.delivered_message = outcome.delivered_message
 
 
 def simulate_network(

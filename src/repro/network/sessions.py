@@ -34,7 +34,13 @@ from repro.network.routing import Route
 from repro.network.topology import NetworkTopology
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.runner import UADIQSDCProtocol
-from repro.utils.bits import Bits, bits_to_str, hamming_distance, random_bits
+from repro.utils.bits import (
+    Bits,
+    bits_to_str,
+    bitstring_to_bits,
+    hamming_distance,
+    random_bits,
+)
 from repro.utils.rng import as_rng, derive_rng
 
 __all__ = [
@@ -68,9 +74,20 @@ class SessionRequest:
         Endpoint node names.
     message_length:
         Number of secret bits to deliver (the bits themselves are drawn
-        deterministically from the session seed at execution time).
+        deterministically from the session seed at execution time unless an
+        explicit ``message`` is supplied).
     arrival_time:
         Simulation time at which the request enters the network.
+    message:
+        Optional explicit message bitstring to deliver.  ``None`` (the
+        historical behaviour) draws random bits from the session seed; the
+        messaging-service facade sets this to carry real payload fragments
+        across the network.
+    seed:
+        Optional explicit per-session seed.  ``None`` (the historical
+        behaviour) lets the scheduler derive one from its own seed; the
+        facade sets it so retransmission seeds stay deterministic per
+        fragment and attempt.
     """
 
     session_id: int
@@ -78,6 +95,8 @@ class SessionRequest:
     target: str
     message_length: int
     arrival_time: float
+    message: "str | None" = None
+    seed: "int | None" = None
 
     def __post_init__(self):
         if self.source == self.target:
@@ -86,6 +105,14 @@ class SessionRequest:
             raise NetworkError("message_length must be positive")
         if self.arrival_time < 0:
             raise NetworkError("arrival_time must be non-negative")
+        if self.message is not None:
+            if not all(ch in "01" for ch in self.message):
+                raise NetworkError("message must be a '0'/'1' bitstring")
+            if len(self.message) != self.message_length:
+                raise NetworkError(
+                    f"message holds {len(self.message)} bits but message_length "
+                    f"is {self.message_length}"
+                )
 
 
 @dataclass(frozen=True)
@@ -105,13 +132,7 @@ class SessionParameters:
 
     def check_bits_for(self, message_length: int) -> int:
         """Check-bit count for a message (auto: the `ProtocolConfig.default` rule)."""
-        if self.num_check_bits is not None:
-            check_bits = self.num_check_bits
-        else:
-            check_bits = max(2, message_length // 4)
-        if (message_length + check_bits) % 2 != 0:
-            check_bits += 1
-        return check_bits
+        return ProtocolConfig.default_check_bits(message_length, self.num_check_bits)
 
     def pairs_per_hop(self, message_length: int) -> int:
         """EPR pairs one hop consumes: ``N + 2l + 2d`` (qubits held per endpoint)."""
@@ -260,7 +281,14 @@ def run_session(
             f"{request.source!r} -> {request.target!r}"
         )
     rng = as_rng(int(seed))
-    message: Bits = random_bits(request.message_length, rng=derive_rng(rng, "message"))
+    if request.message is not None:
+        message: Bits = bitstring_to_bits(request.message)
+        # Keep the derivation sequence identical to the random-message path
+        # so every downstream per-hop seed is unchanged by supplying a
+        # message explicitly.
+        derive_rng(rng, "message")
+    else:
+        message = random_bits(request.message_length, rng=derive_rng(rng, "message"))
 
     outcome = SessionOutcome(
         session_id=request.session_id,

@@ -93,6 +93,27 @@ class ProtocolConfig:
     raise_on_abort: bool = False
 
     # -- constructors ------------------------------------------------------------
+    @staticmethod
+    def default_check_bits(message_length: int, num_check_bits: int | None = None) -> int:
+        """The check-bit count for a message of *message_length* bits.
+
+        With ``num_check_bits=None`` the paper's rule applies: roughly a
+        quarter of the message length, at least 2.  Either way the count is
+        adjusted upward by one if needed so ``n + c`` is even (2 bits per
+        EPR pair).  This is the single implementation of the rule; the
+        service layer (:meth:`repro.api.config.ServiceConfig.protocol_config`)
+        and the network layer
+        (:meth:`repro.network.sessions.SessionParameters.check_bits_for`)
+        delegate here so per-fragment/per-hop sessions stay bit-identical to
+        direct :meth:`default` configurations.
+        """
+        check_bits = (
+            max(2, message_length // 4) if num_check_bits is None else num_check_bits
+        )
+        if (message_length + check_bits) % 2 != 0:
+            check_bits += 1
+        return check_bits
+
     @classmethod
     def default(
         cls,
@@ -109,9 +130,7 @@ class ProtocolConfig:
         """
         if message_length < 1:
             raise ConfigurationError("message_length must be positive")
-        num_check_bits = max(2, message_length // 4)
-        if (message_length + num_check_bits) % 2 != 0:
-            num_check_bits += 1
+        num_check_bits = cls.default_check_bits(message_length)
         return cls(
             message_length=message_length,
             num_check_bits=num_check_bits,

@@ -1,0 +1,1 @@
+"""Tests for the service-level public API (:mod:`repro.api`)."""

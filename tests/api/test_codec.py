@@ -1,0 +1,95 @@
+"""Payload codec tests: bytes/text/bits round-trips and error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.codec import (
+    PAYLOAD_KINDS,
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    decode_payload,
+    encode_payload,
+    text_to_bits,
+)
+from repro.exceptions import ReproError
+
+
+class TestBytesCodec:
+    def test_known_vector(self):
+        assert bytes_to_bits(b"\x00") == (0,) * 8
+        assert bytes_to_bits(b"\xff") == (1,) * 8
+        assert bytes_to_bits(b"A") == (0, 1, 0, 0, 0, 0, 0, 1)
+
+    def test_round_trip_all_byte_values(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bytearray_accepted(self):
+        assert bytes_to_bits(bytearray(b"ab")) == bytes_to_bits(b"ab")
+
+    def test_partial_byte_rejected(self):
+        with pytest.raises(ReproError):
+            bits_to_bytes((1, 0, 1))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            bytes_to_bits("not bytes")
+
+
+class TestTextCodec:
+    def test_ascii_known_vector(self):
+        # The historical secure-text-messaging helper behaviour.
+        assert text_to_bits("A") == "01000001"
+        assert bits_to_text("01000001") == "A"
+
+    def test_utf8_non_ascii_round_trip(self):
+        for text in ("héllo", "мир", "日本語", "emoji 🙂", "mixed é✓中"):
+            assert bits_to_text(text_to_bits(text)) == text
+
+    def test_bit_tuple_input(self):
+        assert bits_to_text(tuple(int(c) for c in text_to_bits("ok"))) == "ok"
+
+    def test_corrupt_utf8_replaced_not_raised(self):
+        # 0xFF is never valid UTF-8; decoding must degrade, not raise.
+        assert "�" in bits_to_text("11111111")
+
+
+class TestEncodePayload:
+    def test_auto_detection(self):
+        assert encode_payload(b"\x01")[1] == "bytes"
+        assert encode_payload("x")[1] == "text"
+        assert encode_payload((1, 0, 1))[1] == "bits"
+        assert encode_payload([1, 0])[1] == "bits"
+
+    def test_bitstring_needs_explicit_kind(self):
+        bits, kind = encode_payload("101", kind="bits")
+        assert bits == (1, 0, 1) and kind == "bits"
+        # As text, "101" is three characters, not three bits.
+        assert len(encode_payload("101")[0]) == 24
+
+    def test_round_trip_every_kind(self):
+        cases = [(b"data \xf0\x9f\x99\x82", "bytes"), ("tëxt", "text"), ((1, 1, 0), "bits")]
+        for payload, kind in cases:
+            bits, resolved = encode_payload(payload)
+            assert resolved == kind
+            assert decode_payload(bits, resolved) == (
+                tuple(payload) if kind == "bits" else payload
+            )
+
+    def test_empty_payload_rejected(self):
+        for empty in (b"", "", ()):
+            with pytest.raises(ReproError):
+                encode_payload(empty, kind="auto" if empty != () else "bits")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            encode_payload(b"x", kind="json")
+        with pytest.raises(ReproError):
+            decode_payload((1,), "json")
+        assert set(PAYLOAD_KINDS) == {"bytes", "text", "bits"}
+
+    def test_undetectable_type_rejected(self):
+        with pytest.raises(ReproError):
+            encode_payload(3.14)

@@ -1,0 +1,202 @@
+"""ServiceConfig tests: presets, fluent builder, validation, lazy exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import BACKEND_NAMES, ServiceConfig
+from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
+from repro.exceptions import ConfigurationError
+from repro.network import line_topology
+from repro.protocol import Identity
+
+
+class TestPresets:
+    def test_paper_default(self):
+        config = ServiceConfig.paper_default(seed=3).validate()
+        assert config.backend == "local"
+        assert isinstance(config.channel, IdentityChainChannel)
+        assert config.identity_pairs == 8
+        assert config.check_pairs_per_round == 256
+        assert config.seed == 3
+
+    def test_ideal(self):
+        config = ServiceConfig.ideal().validate()
+        assert isinstance(config.channel, NoiselessChannel)
+
+    def test_noisy_nisq(self):
+        config = ServiceConfig.noisy_nisq(eta=20).validate()
+        assert "eta=20" in config.channel.name
+
+    def test_networked(self):
+        topology = line_topology(3)
+        config = ServiceConfig.networked(topology, source="n0", target="n2").validate()
+        assert config.backend == "network"
+        assert config.topology is topology
+        assert (config.source, config.target) == ("n0", "n2")
+
+
+class TestFluentBuilder:
+    def test_withers_return_new_objects(self):
+        base = ServiceConfig.paper_default()
+        modified = base.with_fragment_bits(8)
+        assert base.fragment_bits == 64 and modified.fragment_bits == 8
+        assert modified is not base
+
+    def test_chaining(self):
+        config = (
+            ServiceConfig.ideal()
+            .with_backend("batch")
+            .with_seed(11)
+            .with_retries(0)
+            .with_framing(False)
+            .with_executor("serial", max_workers=2)
+            .with_identity_pairs(2)
+            .with_check_pairs(32)
+            .with_tolerances(check_bit_tolerance=0.2)
+        )
+        assert config.backend == "batch"
+        assert config.seed == 11 and config.max_retries == 0
+        assert not config.framing
+        assert (config.executor, config.max_workers) == ("serial", 2)
+        assert config.check_bit_tolerance == 0.2
+        assert config.authentication_tolerance == 0.25  # untouched
+
+    def test_with_network_partial_update(self):
+        topology = line_topology(3)
+        config = ServiceConfig.networked(topology, source="n0")
+        updated = config.with_network(target="n2")
+        assert updated.topology is topology and updated.source == "n0"
+        assert updated.target == "n2"
+
+
+class TestValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig.paper_default().with_backend("cloud").validate()
+        assert set(BACKEND_NAMES) == {"local", "batch", "network"}
+
+    def test_bad_fragment_bits(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig.paper_default().with_fragment_bits(0).validate()
+
+    def test_negative_retries(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig.paper_default().with_retries(-1).validate()
+
+    def test_bad_executor(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig.paper_default().with_executor("process").validate()
+
+    def test_network_requires_topology(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig.paper_default().with_backend("network").validate()
+
+    def test_network_rejects_attack_factory(self):
+        config = ServiceConfig.networked(line_topology(3)).with_attack_factory(
+            lambda index, attempt, rng: None
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_identity_mismatch_caught(self):
+        identity = Identity.from_string("1101", owner="alice")  # 2 pairs
+        config = ServiceConfig.paper_default().with_identities(identity, None)
+        with pytest.raises(ConfigurationError):
+            config.validate()  # identity_pairs is still 8
+
+
+class TestProtocolConfigMapping:
+    def test_fields_map_one_to_one(self):
+        config = (
+            ServiceConfig.noisy_nisq(eta=30)
+            .with_identity_pairs(4)
+            .with_check_pairs(48)
+            .with_tolerances(0.3, 0.1)
+        )
+        protocol = config.protocol_config(message_length=10, seed=77)
+        assert protocol.message_length == 10
+        assert protocol.identity_pairs == 4
+        assert protocol.check_pairs_per_round == 48
+        assert protocol.authentication_tolerance == 0.3
+        assert protocol.check_bit_tolerance == 0.1
+        assert protocol.channel is config.channel
+        assert protocol.seed == 77
+        protocol.validate()
+
+    def test_check_bits_parity_rule(self):
+        config = ServiceConfig.paper_default()
+        for length in range(1, 40):
+            protocol = config.protocol_config(message_length=length, seed=0)
+            assert (protocol.message_length + protocol.num_check_bits) % 2 == 0
+
+    def test_explicit_check_bits_respected(self):
+        protocol = ServiceConfig.paper_default().with_check_bits(6).protocol_config(
+            message_length=10, seed=0
+        )
+        assert protocol.num_check_bits == 6
+
+    def test_explicit_check_bits_parity_bumped_on_odd_fragments(self):
+        # n + c must be even; an explicit count is adjusted upward by one on
+        # odd-length fragments (documented; same convention as the network
+        # layer's SessionParameters.check_bits_for).
+        protocol = ServiceConfig.paper_default().with_check_bits(6).protocol_config(
+            message_length=11, seed=0
+        )
+        assert protocol.num_check_bits == 7
+
+    def test_check_bit_rule_shared_across_layers(self):
+        from repro.network import SessionParameters
+        from repro.protocol import ProtocolConfig
+
+        service = ServiceConfig.paper_default()
+        network = SessionParameters()
+        for length in (1, 4, 7, 8, 16, 33):
+            expected = ProtocolConfig.default_check_bits(length)
+            assert service.protocol_config(length, seed=0).num_check_bits == expected
+            assert network.check_bits_for(length) == expected
+            assert ProtocolConfig.default(length).num_check_bits == expected
+
+
+class TestPackageSurface:
+    def test_lazy_exports(self):
+        from repro import (  # noqa: F401 — the import *is* the test
+            DeliveryReport,
+            MessagingService,
+            ProtocolConfig,
+            ProtocolResult,
+            ServiceConfig,
+            UADIQSDCProtocol,
+        )
+
+        assert repro.MessagingService is MessagingService
+
+    def test_all_documents_the_stable_surface(self):
+        for name in (
+            "MessagingService",
+            "ServiceConfig",
+            "DeliveryReport",
+            "ProtocolConfig",
+            "UADIQSDCProtocol",
+            "ProtocolResult",
+            "ReproError",
+            "__version__",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_dir_includes_lazy_names(self):
+        assert "MessagingService" in dir(repro)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
+
+    def test_historical_import_paths_still_work(self):
+        from repro.protocol import ProtocolConfig, UADIQSDCProtocol  # noqa: F401
+        from repro.protocol.config import ProtocolConfig as PC  # noqa: F401
+        from repro.protocol.runner import UADIQSDCProtocol as UP  # noqa: F401
+        from repro.exceptions import ProtocolAbort, ReproError  # noqa: F401
+        from repro.network import SessionParameters, simulate_network  # noqa: F401
+        from repro.experiments import run_end_to_end  # noqa: F401

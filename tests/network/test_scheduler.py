@@ -222,3 +222,50 @@ class TestMetrics:
         )
         # one reserve + one release broadcast per admitted hop
         assert logged == 2 * admitted_hops
+
+
+class TestRequestOverrides:
+    """Requests may pin their own message and seed (the messaging facade does)."""
+
+    class _FixedTraffic:
+        def __init__(self, requests):
+            self.requests = requests
+
+        def generate(self, topology, rng=None):
+            return list(self.requests)
+
+    def _requests(self):
+        from repro.network.sessions import SessionRequest
+
+        return [
+            SessionRequest(0, "n0", "n2", 8, 0.0, message="10110010", seed=107),
+            SessionRequest(1, "n0", "n2", 8, 0.0, message="01010101", seed=202),
+        ]
+
+    def test_pinned_messages_are_delivered(self):
+        topology = line_topology(3, channel_factory=lambda length: NoiselessChannel())
+        result = simulate_network(
+            topology, self._FixedTraffic(self._requests()), session_params=QUICK, seed=0
+        )
+        delivered = {r.session_id: r.delivered_message for r in result.records}
+        assert delivered == {0: "10110010", 1: "01010101"}
+        assert result.records[0].sent_message == "10110010"
+
+    def test_pinned_seeds_make_outcomes_scheduler_seed_independent(self):
+        """With per-request seeds, the scheduler seed must not affect quantum outcomes."""
+
+        def run(scheduler_seed):
+            topology = line_topology(
+                3, channel_factory=lambda length: NoiselessChannel()
+            )
+            return simulate_network(
+                topology,
+                self._FixedTraffic(self._requests()),
+                session_params=QUICK,
+                seed=scheduler_seed,
+            )
+
+        first, second = run(1), run(2)
+        assert [r.summary() for r in first.records] == [
+            r.summary() for r in second.records
+        ]

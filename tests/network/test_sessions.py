@@ -45,6 +45,44 @@ class TestSessionRequest:
         with pytest.raises(NetworkError):
             SessionRequest(0, "a", "b", 8, -1.0)
 
+    def test_explicit_message_validation(self):
+        with pytest.raises(NetworkError):
+            SessionRequest(0, "a", "b", 8, 0.0, message="10x10010")
+        with pytest.raises(NetworkError):
+            SessionRequest(0, "a", "b", 8, 0.0, message="1011")  # length mismatch
+        request = SessionRequest(0, "a", "b", 4, 0.0, message="1011", seed=9)
+        assert request.message == "1011" and request.seed == 9
+
+
+class TestExplicitMessageAndSeed:
+    def test_explicit_message_is_delivered(self):
+        topology = _noiseless_line(3)
+        request = SessionRequest(0, "n0", "n2", 8, 0.0, message="10110010")
+        outcome = run_session(
+            topology, find_route(topology, "n0", "n2"), request, PARAMS, seed=11
+        )
+        assert outcome.status == STATUS_DELIVERED
+        assert outcome.sent_message == "10110010"
+        assert outcome.delivered_message == "10110010"
+
+    def test_explicit_message_keeps_hop_randomness(self):
+        """Supplying the random-path message explicitly must not perturb seeds.
+
+        The per-hop RNG derivation consumes parent state in a fixed
+        sequence; a request carrying the exact bits the random path would
+        have drawn must reproduce the random-path outcome bit for bit.
+        """
+        topology = _noiseless_line(3)
+        route = find_route(topology, "n0", "n2")
+        implicit = run_session(
+            topology, route, _request(topology), PARAMS, seed=23
+        )
+        explicit_request = SessionRequest(
+            0, "n0", "n2", 8, 0.0, message=implicit.sent_message
+        )
+        explicit = run_session(topology, route, explicit_request, PARAMS, seed=23)
+        assert explicit.summary() == implicit.summary()
+
 
 class TestSessionParameters:
     def test_check_bits_parity_rule(self):
