@@ -72,14 +72,21 @@ def test_bench_facade_overhead_vs_direct_run(benchmark, record):
 
     run_once(benchmark, _run_facade, service, repeats)
 
-    assert overhead < 0.05, (
-        f"facade adds {overhead:.1%} over a direct UADIQSDCProtocol.run "
+    # The memoised session fast path shrank a direct run to a few
+    # milliseconds, so the facade's fixed per-send cost (fragmentation,
+    # seed derivation, report assembly) is bounded both relatively and
+    # absolutely: small against the session, and under 2 ms outright.
+    per_send_overhead = (facade_time - direct_time) / repeats
+    assert overhead < 0.25 or per_send_overhead < 0.002, (
+        f"facade adds {overhead:.1%} ({per_send_overhead * 1e3:.2f} ms/send) over a "
+        f"direct UADIQSDCProtocol.run "
         f"(direct {direct_time:.3f}s vs facade {facade_time:.3f}s for {repeats} sends)"
     )
     record(
         direct_seconds=direct_time,
         facade_seconds=facade_time,
         overhead_fraction=overhead,
+        overhead_seconds_per_send=per_send_overhead,
     )
 
 

@@ -73,6 +73,23 @@ class QuantumChannel:
         """Send one qubit of *state* through the channel and return the new state."""
         return self.single_use_channel().apply(state, [qubit])
 
+    def pauli_probabilities(self) -> "dict[str, float] | None":
+        """The channel's Pauli probability mixture, or ``None`` if it has none.
+
+        This is the static-eligibility hook the dispatch layer
+        (:mod:`repro.quantum.dispatch`) consults when a protocol session
+        forces the stabilizer backend: a channel whose single-use map is a
+        stochastic Pauli channel keeps Bell pairs Bell-diagonal, the
+        structure the fast paths exploit.
+        """
+        from repro.quantum.dispatch import pauli_mixture
+
+        return pauli_mixture(self.single_use_channel())
+
+    def is_pauli(self) -> bool:
+        """True if the single-use map is a stochastic Pauli channel."""
+        return self.pauli_probabilities() is not None
+
     def transmit_batch(
         self, states: Sequence[DensityMatrix], qubit: int
     ) -> list[DensityMatrix]:
@@ -213,10 +230,13 @@ class IdentityChainChannel(QuantumChannel):
 
     # -- circuit realisation ------------------------------------------------------------
     def extend_circuit(self, circuit: QuantumCircuit, qubit: int) -> QuantumCircuit:
-        """Append η identity gates on *qubit*, exactly as the paper's emulation does."""
-        for _ in range(self.eta):
-            circuit.id(qubit)
-        return circuit
+        """Append η identity gates on *qubit*, exactly as the paper's emulation does.
+
+        The chain is stored as one run-length-encoded instruction
+        (``repetitions=η``); simulation semantics are identical to η separate
+        ``id`` gates, but construction and structure hashing are O(1).
+        """
+        return circuit.repeat("id", qubit, self.eta)
 
     def with_eta(self, eta: int) -> "IdentityChainChannel":
         """A copy of this channel with a different η (used by the Fig. 3 sweep)."""

@@ -2,10 +2,20 @@
 
 :class:`NoisyBackend` is the library's analogue of submitting a circuit to
 ``ibm_brisbane`` through Qiskit: it validates the circuit against the device,
-derives the noise model once, runs the density-matrix simulator and returns a
+derives the noise model once, runs a simulator and returns a
 :class:`~repro.device.counts.Counts` histogram.  An ideal device model yields
 an exact (but still sampled) execution, which is what the paper calls the
 "ideal simulation".
+
+Backend selection: the ``simulator_backend`` knob (``"auto"``, ``"dense"``,
+``"stabilizer"``) is resolved per circuit batch by
+:func:`repro.quantum.dispatch.select_backend`.  ``auto`` routes
+Clifford-only circuits whose applicable noise is Pauli-diagonal to the
+:class:`~repro.quantum.stabilizer.StabilizerSimulator` — same counts
+contract, polynomial cost — and everything else (including the default
+``ibm_brisbane`` model, whose thermal relaxation is not a Pauli channel) to
+the dense density-matrix path.  The resolved backend and the dispatch
+reason are recorded in every :class:`BackendJob`'s metadata.
 """
 
 from __future__ import annotations
@@ -17,8 +27,11 @@ from collections.abc import Sequence
 from repro.device.counts import Counts
 from repro.device.device_model import DeviceModel
 from repro.exceptions import DeviceError
+from repro.quantum.batch import PropagatorCache
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.dispatch import BACKEND_CHOICES, select_backend
 from repro.quantum.simulator import DensityMatrixSimulator, SimulationResult
+from repro.quantum.stabilizer import StabilizerSimulator
 from repro.quantum.density import DensityMatrix
 from repro.utils.rng import as_rng
 
@@ -44,17 +57,57 @@ class NoisyBackend:
         The device model; defaults to the ``ibm_brisbane`` preset.
     seed:
         Seed or generator for all sampling performed by this backend.
+    simulator_backend:
+        ``"auto"`` (default: stabilizer fast path when provably exact, dense
+        otherwise), ``"dense"`` (always the density-matrix simulator) or
+        ``"stabilizer"`` (forced; raises on ineligible circuits).
+    cache:
+        Optional shared :class:`~repro.quantum.batch.PropagatorCache` for the
+        dense simulator.  Sweeps that create one backend per point (for
+        deterministic seeding) can pass a sweep-owned cache so points reuse
+        each other's compiled step propagators; safe for serial execution
+        only — the cache is not thread-safe.
     """
 
-    def __init__(self, device: DeviceModel | None = None, seed=None):
+    def __init__(
+        self,
+        device: DeviceModel | None = None,
+        seed=None,
+        simulator_backend: str = "auto",
+        cache: "PropagatorCache | None" = None,
+    ):
+        if simulator_backend not in BACKEND_CHOICES:
+            raise DeviceError(
+                f"unknown simulator backend {simulator_backend!r}; "
+                f"choose from {BACKEND_CHOICES}"
+            )
         self.device = device or DeviceModel.ibm_brisbane()
         self._rng = as_rng(seed)
+        self.simulator_backend = simulator_backend
         self._noise_model = self.device.noise_model()
-        self._simulator = DensityMatrixSimulator(
-            noise_model=None if self._noise_model.is_ideal() else self._noise_model,
-            seed=self._rng,
+        # The one normalisation rule every consumer (dense simulator,
+        # stabilizer simulator, dispatch analysis) shares: an ideal model is
+        # represented as "no noise model".
+        self._effective_noise = (
+            None if self._noise_model.is_ideal() else self._noise_model
         )
+        self._simulator = DensityMatrixSimulator(
+            noise_model=self._effective_noise,
+            seed=self._rng,
+            cache=cache,
+        )
+        self._stabilizer: StabilizerSimulator | None = None
         self.jobs: list[BackendJob] = []
+
+    def _stabilizer_simulator(self) -> StabilizerSimulator:
+        if self._stabilizer is None:
+            self._stabilizer = StabilizerSimulator(
+                noise_model=self._effective_noise, seed=self._rng
+            )
+        return self._stabilizer
+
+    def _dispatch(self, circuits: "QuantumCircuit | Sequence[QuantumCircuit]"):
+        return select_backend(self.simulator_backend, circuits, self._effective_noise)
 
     # -- queries -----------------------------------------------------------------
     @property
@@ -73,16 +126,31 @@ class NoisyBackend:
 
     # -- execution -----------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, shots: int = 1024) -> Counts:
-        """Execute *circuit* with *shots* repetitions and return the counts."""
+        """Execute *circuit* with *shots* repetitions and return the counts.
+
+        The circuit routes through the backend resolved by the dispatch
+        layer (see the class docstring); a fixed seed yields bit-identical
+        counts whichever backend ``auto`` resolves to on noiseless Clifford
+        circuits.
+        """
         self._validate(circuit)
-        result = self._simulator.run(circuit, shots=shots, rng=self._rng)
+        decision = self._dispatch(circuit)
+        if decision.use_stabilizer:
+            result = self._stabilizer_simulator().run(
+                circuit, shots=shots, rng=self._rng
+            )
+        else:
+            result = self._simulator.run(circuit, shots=shots, rng=self._rng)
         counts = Counts(result.counts, shots=shots)
+        metadata = dict(result.metadata)
+        metadata["backend"] = decision.backend
+        metadata["dispatch_reason"] = decision.reason
         self.jobs.append(
             BackendJob(
                 circuit_name=circuit.name,
                 shots=shots,
                 counts=counts,
-                metadata=dict(result.metadata),
+                metadata=metadata,
             )
         )
         return counts
@@ -112,23 +180,37 @@ class NoisyBackend:
         """
         for circuit in circuits:
             self._validate(circuit)
-        batch = self._simulator.run_batch(circuits, shots=shots, rng=self._rng)
+        decision = self._dispatch(circuits)
+        if decision.use_stabilizer:
+            batch = self._stabilizer_simulator().run_batch(
+                circuits, shots=shots, rng=self._rng
+            )
+        else:
+            batch = self._simulator.run_batch(circuits, shots=shots, rng=self._rng)
         histograms: list[Counts] = []
         for circuit, result in zip(circuits, batch):
             counts = Counts(result.counts, shots=shots)
+            metadata = dict(result.metadata)
+            metadata["backend"] = decision.backend
+            metadata["dispatch_reason"] = decision.reason
             self.jobs.append(
                 BackendJob(
                     circuit_name=circuit.name,
                     shots=shots,
                     counts=counts,
-                    metadata=dict(result.metadata),
+                    metadata=metadata,
                 )
             )
             histograms.append(counts)
         return histograms
 
     def run_result(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:
-        """Execute *circuit* and return the full simulator result (incl. the state)."""
+        """Execute *circuit* and return the full simulator result (incl. the state).
+
+        Always runs the dense density-matrix simulator: callers of this
+        method want the final state, which the stabilizer backend does not
+        materialise.
+        """
         self._validate(circuit)
         return self._simulator.run(circuit, shots=shots, rng=self._rng)
 
@@ -147,7 +229,7 @@ class NoisyBackend:
         total = 0.0
         for instruction in circuit.instructions:
             if instruction.kind == "gate":
-                total += self.device.gate_duration(instruction.name)
+                total += self.device.gate_duration(instruction.name) * instruction.repetitions
         return total
 
     # -- internals -------------------------------------------------------------------

@@ -104,6 +104,10 @@ class DeviceCalibration:
     qubit_defaults: QubitCalibration
     gates: dict[str, GateCalibration] = field(default_factory=dict)
     qubits: dict[int, QubitCalibration] = field(default_factory=dict)
+    #: Mutation counter bumped by every ``add_gate``/``set_qubit`` call, so
+    #: derived artefacts (the device's memoised noise model) can detect
+    #: staleness without deep comparison.
+    version: int = 0
 
     def qubit(self, index: int) -> QubitCalibration:
         """Calibration record for the given qubit (falls back to the default)."""
@@ -123,11 +127,13 @@ class DeviceCalibration:
     def add_gate(self, calibration: GateCalibration) -> "DeviceCalibration":
         """Add or replace a gate calibration record."""
         self.gates[calibration.name.lower()] = calibration
+        self.version += 1
         return self
 
     def set_qubit(self, index: int, calibration: QubitCalibration) -> "DeviceCalibration":
         """Override the calibration of one qubit."""
         self.qubits[int(index)] = calibration
+        self.version += 1
         return self
 
     def eplg(self, chain_length: int = 100) -> float:

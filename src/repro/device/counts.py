@@ -70,10 +70,16 @@ class Counts(Mapping):
         return {key: value / self._shots for key, value in self._data.items()}
 
     def most_frequent(self) -> str:
-        """The outcome with the highest count."""
+        """The outcome with the highest count.
+
+        Ties break towards the lexicographically smallest outcome string
+        (never by dict insertion order), matching
+        :meth:`repro.quantum.simulator.SimulationResult.most_frequent` so the
+        answer is identical across simulator backends and platforms.
+        """
         if not self._data:
             raise DeviceError("counts are empty")
-        return max(self._data.items(), key=lambda item: item[1])[0]
+        return min(self._data.items(), key=lambda item: (-item[1], item[0]))[0]
 
     def outcome_probability(self, outcome: str) -> float:
         """Relative frequency of one outcome."""

@@ -145,7 +145,37 @@ class DeviceModel:
         calibrated error probability; gates with nonzero duration additionally
         receive thermal relaxation over that duration (if enabled).  Readout
         errors are attached symmetrically with the calibrated probability.
+
+        The derived model is memoised per calibration version: every backend
+        built for the same (unchanged) device shares one
+        :class:`~repro.quantum.noise_model.NoiseModel` instance, so its cache
+        token is stable and compiled propagators can be reused across
+        backends.  Mutating the calibration (``add_gate``/``set_qubit``)
+        invalidates the memo.
         """
+        # The memo pins the calibration *object* (identity, not equality) plus
+        # its version counter: DeviceModel is mutable, so both in-place
+        # mutation (version bump) and swapping in a different calibration
+        # object must invalidate.  Holding the reference keeps the object
+        # alive, so an identity check can never alias a recycled id.
+        memo = self.__dict__.get("_noise_model_memo")
+        if (
+            memo is not None
+            and memo[0] is self.calibration
+            and memo[1] == (None if self.calibration is None else self.calibration.version)
+            and memo[2] == self.include_thermal_relaxation
+        ):
+            return memo[3]
+        model = self._build_noise_model()
+        self.__dict__["_noise_model_memo"] = (
+            self.calibration,
+            None if self.calibration is None else self.calibration.version,
+            self.include_thermal_relaxation,
+            model,
+        )
+        return model
+
+    def _build_noise_model(self) -> NoiseModel:
         model = NoiseModel(name=f"{self.name}_noise")
         if self.calibration is None:
             return model

@@ -60,9 +60,10 @@ def build_message_transfer_circuit(message: str, eta: int) -> QuantumCircuit:
         circuit.id(0)
     circuit.barrier()
 
-    # The quantum channel: η identity gates on the transmitted qubit.
-    for _ in range(eta):
-        circuit.id(0)
+    # The quantum channel: η identity gates on the transmitted qubit, stored
+    # as one run-length-encoded instruction so circuit construction and
+    # fingerprinting stay O(1) in η.
+    circuit.repeat("id", 0, eta)
     circuit.barrier()
 
     # Bob's Bell-state measurement.

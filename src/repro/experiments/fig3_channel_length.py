@@ -117,16 +117,22 @@ def _fig3_point(
     shots: int,
     messages: tuple[str, ...],
     device: DeviceModel,
+    simulator_backend: str = "auto",
+    cache=None,
 ) -> AccuracyPoint:
     """Measure one η point of the Fig. 3 sweep (module-level for process pools).
 
     A fresh backend is seeded from the point's deterministic seed, so the
     point's counts are identical whether the sweep runs serially or fanned
     across workers.  All message circuits of the point go through the
-    batched execution path and share one compiled channel segment.
+    batched execution path and share one compiled channel segment; serial
+    sweeps additionally share one propagator cache across points (*cache*),
+    which is sound because counts never depend on cache state.
     """
     eta = int(params["eta"])
-    backend = NoisyBackend(device, seed=seed)
+    backend = NoisyBackend(
+        device, seed=seed, simulator_backend=simulator_backend, cache=cache
+    )
     histograms = run_message_transfer_batch(messages, eta, backend, shots=shots)
     correct = sum(
         decoded.get(message, 0) for message, decoded in zip(messages, histograms)
@@ -153,6 +159,7 @@ def run_fig3(
     seed: int | None = 2024,
     executor: str = "serial",
     max_workers: int | None = None,
+    simulator_backend: str = "auto",
 ) -> Fig3Result:
     """Reproduce Fig. 3: Bob's measurement accuracy versus channel length.
 
@@ -184,6 +191,13 @@ def run_fig3(
         points are distributed (see :mod:`repro.experiments.sweep`).
     max_workers:
         Worker count for the parallel executors.
+    simulator_backend:
+        Passed to each point's :class:`~repro.device.backend.NoisyBackend`
+        (``"auto"``/``"dense"``/``"stabilizer"``).  With the default
+        ``ibm_brisbane`` device model, ``auto`` resolves to the dense path
+        (thermal relaxation is not a Pauli channel) and the figures stay
+        bit-identical to earlier releases; Pauli-diagonal device models
+        take the stabilizer fast path automatically.
     """
     if shots < 1:
         raise ExperimentError("shots must be positive")
@@ -198,8 +212,18 @@ def run_fig3(
         )
     base_seed = resolve_base_seed(seed)
 
+    # One propagator cache shared by every point of a serial sweep; parallel
+    # executors keep per-backend caches (the cache is not thread-safe).
+    from repro.quantum.batch import PropagatorCache
+
+    shared_cache = PropagatorCache() if executor == "serial" else None
     worker = functools.partial(
-        _fig3_point, shots=shots, messages=tuple(messages), device=device
+        _fig3_point,
+        shots=shots,
+        messages=tuple(messages),
+        device=device,
+        simulator_backend=simulator_backend,
+        cache=shared_cache,
     )
     swept = run_sweep(
         worker,

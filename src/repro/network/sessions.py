@@ -121,7 +121,10 @@ class SessionParameters:
 
     The per-hop quantum channel always comes from the link; these are the
     remaining :class:`~repro.protocol.config.ProtocolConfig` tunables a
-    network operator would fix fleet-wide.
+    network operator would fix fleet-wide.  ``simulator_backend`` selects
+    every hop's pair-state engine (``"auto"`` fast paths by default — the
+    dominant lever behind network-throughput performance; ``"dense"``
+    reference; ``"stabilizer"`` statically verified Pauli physics per hop).
     """
 
     identity_pairs: int = 2
@@ -129,6 +132,7 @@ class SessionParameters:
     num_check_bits: int | None = None
     authentication_tolerance: float = 0.25
     check_bit_tolerance: float = 0.15
+    simulator_backend: str = "auto"
 
     def check_bits_for(self, message_length: int) -> int:
         """Check-bit count for a message (auto: the `ProtocolConfig.default` rule)."""
@@ -163,6 +167,7 @@ class SessionParameters:
             memory_decoherence=memory_decoherence,
             memory_hold_time=memory_hold_time,
             seed=seed,
+            simulator_backend=self.simulator_backend,
         )
 
 

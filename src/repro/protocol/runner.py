@@ -77,10 +77,19 @@ class UADIQSDCProtocol:
             identity_alice, identity_bob, attack_rng
         )
 
+        # "dense" runs the unmemoised reference engines; "auto"/"stabilizer"
+        # engage the structure-sharing fast paths, which are bit-identical to
+        # the reference by construction (see ProtocolConfig.simulator_backend).
+        fast_path = self.config.simulator_backend != "dense"
         alice = Alice(
             identity=encoding_identity_alice, peer_identity=identity_bob, rng=alice_rng
         )
-        bob = Bob(identity=encoding_identity_bob, peer_identity=identity_alice, rng=bob_rng)
+        bob = Bob(
+            identity=encoding_identity_bob,
+            peer_identity=identity_alice,
+            rng=bob_rng,
+            memoize=fast_path,
+        )
 
         transcript = ProtocolTranscript()
         if self.attack is not None and hasattr(self.attack, "observe_announcement"):
@@ -101,7 +110,7 @@ class UADIQSDCProtocol:
         # ----- Step 2: first DI security check ------------------------------------------
         round1_positions = register.assign_round1_check(rng=alice_rng)
         transcript.announce("alice", "round1_check_positions", list(round1_positions))
-        security_check = DISecurityCheck(self.config.chsh_settings)
+        security_check = DISecurityCheck(self.config.chsh_settings, memoize=fast_path)
         chsh_round1 = security_check.estimate(
             [pairs[p] for p in round1_positions], rng=chsh_rng
         )
@@ -402,6 +411,8 @@ class UADIQSDCProtocol:
             "check_pairs_per_round": self.config.check_pairs_per_round,
             "message_length": self.config.message_length,
             "num_check_bits": self.config.num_check_bits,
+            "simulator_backend": self.config.simulator_backend,
+            "session_fast_path": self.config.simulator_backend != "dense",
         }
 
     def _abort(

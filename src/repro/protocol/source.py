@@ -70,10 +70,21 @@ class EntanglementSource:
         return self.preparation_noise.apply(noisy, [1])
 
     def emit_many(self, count: int) -> list[DensityMatrix]:
-        """Emit *count* pairs in order."""
+        """Emit *count* pairs in order.
+
+        Without an override hook the emission is a deterministic CPTP map, so
+        every pair carries an identical state: it is prepared once and the
+        (immutable — :class:`DensityMatrix` operations never mutate in place)
+        instance is shared across all *count* slots.  Attack overrides keep
+        the per-index emission path.
+        """
         if count < 0:
             raise ProtocolError("count must be non-negative")
-        return [self.emit(index) for index in range(count)]
+        if self.override is not None or count == 0:
+            return [self.emit(index) for index in range(count)]
+        state = self.emit(0)
+        self.emitted += count - 1
+        return [state] * count
 
     def __repr__(self) -> str:
         mode = "override" if self.override else (

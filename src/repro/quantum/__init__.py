@@ -12,7 +12,10 @@ UA-DI-QSDC paper's quantum operations without external quantum SDKs:
 * Kraus noise channels and :class:`~repro.quantum.noise_model.NoiseModel`;
 * Bell-state utilities and CHSH estimation in :mod:`repro.quantum.bell`;
 * projective and Bell-state measurement helpers in
-  :mod:`repro.quantum.measurement`.
+  :mod:`repro.quantum.measurement`;
+* a CHP stabilizer tableau fast path in :mod:`repro.quantum.stabilizer`
+  with static Clifford/Pauli eligibility analysis and backend routing in
+  :mod:`repro.quantum.dispatch`.
 
 Qubit-ordering convention: **big-endian**.  Qubit 0 is the leftmost character
 of a result bitstring and the most significant bit of a basis-state index, so
@@ -61,9 +64,26 @@ from repro.quantum.simulator import (
     SimulationResult,
     StatevectorSimulator,
 )
+from repro.quantum.stabilizer import CliffordTableau, StabilizerSimulator
+from repro.quantum.dispatch import (
+    BACKEND_CHOICES,
+    DispatchDecision,
+    pauli_mixture,
+    pauli_twirl_channel,
+    pauli_twirl_noise_model,
+    select_backend,
+)
 from repro.quantum.states import Statevector
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "CliffordTableau",
+    "DispatchDecision",
+    "StabilizerSimulator",
+    "pauli_mixture",
+    "pauli_twirl_channel",
+    "pauli_twirl_noise_model",
+    "select_backend",
     "BatchResult",
     "PropagatorCache",
     "circuit_structure_key",

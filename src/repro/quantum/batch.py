@@ -102,7 +102,7 @@ def circuit_structure_key(circuit: QuantumCircuit) -> tuple:
         circuit.num_qubits,
         circuit.num_clbits,
         tuple(
-            instruction_signature(instruction)
+            (instruction_signature(instruction), instruction.repetitions)
             for instruction in circuit.instructions
             if instruction.kind != "barrier"
         ),
@@ -342,18 +342,23 @@ class PropagatorCache:
 def _run_length_segments(
     instructions: Sequence[Instruction],
 ) -> Iterator[tuple[Instruction, tuple, int]]:
-    """Group consecutive instructions with equal signatures into (head, sig, count)."""
+    """Group consecutive instructions with equal signatures into (head, sig, count).
+
+    An instruction's own ``repetitions`` field contributes to the count, so a
+    run-length-encoded η-identity chain and η separate ``id`` instructions
+    collapse to the same segment.
+    """
     pending: Instruction | None = None
     pending_sig: tuple | None = None
     count = 0
     for instruction in instructions:
         sig = instruction_signature(instruction)
         if pending is not None and sig == pending_sig:
-            count += 1
+            count += instruction.repetitions
             continue
         if pending is not None:
             yield pending, pending_sig, count
-        pending, pending_sig, count = instruction, sig, 1
+        pending, pending_sig, count = instruction, sig, instruction.repetitions
     if pending is not None:
         yield pending, pending_sig, count
 

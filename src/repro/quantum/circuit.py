@@ -34,6 +34,12 @@ class Instruction:
     For gates, :attr:`gate` holds the :class:`~repro.quantum.gates.Gate`; for
     measurements, :attr:`clbits` lists the classical bits receiving the
     outcomes (same length as :attr:`qubits`).
+
+    ``repetitions`` run-length-encodes a gate applied ``k`` times in a row on
+    the same qubits (the paper's η-identity-gate channel is one instruction
+    with ``repetitions=η`` rather than η separate instructions).  Semantics
+    are identical to appending the instruction ``repetitions`` times;
+    consumers that walk the instruction list must honour it.
     """
 
     kind: str
@@ -41,6 +47,15 @@ class Instruction:
     clbits: tuple[int, ...] = ()
     gate: Gate | None = None
     label: str | None = None
+    repetitions: int = 1
+
+    def __post_init__(self):
+        if self.repetitions < 1:
+            raise CircuitError(
+                f"repetitions must be at least 1, got {self.repetitions}"
+            )
+        if self.repetitions > 1 and self.kind != "gate":
+            raise CircuitError("only gate instructions can carry repetitions")
 
     @property
     def name(self) -> str:
@@ -113,6 +128,27 @@ class QuantumCircuit:
     def _append_gate(self, gate: Gate, qubits: Sequence[int], label: str | None = None) -> "QuantumCircuit":
         targets = self._check_qubits(qubits, expected=gate.num_qubits)
         self._instructions.append(Instruction("gate", targets, gate=gate, label=label))
+        return self
+
+    def repeat(self, name: str, qubits: Sequence[int] | int, count: int, *params) -> "QuantumCircuit":
+        """Append the named gate *count* times as one run-length-encoded instruction.
+
+        Equivalent to calling the gate method *count* times, but stores a
+        single :class:`Instruction` with ``repetitions=count``, so an
+        η-identity-gate channel costs O(1) to build and to fingerprint
+        instead of O(η).  ``count=0`` is a no-op.
+        """
+        if count < 0:
+            raise CircuitError(f"repeat count must be non-negative, got {count}")
+        if count == 0:
+            return self
+        gate = make_gate(name, *params)
+        if isinstance(qubits, (int, np.integer)):
+            qubits = [int(qubits)]
+        targets = self._check_qubits(qubits, expected=gate.num_qubits)
+        self._instructions.append(
+            Instruction("gate", targets, gate=gate, repetitions=count)
+        )
         return self
 
     # -- standard gates ----------------------------------------------------------
@@ -269,6 +305,7 @@ class QuantumCircuit:
                     clbits=instruction.clbits,
                     gate=instruction.gate,
                     label=instruction.label,
+                    repetitions=instruction.repetitions,
                 )
             )
         return self
@@ -292,7 +329,12 @@ class QuantumCircuit:
             if instruction.kind != "gate" or instruction.gate is None:
                 raise CircuitError("cannot invert a circuit containing measurements or resets")
             new._instructions.append(
-                Instruction("gate", instruction.qubits, gate=instruction.gate.inverse())
+                Instruction(
+                    "gate",
+                    instruction.qubits,
+                    gate=instruction.gate.inverse(),
+                    repetitions=instruction.repetitions,
+                )
             )
         return new
 
@@ -302,18 +344,25 @@ class QuantumCircuit:
         for instruction in self._instructions:
             if instruction.kind == "barrier":
                 continue
-            level = max(levels[q] for q in instruction.qubits) + 1
+            level = max(levels[q] for q in instruction.qubits) + instruction.repetitions
             for q in instruction.qubits:
                 levels[q] = level
         return max(levels) if levels else 0
 
     def count_ops(self) -> dict[str, int]:
-        """Histogram of instruction names."""
-        return dict(Counter(instruction.name for instruction in self._instructions))
+        """Histogram of instruction names (run-length-encoded gates count fully)."""
+        counter: Counter[str] = Counter()
+        for instruction in self._instructions:
+            counter[instruction.name] += instruction.repetitions
+        return dict(counter)
 
     def num_gates(self) -> int:
-        """Total number of gate instructions."""
-        return sum(1 for instruction in self._instructions if instruction.kind == "gate")
+        """Total number of gate applications (repetitions included)."""
+        return sum(
+            instruction.repetitions
+            for instruction in self._instructions
+            if instruction.kind == "gate"
+        )
 
     def has_measurements(self) -> bool:
         """True if the circuit contains at least one measurement."""
@@ -340,7 +389,10 @@ class QuantumCircuit:
             embedded = Operator(instruction.gate.matrix).expand(
                 instruction.qubits, self.num_qubits
             )
-            matrix = embedded.matrix @ matrix
+            step = embedded.matrix
+            if instruction.repetitions > 1:
+                step = np.linalg.matrix_power(step, instruction.repetitions)
+            matrix = step @ matrix
         return Operator(matrix)
 
     # -- dunder helpers ---------------------------------------------------------------

@@ -30,11 +30,16 @@ __all__ = [
     "equatorial_observable",
     "projective_measurement",
     "measure_observable",
+    "observable_branches",
+    "observable_probability",
     "bell_measurement",
     "bell_measurement_probabilities",
+    "bell_basis_probability_vector",
+    "sample_bell_outcome",
     "bell_measurement_counts",
     "BELL_BITS_TO_STATE",
     "BELL_STATE_TO_BITS",
+    "BELL_OUTCOME_ORDER",
 ]
 
 #: Outcome bits of the (CNOT, H) disentangling circuit mapped to Bell states.
@@ -113,6 +118,136 @@ def _computational_projector(
     return embed_operator(kron_all(locals_), list(qubits), num_qubits)
 
 
+#: Bounded memo of ±1-observable eigenprojectors keyed by matrix bytes.  The
+#: protocol measures the same five CHSH observables thousands of times per
+#: session; hermiticity checks and ``eigh`` need to run once per observable,
+#: not once per pair.  Determinism is unaffected: equal input bytes produce
+#: the identical projector arrays the uncached code would recompute.
+_PROJECTOR_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_PROJECTOR_CACHE_MAX = 256
+
+#: Bounded memo of full-register embeddings of those projectors, keyed by
+#: (observable bytes, qubits, register size).
+_EMBEDDED_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_EMBEDDED_CACHE_MAX = 1024
+
+
+def _observable_projectors(op: Operator) -> tuple[np.ndarray, np.ndarray]:
+    """Local (+1, −1) eigenprojectors of a ±1-valued observable, memoised."""
+    key = (op.dim, op.matrix.tobytes())
+    cached = _PROJECTOR_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if not op.is_hermitian():
+        raise DimensionError("observables must be Hermitian")
+    eigenvalues, eigenvectors = np.linalg.eigh(op.matrix)
+    if not np.allclose(np.abs(eigenvalues), 1.0, atol=1e-8):
+        raise DimensionError("measure_observable supports only ±1-valued observables")
+    plus_vectors = eigenvectors[:, eigenvalues > 0]
+    projector_plus = plus_vectors @ plus_vectors.conj().T
+    projector_minus = np.eye(op.dim) - projector_plus
+    if len(_PROJECTOR_CACHE) >= _PROJECTOR_CACHE_MAX:
+        _PROJECTOR_CACHE.clear()
+    _PROJECTOR_CACHE[key] = (projector_plus, projector_minus)
+    return projector_plus, projector_minus
+
+
+def _embedded_projectors(
+    op: Operator, qubits: tuple[int, ...], num_qubits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full-register embeddings of an observable's eigenprojectors, memoised."""
+    key = (op.dim, op.matrix.tobytes(), qubits, num_qubits)
+    cached = _EMBEDDED_CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.quantum.operators import embed_operator
+
+    plus_local, minus_local = _observable_projectors(op)
+    embedded = (
+        embed_operator(plus_local, list(qubits), num_qubits),
+        embed_operator(minus_local, list(qubits), num_qubits),
+    )
+    if len(_EMBEDDED_CACHE) >= _EMBEDDED_CACHE_MAX:
+        _EMBEDDED_CACHE.clear()
+    _EMBEDDED_CACHE[key] = embedded
+    return embedded
+
+
+def observable_branches(
+    state: "Statevector | DensityMatrix",
+    observable: "Operator | np.ndarray",
+    qubits: Sequence[int],
+) -> tuple[float, "Statevector | DensityMatrix | None", "Statevector | DensityMatrix | None"]:
+    """Both branches of a ±1-observable measurement, without sampling.
+
+    Returns ``(prob_plus, post_plus, post_minus)``; a zero-probability
+    branch's post state is ``None``.  :func:`measure_observable` is exactly
+    this followed by one uniform draw, and the CHSH fast path caches these
+    branch statistics per distinct pair state — both paths therefore consume
+    identical floats and identical RNG draws, which is what keeps memoised
+    and reference sessions bit-identical.
+    """
+    op = observable if isinstance(observable, Operator) else Operator(observable)
+    projector_plus, projector_minus = _embedded_projectors(
+        op, tuple(int(q) for q in qubits), state.num_qubits
+    )
+
+    if isinstance(state, Statevector):
+        vec = state.vector
+        prob_plus = float(np.real(vec.conj() @ (projector_plus @ vec)))
+        prob_plus = min(max(prob_plus, 0.0), 1.0)
+        posts: list[Statevector | None] = []
+        for projector in (projector_plus, projector_minus):
+            post = projector @ vec
+            norm = np.linalg.norm(post)
+            posts.append(
+                None if norm <= 1e-12 else Statevector(post / norm, validate=False)
+            )
+        return prob_plus, posts[0], posts[1]
+
+    if isinstance(state, DensityMatrix):
+        rho = state.matrix
+        prob_plus = float(np.real(np.trace(projector_plus @ rho)))
+        prob_plus = min(max(prob_plus, 0.0), 1.0)
+        posts_dm: list[DensityMatrix | None] = []
+        for projector in (projector_plus, projector_minus):
+            projected = projector @ rho @ projector
+            norm = float(np.real(np.trace(projected)))
+            posts_dm.append(
+                None
+                if norm <= 1e-12
+                else DensityMatrix(projected / norm, validate=False)
+            )
+        return prob_plus, posts_dm[0], posts_dm[1]
+
+    raise DimensionError(f"cannot measure object of type {type(state).__name__}")
+
+
+def observable_probability(
+    state: "Statevector | DensityMatrix",
+    observable: "Operator | np.ndarray",
+    qubits: Sequence[int],
+) -> float:
+    """Probability of the ``+1`` outcome of a ±1-valued observable.
+
+    The same float :func:`observable_branches` and :func:`measure_observable`
+    compute, without materialising either post-measurement state — for
+    callers (e.g. the CHSH memoisation) that only need the statistic.
+    """
+    op = observable if isinstance(observable, Operator) else Operator(observable)
+    projector_plus, _ = _embedded_projectors(
+        op, tuple(int(q) for q in qubits), state.num_qubits
+    )
+    if isinstance(state, Statevector):
+        vec = state.vector
+        prob_plus = float(np.real(vec.conj() @ (projector_plus @ vec)))
+    elif isinstance(state, DensityMatrix):
+        prob_plus = float(np.real(np.trace(projector_plus @ state.matrix)))
+    else:
+        raise DimensionError(f"cannot measure object of type {type(state).__name__}")
+    return min(max(prob_plus, 0.0), 1.0)
+
+
 def measure_observable(
     state: "Statevector | DensityMatrix",
     observable: "Operator | np.ndarray",
@@ -123,25 +258,14 @@ def measure_observable(
 
     The observable must have only ``+1``/``−1`` eigenvalues (all equatorial
     observables and Pauli operators qualify).  Returns the observed eigenvalue
-    and the post-measurement state.
+    and the post-measurement state.  One uniform draw is consumed from *rng*
+    per call; only the drawn branch's post state is computed.
     """
     op = observable if isinstance(observable, Operator) else Operator(observable)
-    if not op.is_hermitian():
-        raise DimensionError("observables must be Hermitian")
-    eigenvalues, eigenvectors = np.linalg.eigh(op.matrix)
-    if not np.allclose(np.abs(eigenvalues), 1.0, atol=1e-8):
-        raise DimensionError("measure_observable supports only ±1-valued observables")
-
-    plus_vectors = eigenvectors[:, eigenvalues > 0]
-    projector_plus_local = plus_vectors @ plus_vectors.conj().T
-    projector_minus_local = np.eye(op.dim) - projector_plus_local
-
+    projector_plus, projector_minus = _embedded_projectors(
+        op, tuple(int(q) for q in qubits), state.num_qubits
+    )
     generator = as_rng(rng)
-    num_qubits = state.num_qubits
-    from repro.quantum.operators import embed_operator
-
-    projector_plus = embed_operator(projector_plus_local, list(qubits), num_qubits)
-    projector_minus = embed_operator(projector_minus_local, list(qubits), num_qubits)
 
     if isinstance(state, Statevector):
         vec = state.vector
@@ -152,7 +276,9 @@ def measure_observable(
         post = projector @ vec
         norm = np.linalg.norm(post)
         if norm <= 1e-12:
-            raise NonPhysicalStateError("observable measurement hit a zero-probability outcome")
+            raise NonPhysicalStateError(
+                "observable measurement hit a zero-probability outcome"
+            )
         return outcome, Statevector(post / norm, validate=False)
 
     if isinstance(state, DensityMatrix):
@@ -164,10 +290,21 @@ def measure_observable(
         projected = projector @ rho @ projector
         norm = float(np.real(np.trace(projected)))
         if norm <= 1e-12:
-            raise NonPhysicalStateError("observable measurement hit a zero-probability outcome")
+            raise NonPhysicalStateError(
+                "observable measurement hit a zero-probability outcome"
+            )
         return outcome, DensityMatrix(projected / norm, validate=False)
 
     raise DimensionError(f"cannot measure object of type {type(state).__name__}")
+
+
+#: The canonical Bell-outcome ordering used by every sampling helper below.
+BELL_OUTCOME_ORDER = (
+    BellState.PHI_PLUS,
+    BellState.PHI_MINUS,
+    BellState.PSI_PLUS,
+    BellState.PSI_MINUS,
+)
 
 
 def _bell_basis_probabilities(
@@ -176,14 +313,10 @@ def _bell_basis_probabilities(
     """Probabilities of the four Bell outcomes (ordered Φ+, Φ−, Ψ+, Ψ−)."""
     from repro.quantum.bell import bell_projector
 
-    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
     probs = []
-    for which in order:
+    for which in BELL_OUTCOME_ORDER:
         projector = bell_projector(which)
-        if isinstance(state, Statevector):
-            value = state.expectation_value(projector, qubit_pair)
-        else:
-            value = state.expectation_value(projector, qubit_pair)
+        value = state.expectation_value(projector, qubit_pair)
         probs.append(max(float(np.real(value)), 0.0))
     probs = np.array(probs)
     total = probs.sum()
@@ -192,13 +325,39 @@ def _bell_basis_probabilities(
     return probs / total
 
 
+def bell_basis_probability_vector(
+    state: "Statevector | DensityMatrix", qubit_pair: Sequence[int]
+) -> np.ndarray:
+    """The four Bell-outcome probabilities, ordered as :data:`BELL_OUTCOME_ORDER`.
+
+    Public variant of the internal helper so callers (e.g. Bob's memoised
+    Bell-measurement loop) can compute the vector once per distinct pair
+    state and sample many outcomes from it via :func:`sample_bell_outcome`.
+    """
+    return _bell_basis_probabilities(state, qubit_pair)
+
+
+def sample_bell_outcome(
+    probabilities: np.ndarray, rng=None
+) -> BellMeasurementResult:
+    """Draw one Bell outcome from a precomputed probability vector.
+
+    Consumes exactly one ``Generator.choice`` draw — the same consumption as
+    :func:`bell_measurement`, so sampling from a cached vector is
+    bit-identical to measuring the state afresh.
+    """
+    generator = as_rng(rng)
+    index = int(generator.choice(4, p=probabilities))
+    which = BELL_OUTCOME_ORDER[index]
+    return BellMeasurementResult(bell_state=which, bits=BELL_STATE_TO_BITS[which])
+
+
 def bell_measurement_probabilities(
     state: "Statevector | DensityMatrix", qubit_pair: Sequence[int]
 ) -> dict[BellState, float]:
     """Probability of each Bell outcome when measuring *qubit_pair* in the Bell basis."""
-    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
     probs = _bell_basis_probabilities(state, qubit_pair)
-    return {which: float(p) for which, p in zip(order, probs)}
+    return {which: float(p) for which, p in zip(BELL_OUTCOME_ORDER, probs)}
 
 
 def bell_measurement(
@@ -215,12 +374,8 @@ def bell_measurement(
     """
     if len(qubit_pair) != 2:
         raise DimensionError("Bell-state measurement requires exactly two qubits")
-    generator = as_rng(rng)
-    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
     probs = _bell_basis_probabilities(state, qubit_pair)
-    index = int(generator.choice(4, p=probs))
-    which = order[index]
-    return BellMeasurementResult(bell_state=which, bits=BELL_STATE_TO_BITS[which])
+    return sample_bell_outcome(probs, rng=rng)
 
 
 def bell_measurement_counts(
@@ -233,7 +388,10 @@ def bell_measurement_counts(
     if shots < 0:
         raise ValueError(f"shots must be non-negative, got {shots}")
     generator = as_rng(rng)
-    order = [BellState.PHI_PLUS, BellState.PHI_MINUS, BellState.PSI_PLUS, BellState.PSI_MINUS]
     probs = _bell_basis_probabilities(state, qubit_pair)
     samples = generator.multinomial(shots, probs)
-    return {which: int(count) for which, count in zip(order, samples) if count > 0}
+    return {
+        which: int(count)
+        for which, count in zip(BELL_OUTCOME_ORDER, samples)
+        if count > 0
+    }

@@ -194,6 +194,28 @@ class NoiseModel:
         """True if any readout error is configured."""
         return bool(self._readout_errors) or self._default_readout is not None
 
+    def iter_errors(self):
+        """Yield every attached gate error as ``(gate_name, qubits, error)``.
+
+        ``qubits`` is ``None`` for all-qubit (default) errors and the
+        restricting qubit tuple for local errors.  Used by the dispatch
+        layer's static Pauli-eligibility analysis and by
+        :func:`repro.quantum.dispatch.pauli_twirl_noise_model`.
+        """
+        for gate_name, errors in self._default_errors.items():
+            for error in errors:
+                yield gate_name, None, error
+        for (gate_name, qubits), errors in self._local_errors.items():
+            for error in errors:
+                yield gate_name, qubits, error
+
+    def iter_readout_errors(self):
+        """Yield every readout error as ``(qubit, error)`` (``None`` = default)."""
+        if self._default_readout is not None:
+            yield None, self._default_readout
+        for qubit, error in self._readout_errors.items():
+            yield qubit, error
+
     @property
     def noisy_gate_names(self) -> set[str]:
         """Names of gates that have at least one attached error."""

@@ -89,10 +89,16 @@ class SimulationResult:
         return {key: value / total for key, value in self.counts.items()}
 
     def most_frequent(self) -> str:
-        """The most frequently observed classical outcome."""
+        """The most frequently observed classical outcome.
+
+        Ties are broken deterministically towards the lexicographically
+        smallest bitstring, independent of dict insertion order — so the
+        answer is stable across simulator backends, Python versions and
+        platforms (asserted by ``tests/quantum/test_simulation_result.py``).
+        """
         if not self.counts:
             raise SimulationError("result contains no counts")
-        return max(self.counts.items(), key=lambda item: item[1])[0]
+        return min(self.counts.items(), key=lambda item: (-item[1], item[0]))[0]
 
 
 def _format_clbits(values: dict[int, int], num_clbits: int) -> str:
@@ -111,11 +117,14 @@ class StatevectorSimulator:
     seed:
         Optional seed (or :class:`numpy.random.Generator`) used for all
         measurement sampling performed by this simulator instance.
+    cache:
+        Optional externally owned :class:`~repro.quantum.batch.PropagatorCache`
+        shared with other simulators (serial execution only).
     """
 
-    def __init__(self, seed=None):
+    def __init__(self, seed=None, cache: PropagatorCache | None = None):
         self._rng = as_rng(seed)
-        self._cache = PropagatorCache()
+        self._cache = cache if cache is not None else PropagatorCache()
 
     # -- public API -------------------------------------------------------------
     def run(
@@ -251,9 +260,9 @@ class StatevectorSimulator:
     def _apply_gates(circuit: QuantumCircuit, state: Statevector) -> Statevector:
         for instruction in circuit.instructions:
             if instruction.kind == "gate" and instruction.gate is not None:
-                state = state.apply_operator(
-                    Operator(instruction.gate.matrix), instruction.qubits
-                )
+                operator = Operator(instruction.gate.matrix)
+                for _ in range(instruction.repetitions):
+                    state = state.apply_operator(operator, instruction.qubits)
             elif instruction.kind in ("barrier", "measure"):
                 continue
             else:
@@ -274,9 +283,9 @@ class StatevectorSimulator:
         measure_map: dict[int, int] = {}
         for instruction in circuit.instructions:
             if instruction.kind == "gate" and instruction.gate is not None:
-                final = final.apply_operator(
-                    Operator(instruction.gate.matrix), instruction.qubits
-                )
+                operator = Operator(instruction.gate.matrix)
+                for _ in range(instruction.repetitions):
+                    final = final.apply_operator(operator, instruction.qubits)
             elif instruction.kind == "measure":
                 for qubit, clbit in zip(instruction.qubits, instruction.clbits):
                     measure_map[qubit] = clbit
@@ -324,9 +333,9 @@ class StatevectorSimulator:
             clbit_values: dict[int, int] = {}
             for instruction in circuit.instructions:
                 if instruction.kind == "gate" and instruction.gate is not None:
-                    current = current.apply_operator(
-                        Operator(instruction.gate.matrix), instruction.qubits
-                    )
+                    operator = Operator(instruction.gate.matrix)
+                    for _ in range(instruction.repetitions):
+                        current = current.apply_operator(operator, instruction.qubits)
                 elif instruction.kind == "measure":
                     outcome, current = current.measure(instruction.qubits, rng=generator)
                     for bit_char, clbit in zip(outcome, instruction.clbits):
@@ -355,12 +364,22 @@ class DensityMatrixSimulator:
         ideal (but still mixed-state) simulation.
     seed:
         Seed or generator for measurement sampling.
+    cache:
+        Optional externally owned :class:`~repro.quantum.batch.PropagatorCache`
+        shared with other simulators (serial execution only; compiled
+        superoperators stay correct across owners because cache keys embed
+        the noise model's identity token).
     """
 
-    def __init__(self, noise_model: NoiseModel | None = None, seed=None):
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        seed=None,
+        cache: PropagatorCache | None = None,
+    ):
         self._noise_model = noise_model
         self._rng = as_rng(seed)
-        self._cache = PropagatorCache()
+        self._cache = cache if cache is not None else PropagatorCache()
 
     @property
     def noise_model(self) -> NoiseModel | None:
@@ -401,7 +420,8 @@ class DensityMatrixSimulator:
         measure_map: dict[int, int] = {}
         for instruction in circuit.instructions:
             if instruction.kind == "gate" and instruction.gate is not None:
-                state = self._apply_gate(state, instruction)
+                for _ in range(instruction.repetitions):
+                    state = self._apply_gate(state, instruction)
             elif instruction.kind == "reset":
                 state = self._apply_reset(state, instruction.qubits[0])
             elif instruction.kind == "measure":
@@ -496,7 +516,18 @@ class DensityMatrixSimulator:
         shots: int,
         generator: np.random.Generator,
     ) -> SimulationResult:
-        """Sample counts (readout errors included) from a final mixed state."""
+        """Sample counts (readout errors included) from a final mixed state.
+
+        Seed handling: *generator* is always the explicit
+        :class:`numpy.random.Generator` resolved by the calling ``run`` /
+        ``run_batch`` — the caller's ``rng`` argument when given, else the
+        simulator's own seeded stream.  Exactly one ``multinomial`` draw is
+        consumed per sampled circuit, so a fixed seed yields bit-identical
+        counts across runs, platforms and the sequential/batched/stabilizer
+        execution paths (asserted by
+        ``tests/quantum/test_simulation_result.py`` and the cross-backend
+        conformance suite).
+        """
         if not measure_map:
             return SimulationResult(
                 counts={}, shots=0, density_matrix=state,
@@ -538,7 +569,8 @@ class DensityMatrixSimulator:
         state = self._initial_state(circuit, initial_state)
         for instruction in circuit.instructions:
             if instruction.kind == "gate" and instruction.gate is not None:
-                state = self._apply_gate(state, instruction)
+                for _ in range(instruction.repetitions):
+                    state = self._apply_gate(state, instruction)
             elif instruction.kind == "reset":
                 state = self._apply_reset(state, instruction.qubits[0])
         return state

@@ -1,0 +1,67 @@
+"""Golden-fixture regression test for the e2e paper-reproduction pipeline.
+
+``tests/fixtures/e2e_quick.json`` pins the *exact* quick-mode outputs of the
+``e2e`` experiment — per-session CHSH values, authentication errors, decoded
+messages, aggregate delivery rates.  Any refactor that drifts these numbers
+(a changed RNG consumption pattern, a reordered float reduction, an
+accidental behaviour change behind the session fast path) fails here loudly
+instead of silently rewriting the reproduction.
+
+For an intentional change, regenerate with
+``PYTHONPATH=src python tests/fixtures/regenerate_e2e_quick.py``
+and justify the diff in review.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+FIXTURE_PATH = Path(__file__).parent.parent / "fixtures" / "e2e_quick.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with FIXTURE_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def current():
+    import sys
+
+    sys.path.insert(0, str(FIXTURE_PATH.parent))
+    try:
+        from regenerate_e2e_quick import build_fixture
+    finally:
+        sys.path.pop(0)
+    return build_fixture()
+
+
+class TestGoldenE2E:
+    def test_aggregate_statistics_exact(self, golden, current):
+        for key in (
+            "message_length",
+            "num_sessions",
+            "eta",
+            "ideal_delivery_rate",
+            "noisy_delivery_rate",
+            "mean_chsh_round1",
+            "mean_noisy_message_error",
+        ):
+            assert current[key] == golden[key], f"{key} drifted"
+
+    @pytest.mark.parametrize("bucket", ["ideal_sessions", "noisy_sessions"])
+    def test_per_session_records_exact(self, golden, current, bucket):
+        assert len(current[bucket]) == len(golden[bucket])
+        for index, (now, pinned) in enumerate(zip(current[bucket], golden[bucket])):
+            assert now == pinned, (
+                f"{bucket}[{index}] drifted:\n  now    {now}\n  pinned {pinned}"
+            )
+
+    def test_ideal_channel_always_delivers(self, golden):
+        # Sanity on the fixture itself: the paper's noiseless sessions
+        # deliver every message exactly.
+        assert golden["ideal_delivery_rate"] == 1.0
+        for session in golden["ideal_sessions"]:
+            assert session["delivered_message"] == session["sent_message"]

@@ -1,0 +1,65 @@
+"""Regenerate the golden e2e quick-mode fixture.
+
+Run only for an *intentional, reviewed* change to paper-reproduction
+behaviour — the fixture exists so refactors cannot silently drift the
+numbers::
+
+    PYTHONPATH=src python tests/fixtures/regenerate_e2e_quick.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def session_record(result) -> dict:
+    return {
+        "success": result.success,
+        "abort_reason": result.abort_reason.value,
+        "sent_message": "".join(str(bit) for bit in result.sent_message),
+        "delivered_message": (
+            None
+            if result.delivered_message is None
+            else "".join(str(bit) for bit in result.delivered_message)
+        ),
+        "chsh_round1": None if result.chsh_round1 is None else result.chsh_round1.value,
+        "chsh_round2": None if result.chsh_round2 is None else result.chsh_round2.value,
+        "bob_authentication_error": result.bob_authentication_error,
+        "alice_authentication_error": result.alice_authentication_error,
+        "check_bit_error_rate": result.check_bit_error_rate,
+        "message_bit_error_rate": result.message_bit_error_rate,
+    }
+
+
+def build_fixture() -> dict:
+    from repro.experiments.registry import get_experiment
+
+    result = get_experiment("e2e").run(quick=True)
+    return {
+        "_comment": (
+            "Golden quick-mode outputs of the e2e experiment (seed 42, 3 "
+            "sessions, 16-bit messages). Regenerate ONLY for an intentional, "
+            "reviewed change to the paper-reproduction pipeline: "
+            "PYTHONPATH=src python tests/fixtures/regenerate_e2e_quick.py"
+        ),
+        "message_length": result.message_length,
+        "num_sessions": result.num_sessions,
+        "eta": result.eta,
+        "ideal_delivery_rate": result.ideal_delivery_rate,
+        "noisy_delivery_rate": result.noisy_delivery_rate,
+        "mean_chsh_round1": result.mean_chsh_round1,
+        "mean_noisy_message_error": result.mean_noisy_message_error,
+        "ideal_sessions": [session_record(r) for r in result.ideal_results],
+        "noisy_sessions": [session_record(r) for r in result.noisy_results],
+    }
+
+
+FIXTURE_PATH = Path(__file__).parent / "e2e_quick.json"
+
+
+if __name__ == "__main__":
+    with FIXTURE_PATH.open("w") as handle:
+        json.dump(build_fixture(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE_PATH}")

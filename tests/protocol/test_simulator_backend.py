@@ -1,0 +1,253 @@
+"""Parity and eligibility tests for ``ProtocolConfig.simulator_backend``.
+
+The protocol's ``auto`` fast path (memoised CHSH branch statistics, memoised
+Bell-measurement distributions, shared source emissions) must be
+*bit-identical* to the ``dense`` reference path: identical results, identical
+RNG consumption, for honest and attacked sessions alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.intercept_resend import InterceptResendAttack
+from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
+from repro.protocol.chsh import DISecurityCheck
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.identity import Identity
+from repro.protocol.parties import Bob
+from repro.protocol.runner import UADIQSDCProtocol
+from repro.protocol.source import EntanglementSource
+from repro.quantum.bell import BellState, bell_state
+from repro.quantum.channels import depolarizing_channel
+
+
+def _session_fingerprint(result):
+    return (
+        result.success,
+        result.abort_reason,
+        result.delivered_message,
+        None if result.chsh_round1 is None else result.chsh_round1.value,
+        None if result.chsh_round2 is None else result.chsh_round2.value,
+        result.bob_authentication_error,
+        result.alice_authentication_error,
+        result.check_bit_error_rate,
+        result.message_bit_error_rate,
+    )
+
+
+class TestFastPathParity:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 2024])
+    def test_honest_session_bit_identical(self, seed):
+        message = "0110" * 8
+        base = ProtocolConfig.default(len(message), seed=seed)
+        fast = UADIQSDCProtocol(base).run(message)
+        dense = UADIQSDCProtocol(base.with_simulator_backend("dense")).run(message)
+        assert _session_fingerprint(fast) == _session_fingerprint(dense)
+
+    def test_attacked_session_bit_identical(self):
+        message = "10" * 8
+        base = ProtocolConfig.default(len(message), seed=11)
+        attack_a = InterceptResendAttack()
+        attack_b = InterceptResendAttack()
+        fast = UADIQSDCProtocol(base, attack=attack_a).run(message)
+        dense = UADIQSDCProtocol(
+            base.with_simulator_backend("dense"), attack=attack_b
+        ).run(message)
+        assert _session_fingerprint(fast) == _session_fingerprint(dense)
+
+    def test_noisy_channel_session_bit_identical(self):
+        message = "1100" * 4
+        base = ProtocolConfig.default(len(message), seed=3, eta=50)
+        fast = UADIQSDCProtocol(base).run(message)
+        dense = UADIQSDCProtocol(base.with_simulator_backend("dense")).run(message)
+        assert _session_fingerprint(fast) == _session_fingerprint(dense)
+
+    def test_metadata_reports_backend(self):
+        config = ProtocolConfig.default(8, seed=0)
+        result = UADIQSDCProtocol(config).run("01010101")
+        assert result.metadata["simulator_backend"] == "auto"
+        assert result.metadata["session_fast_path"] is True
+        dense = UADIQSDCProtocol(config.with_simulator_backend("dense")).run("01010101")
+        assert dense.metadata["session_fast_path"] is False
+
+    def test_forced_stabilizer_runs_on_pauli_channel(self):
+        channel = IdentityChainChannel(eta=20, include_thermal_relaxation=False)
+        config = (
+            ProtocolConfig.default(8, seed=5)
+            .with_channel(channel)
+            .with_simulator_backend("stabilizer")
+        )
+        reference = UADIQSDCProtocol(
+            config.with_simulator_backend("dense")
+        ).run("01010101")
+        forced = UADIQSDCProtocol(config).run("01010101")
+        assert _session_fingerprint(forced) == _session_fingerprint(reference)
+
+
+class TestDISecurityCheckMemoization:
+    def _pairs(self, count=64):
+        noisy = depolarizing_channel(0.05).apply(
+            bell_state(BellState.PHI_PLUS).density_matrix(), [0]
+        )
+        clean = bell_state(BellState.PHI_PLUS).density_matrix()
+        return [clean if index % 2 else noisy for index in range(count)]
+
+    def test_memoized_estimate_bit_identical_to_reference(self):
+        pairs = self._pairs()
+        memoized = DISecurityCheck(memoize=True).estimate(
+            pairs, rng=np.random.default_rng(42)
+        )
+        reference = DISecurityCheck(memoize=False).estimate(
+            pairs, rng=np.random.default_rng(42)
+        )
+        assert memoized.value == reference.value
+        assert memoized.correlations == reference.correlations
+        assert memoized.counts == reference.counts
+
+    def test_rng_consumption_identical(self):
+        pairs = self._pairs(32)
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        DISecurityCheck(memoize=True).estimate(pairs, rng=rng_a)
+        DISecurityCheck(memoize=False).estimate(pairs, rng=rng_b)
+        assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+
+class TestBobMemoization:
+    def _bob(self, memoize, seed=4):
+        identity = Identity.random(2, owner="bob", rng=np.random.default_rng(0))
+        peer = Identity.random(2, owner="alice", rng=np.random.default_rng(1))
+        return Bob(identity=identity, peer_identity=peer, rng=seed, memoize=memoize)
+
+    def test_bell_measure_bit_identical(self):
+        pairs = {
+            index: bell_state(BellState.PHI_PLUS).density_matrix()
+            for index in range(48)
+        }
+        fast = self._bob(True).bell_measure(pairs, tuple(pairs))
+        reference = self._bob(False).bell_measure(pairs, tuple(pairs))
+        assert fast == reference
+
+
+class TestNetworkBackendPlumbing:
+    def _line_topology(self, channel_factory=None):
+        from repro.network.topology import line_topology
+
+        kwargs = {} if channel_factory is None else {"channel_factory": channel_factory}
+        return line_topology(3, **kwargs)
+
+    def _networked_config(self, backend_name, channel_factory=None, seed=5):
+        from repro.api.config import ServiceConfig
+
+        # The service-level channel field is kept Pauli-eligible so a forced
+        # "stabilizer" passes the construction-time representative
+        # validation; hop eligibility is then decided by the (independent)
+        # per-link channels of the topology.
+        return (
+            ServiceConfig.networked(self._line_topology(channel_factory), seed=seed)
+            .with_channel(NoiselessChannel())
+            .with_simulator_backend(backend_name)
+            .with_executor("serial")
+        )
+
+    def test_service_backend_reaches_network_hops(self):
+        """ServiceConfig.simulator_backend flows into every hop's config.
+
+        The default *link* channel carries thermal relaxation (non-Pauli), so
+        a forced ``stabilizer`` must fail loudly inside the hop — proof the
+        knob is plumbed into the scheduler's SessionParameters rather than
+        silently dropped.
+        """
+        from repro.api.service import MessagingService
+        from repro.exceptions import ConfigurationError
+
+        service = MessagingService(self._networked_config("stabilizer"))
+        with pytest.raises(ConfigurationError, match="Pauli"):
+            service.send("1010", kind="bits")
+
+    def test_dense_and_auto_network_deliveries_identical(self):
+        from repro.api.service import MessagingService
+
+        fast = MessagingService(self._networked_config("auto")).send("1010", kind="bits")
+        dense = MessagingService(self._networked_config("dense")).send(
+            "1010", kind="bits"
+        )
+        assert fast.success == dense.success
+        assert fast.delivered_payload == dense.delivered_payload
+
+    def test_explicit_session_params_own_the_engine(self):
+        from repro.api.service import MessagingService
+        from repro.network.sessions import SessionParameters
+
+        # Seed 0 delivers on the default η=10 links (seed 5 aborts
+        # statistically on the small per-hop check-pair count — the
+        # documented quick-mode behaviour, not an eligibility failure).
+        config = self._networked_config("stabilizer", seed=0).with_network(
+            session_params=SessionParameters(simulator_backend="auto")
+        )
+        report = MessagingService(config).send("1010", kind="bits")
+        assert report.success  # explicit params win; no eligibility error
+
+
+class TestDeviceNoiseModelMemo:
+    def test_memo_invalidates_on_calibration_swap(self):
+        from repro.device.calibration import (
+            DeviceCalibration,
+            GateCalibration,
+            QubitCalibration,
+        )
+        from repro.device.device_model import DeviceModel
+
+        def calibration(readout):
+            return DeviceCalibration(
+                qubit_defaults=QubitCalibration(
+                    t1=2e-4, t2=1e-4, readout_error=readout
+                ),
+                gates={"id": GateCalibration("id", 1e-4, 6e-8, num_qubits=1)},
+            )
+
+        device = DeviceModel("swap_test", 2, calibration=calibration(0.01))
+        first = device.noise_model()
+        device.calibration = calibration(0.3)  # fresh object, same version=0
+        second = device.noise_model()
+        assert second is not first
+        assert second.readout_error_for(0).prob_1_given_0 == pytest.approx(0.3)
+
+    def test_memo_invalidates_on_version_bump(self):
+        from repro.device.calibration import GateCalibration
+        from repro.device.device_model import DeviceModel
+
+        device = DeviceModel.ibm_brisbane()
+        first = device.noise_model()
+        assert device.noise_model() is first  # stable while unchanged
+        device.calibration.add_gate(GateCalibration("id", 0.5, 6e-8, num_qubits=1))
+        assert device.noise_model() is not first
+
+
+class TestSourceEmissionSharing:
+    def test_emit_many_shares_one_deterministic_state(self):
+        source = EntanglementSource()
+        pairs = source.emit_many(10)
+        assert len(pairs) == 10
+        assert source.emitted == 10
+        assert all(pair is pairs[0] for pair in pairs)
+
+    def test_override_keeps_per_index_emission(self):
+        calls = []
+
+        def override(index):
+            calls.append(index)
+            return bell_state(BellState.PHI_PLUS).density_matrix()
+
+        source = EntanglementSource(override=override)
+        pairs = source.emit_many(4)
+        assert calls == [0, 1, 2, 3]
+        assert len({id(pair) for pair in pairs}) == 4
+
+    def test_noisy_source_emission_matches_single_emit(self):
+        noisy = EntanglementSource(preparation_noise=depolarizing_channel(0.1))
+        shared = noisy.emit_many(3)[0]
+        single = EntanglementSource(
+            preparation_noise=depolarizing_channel(0.1)
+        ).emit(0)
+        assert np.array_equal(shared.matrix, single.matrix)
