@@ -8,7 +8,9 @@ The package is organised in layers:
 * :mod:`repro.channel` — quantum (η-identity-gate) and classical channels.
 * :mod:`repro.protocol` — the paper's contribution: the user-authenticated
   device-independent QSDC protocol.
-* :mod:`repro.attacks` — the five attack models analysed in the paper.
+* :mod:`repro.attacks` — the paper's five attack models plus the
+  adversarial scenario engine (declarative strategy × strength ×
+  schedule × layer specs, composable multi-adversary schedules).
 * :mod:`repro.baselines` — prior DI-QSDC protocols compared in Table I.
 * :mod:`repro.network` — multi-node QSDC network simulation (topologies,
   routing, trusted-relay sessions, discrete-event scheduling, metrics).
@@ -28,6 +30,8 @@ and constitute the supported API:
   service facade (see :mod:`repro.api`);
 * ``ProtocolConfig``, ``UADIQSDCProtocol``, ``ProtocolResult`` — the
   single-session research surface (see :mod:`repro.protocol`);
+* ``AttackScenario``, ``ScenarioSchedule`` — the declarative adversarial
+  scenario engine (see :mod:`repro.attacks.scenarios`);
 * the exception hierarchy rooted at ``ReproError``.
 
 Quickstart::
@@ -66,6 +70,8 @@ _LAZY_EXPORTS = {
     "ProtocolConfig": "repro.protocol.config",
     "UADIQSDCProtocol": "repro.protocol.runner",
     "ProtocolResult": "repro.protocol.results",
+    "AttackScenario": "repro.attacks.scenarios",
+    "ScenarioSchedule": "repro.attacks.scenarios",
 }
 
 __all__ = [

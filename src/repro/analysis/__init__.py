@@ -7,7 +7,12 @@
 * :mod:`repro.analysis.accuracy` — the accuracy-versus-channel-length metric
   of Fig. 3, including the exponential-decay fit and threshold crossing;
 * :mod:`repro.analysis.chsh_analysis` — analytic CHSH curves versus noise and
-  channel length.
+  channel length;
+* :mod:`repro.analysis.security` — detection ROC curves, statistical power
+  versus sample size, information-leakage/detection trade-off frontiers and
+  finite-sample CHSH confidence bounds (the quantitative layer behind the
+  paper's §III/§IV security claims, driven by the ``fig_security``
+  experiment).
 """
 
 from repro.analysis.accuracy import (
@@ -26,6 +31,19 @@ from repro.analysis.fidelity import (
     state_fidelity,
 )
 from repro.analysis.qber import bit_error_rate, quantum_bit_error_rate
+from repro.analysis.security import (
+    RocCurve,
+    TradeoffPoint,
+    binomial_test_power,
+    chsh_epsilon,
+    chsh_lower_bound,
+    detection_power,
+    detection_roc,
+    pairs_for_chsh_epsilon,
+    sessions_for_detection,
+    sessions_for_power,
+    tradeoff_frontier,
+)
 from repro.analysis.statistics import (
     binomial_standard_error,
     chsh_standard_error,
@@ -51,4 +69,15 @@ __all__ = [
     "mean_and_confidence_interval",
     "required_shots_for_accuracy",
     "wilson_interval",
+    "RocCurve",
+    "TradeoffPoint",
+    "detection_roc",
+    "detection_power",
+    "sessions_for_detection",
+    "binomial_test_power",
+    "sessions_for_power",
+    "tradeoff_frontier",
+    "chsh_epsilon",
+    "chsh_lower_bound",
+    "pairs_for_chsh_epsilon",
 ]

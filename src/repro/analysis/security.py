@@ -1,0 +1,331 @@
+"""Quantitative security analysis: detection power, ROC curves and trade-off frontiers.
+
+The paper's security argument (§III) is qualitative — every attack *is*
+detected — and its §IV simulations report detection as a per-attack yes/no.
+This module supplies the quantitative layer the scenario engine
+(:mod:`repro.attacks.scenarios`) needs to compare *parameterised* adversaries:
+
+* :func:`detection_roc` — receiver-operating-characteristic curves for the
+  CHSH-based eavesdropping test: sweep the abort threshold over observed
+  honest and attacked CHSH samples and report (false-alarm, detection) pairs
+  plus the area under the curve;
+* :func:`detection_power` / :func:`sessions_for_detection` /
+  :func:`binomial_test_power` / :func:`sessions_for_power` — statistical
+  power versus sample size: how many sessions an operator must watch before
+  an adversary of a given per-session detectability is caught with the
+  required confidence;
+* :func:`tradeoff_frontier` — the information-leakage versus
+  detection-probability Pareto frontier across a family of attack strengths
+  (Eve's view of the entangle-measure coupling sweep);
+* :func:`chsh_epsilon` / :func:`chsh_lower_bound` /
+  :func:`pairs_for_chsh_epsilon` — finite-sample Hoeffding confidence bounds
+  on a sampled CHSH value, quantifying how many check pairs ``d`` the DI
+  rounds need before "S > 2" is a statistically meaningful statement.
+
+Everything here is pure computation on numbers produced elsewhere (protocol
+results, attack evaluations); the ``fig_security`` experiment
+(:mod:`repro.experiments.fig_security`) is the harness that feeds it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "RocCurve",
+    "TradeoffPoint",
+    "detection_roc",
+    "detection_power",
+    "sessions_for_detection",
+    "binomial_test_power",
+    "sessions_for_power",
+    "tradeoff_frontier",
+    "chsh_epsilon",
+    "chsh_lower_bound",
+    "pairs_for_chsh_epsilon",
+]
+
+
+# ---------------------------------------------------------------------------
+# ROC analysis of the CHSH eavesdropping test
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RocCurve:
+    """ROC of the threshold test "abort when the CHSH estimate falls below t".
+
+    Attributes
+    ----------
+    thresholds:
+        The swept abort thresholds, ascending (one per observed score value).
+    false_positive_rates:
+        Fraction of *honest* sessions flagged at each threshold
+        (non-decreasing in the threshold).
+    true_positive_rates:
+        Fraction of *attacked* sessions flagged at each threshold
+        (non-decreasing in the threshold).
+    auc:
+        Area under the curve — the probability a random attacked session
+        scores more suspiciously (lower CHSH) than a random honest one, with
+        ties counted half.  0.5 means the statistic cannot distinguish the
+        attack; 1.0 means perfect separation.
+    """
+
+    thresholds: tuple[float, ...]
+    false_positive_rates: tuple[float, ...]
+    true_positive_rates: tuple[float, ...]
+    auc: float
+
+    def detection_at_false_alarm(self, max_false_alarm: float) -> float:
+        """Best detection rate achievable with false-alarm ≤ *max_false_alarm*."""
+        best = 0.0
+        for fpr, tpr in zip(self.false_positive_rates, self.true_positive_rates):
+            if fpr <= max_false_alarm:
+                best = max(best, tpr)
+        return best
+
+    def summary(self) -> dict:
+        """Compact JSON-friendly form (used by experiment reports)."""
+        return {
+            "auc": self.auc,
+            "operating_points": len(self.thresholds),
+            "detection_at_5pct_false_alarm": self.detection_at_false_alarm(0.05),
+        }
+
+
+def detection_roc(
+    honest_scores: Sequence[float], attacked_scores: Sequence[float]
+) -> RocCurve:
+    """ROC curve of a "flag when score ≤ threshold" test.
+
+    Scores are session statistics where *smaller means more suspicious* — in
+    the DI security check that is the CHSH estimate (attacks collapse it
+    toward or below 2, honest sessions sit near 2√2).
+
+    Parameters
+    ----------
+    honest_scores:
+        Per-session scores from attack-free runs (the null distribution).
+    attacked_scores:
+        Per-session scores from runs under the attack being characterised.
+    """
+    honest = np.asarray(list(honest_scores), dtype=float)
+    attacked = np.asarray(list(attacked_scores), dtype=float)
+    if honest.size == 0 or attacked.size == 0:
+        raise ReproError("detection_roc needs at least one score per class")
+    thresholds = np.unique(np.concatenate([honest, attacked]))
+    fpr = tuple(float(np.mean(honest <= t)) for t in thresholds)
+    tpr = tuple(float(np.mean(attacked <= t)) for t in thresholds)
+    # Mann–Whitney AUC: P(attacked < honest) + 0.5 P(attacked == honest).
+    less = np.sum(attacked[:, None] < honest[None, :])
+    ties = np.sum(attacked[:, None] == honest[None, :])
+    auc = float((less + 0.5 * ties) / (attacked.size * honest.size))
+    return RocCurve(
+        thresholds=tuple(float(t) for t in thresholds),
+        false_positive_rates=fpr,
+        true_positive_rates=tpr,
+        auc=auc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# statistical power versus sample size
+# ---------------------------------------------------------------------------
+
+def detection_power(per_session_rate: float, sessions: int) -> float:
+    """Probability at least one of *sessions* independent sessions aborts.
+
+    With per-session detection probability ``p`` the power of the simplest
+    operating rule — "declare an eavesdropper after the first abort" — is
+    ``1 − (1 − p)^n``.
+    """
+    if not 0.0 <= per_session_rate <= 1.0:
+        raise ReproError("per_session_rate must lie in [0, 1]")
+    if sessions < 1:
+        raise ReproError("sessions must be at least 1")
+    return 1.0 - (1.0 - per_session_rate) ** sessions
+
+
+def sessions_for_detection(
+    per_session_rate: float, target_confidence: float = 0.95
+) -> "int | None":
+    """Sessions needed before the first-abort rule reaches *target_confidence*.
+
+    Returns ``None`` when the attack is undetectable (rate 0): no number of
+    sessions helps.
+    """
+    if not 0.0 <= per_session_rate <= 1.0:
+        raise ReproError("per_session_rate must lie in [0, 1]")
+    if not 0.0 < target_confidence < 1.0:
+        raise ReproError("target_confidence must lie in (0, 1)")
+    if per_session_rate == 0.0:
+        return None
+    if per_session_rate == 1.0:
+        return 1
+    return int(math.ceil(math.log(1.0 - target_confidence) / math.log(1.0 - per_session_rate)))
+
+
+def binomial_test_power(
+    null_rate: float, attack_rate: float, sessions: int, alpha: float = 0.05
+) -> float:
+    """Power of a one-sided binomial test distinguishing two abort rates.
+
+    An operator who sees honest sessions abort at rate ``p0`` (false alarms
+    from finite-sample CHSH noise) and attacked sessions at rate ``p1 > p0``
+    tests "is the abort rate elevated?" over *sessions* observations.  This
+    is the normal-approximation power of that level-*alpha* test — the
+    quantitative version of "the attack is detected".
+    """
+    if not 0.0 <= null_rate < 1.0 or not 0.0 < attack_rate <= 1.0:
+        raise ReproError("rates must lie in [0, 1] with attack_rate > 0")
+    if attack_rate <= null_rate:
+        raise ReproError("attack_rate must exceed null_rate")
+    if sessions < 1:
+        raise ReproError("sessions must be at least 1")
+    if not 0.0 < alpha < 1.0:
+        raise ReproError("alpha must lie in (0, 1)")
+    z_alpha = float(stats.norm.ppf(1.0 - alpha))
+    sigma0 = math.sqrt(null_rate * (1.0 - null_rate))
+    sigma1 = math.sqrt(attack_rate * (1.0 - attack_rate))
+    if sigma1 == 0.0:
+        # Deterministic detection: one attacked session always aborts.
+        return 1.0
+    shift = (attack_rate - null_rate) * math.sqrt(sessions)
+    return float(stats.norm.cdf((shift - z_alpha * sigma0) / sigma1))
+
+
+def sessions_for_power(
+    null_rate: float, attack_rate: float, power: float = 0.9, alpha: float = 0.05
+) -> int:
+    """Sessions needed for :func:`binomial_test_power` to reach *power*."""
+    if not 0.0 < power < 1.0:
+        raise ReproError("power must lie in (0, 1)")
+    if attack_rate <= null_rate:
+        raise ReproError("attack_rate must exceed null_rate")
+    z_alpha = float(stats.norm.ppf(1.0 - alpha))
+    z_beta = float(stats.norm.ppf(power))
+    sigma0 = math.sqrt(null_rate * (1.0 - null_rate))
+    sigma1 = math.sqrt(attack_rate * (1.0 - attack_rate))
+    needed = ((z_alpha * sigma0 + z_beta * sigma1) / (attack_rate - null_rate)) ** 2
+    return max(1, int(math.ceil(needed)))
+
+
+# ---------------------------------------------------------------------------
+# information-leakage versus detection trade-off
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One attack configuration on the leakage/detection plane.
+
+    Attributes
+    ----------
+    label:
+        Identifier of the configuration (scenario label, strength, ...).
+    information_gain:
+        Eve's normalised information gain in [0, 1] (e.g.
+        :meth:`~repro.attacks.entangle_measure.EntangleMeasureAttack.information_gain`).
+    detection_rate:
+        Empirical per-session detection probability of the configuration.
+    """
+
+    label: str
+    information_gain: float
+    detection_rate: float
+
+    def summary(self) -> dict:
+        """JSON-friendly form of the point."""
+        return {
+            "label": self.label,
+            "information_gain": self.information_gain,
+            "detection_rate": self.detection_rate,
+        }
+
+
+def tradeoff_frontier(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Eve's Pareto frontier: maximal information gain, minimal detection.
+
+    A point is on the frontier iff no other point offers *at least* as much
+    information at a *strictly* lower detection rate, or strictly more
+    information at an equal-or-lower rate.  The security claim of the paper
+    corresponds to a frontier hugging the axes: any appreciable information
+    gain forces the detection probability toward 1.
+
+    Returns the frontier sorted by ascending detection rate.
+    """
+    candidates = list(points)
+    if not candidates:
+        raise ReproError("tradeoff_frontier needs at least one point")
+    frontier: list[TradeoffPoint] = []
+    for point in candidates:
+        dominated = any(
+            (other.information_gain >= point.information_gain
+             and other.detection_rate < point.detection_rate)
+            or (other.information_gain > point.information_gain
+                and other.detection_rate <= point.detection_rate)
+            for other in candidates
+        )
+        if not dominated:
+            frontier.append(point)
+    return sorted(frontier, key=lambda p: (p.detection_rate, p.information_gain))
+
+
+# ---------------------------------------------------------------------------
+# finite-sample CHSH confidence bounds
+# ---------------------------------------------------------------------------
+
+def chsh_epsilon(num_pairs: int, confidence: float = 0.95) -> float:
+    """Hoeffding half-width of a CHSH estimate from *num_pairs* check pairs.
+
+    The DI check estimates ``S = E₁ − E₂ + E₃ + E₄`` from four correlators,
+    each averaging ``m ≈ num_pairs / 4`` independent ±1 products.  Hoeffding
+    for ``m`` samples in [−1, 1] gives
+    ``P(|Ê − E| ≥ δ) ≤ 2 exp(−m δ² / 2)``; a union bound over the four
+    settings with the worst-case split ``ε = 4δ`` yields
+
+        ``P(|Ŝ − S| ≥ ε) ≤ 8 exp(−m ε² / 32)``
+
+    so ``ε(confidence) = sqrt((32 / m) · ln(8 / (1 − confidence)))``.  This is
+    the *device-independent* bound: it assumes nothing about the state, only
+    the ±1 range of the outcomes.
+    """
+    if num_pairs < 4:
+        raise ReproError("need at least 4 check pairs (one per CHSH setting)")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError("confidence must lie in (0, 1)")
+    per_setting = num_pairs / 4.0
+    return math.sqrt((32.0 / per_setting) * math.log(8.0 / (1.0 - confidence)))
+
+
+def chsh_lower_bound(
+    estimate: float, num_pairs: int, confidence: float = 0.95
+) -> float:
+    """One-sided finite-sample lower confidence bound on the true CHSH value.
+
+    ``S ≥ Ŝ − ε`` with probability at least *confidence*; the parties may
+    claim device-independent security only while this bound exceeds the
+    classical limit 2 — which is why the paper's ``d = 256`` check pairs per
+    round are a *minimum* rather than a luxury.
+    """
+    return estimate - chsh_epsilon(num_pairs, confidence)
+
+
+def pairs_for_chsh_epsilon(epsilon: float, confidence: float = 0.95) -> int:
+    """Check pairs per DI round needed for a CHSH half-width of *epsilon*.
+
+    Inverts :func:`chsh_epsilon`: ``m = (32 / ε²) ln(8 / (1 − confidence))``
+    per setting, four settings in total.
+    """
+    if epsilon <= 0.0:
+        raise ReproError("epsilon must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError("confidence must lie in (0, 1)")
+    per_setting = (32.0 / (epsilon**2)) * math.log(8.0 / (1.0 - confidence))
+    return int(math.ceil(4.0 * per_setting))

@@ -200,6 +200,7 @@ class NetworkBackend:
                 arrival_time=0.0,
                 message=bits_to_str(job.bits),
                 seed=job.seed,
+                scenario=config.scenario,
             )
             for position, job in enumerate(jobs)
         ]

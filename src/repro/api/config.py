@@ -95,6 +95,18 @@ class ServiceConfig:
         Optional ``(fragment_index, attempt, rng) -> attack | None`` hook for
         security studies through the facade (local/batch backends; network
         nodes are compromised via the topology instead).
+    scenario:
+        Optional declarative adversary
+        (:class:`~repro.attacks.scenarios.AttackScenario`,
+        :class:`~repro.attacks.scenarios.ScenarioSchedule`, a serialised
+        dict, or a registered preset name).  On the local/batch backends it
+        is mapped onto every fragment's
+        :attr:`~repro.protocol.config.ProtocolConfig.scenario`, so each
+        fragment session builds the attack deterministically from its own
+        seed; on the network backend it rides the per-fragment
+        :class:`~repro.network.sessions.SessionRequest` and applies to the
+        hops its target layer selects.  Mutually exclusive with
+        ``attack_factory`` (the imperative spelling).
     executor, max_workers:
         Worker pool for the batch backend and the network scheduler's
         execution pass (``"serial"`` or ``"thread"``; both produce identical
@@ -123,6 +135,7 @@ class ServiceConfig:
     bob_identity: "Identity | None" = None
     simulator_backend: str = "auto"
     attack_factory: "Callable[[int, int, Any], Any] | None" = None
+    scenario: Any = None
     # -- execution ---------------------------------------------------------------
     executor: str = "thread"
     max_workers: "int | None" = None
@@ -232,6 +245,10 @@ class ServiceConfig:
     ) -> "ServiceConfig":
         return replace(self, attack_factory=attack_factory)
 
+    def with_scenario(self, scenario: Any) -> "ServiceConfig":
+        """A copy with a declarative adversarial scenario (None = honest)."""
+        return replace(self, scenario=scenario)
+
     def with_simulator_backend(self, simulator_backend: str) -> "ServiceConfig":
         return replace(self, simulator_backend=simulator_backend)
 
@@ -284,6 +301,11 @@ class ServiceConfig:
                 f"unknown executor {self.executor!r}; the service supports "
                 f"{API_EXECUTORS}"
             )
+        if self.attack_factory is not None and self.scenario is not None:
+            raise ConfigurationError(
+                "attack_factory and scenario are mutually exclusive; "
+                "use the declarative scenario spelling"
+            )
         if self.backend == "network":
             if self.topology is None:
                 raise ConfigurationError(
@@ -293,7 +315,8 @@ class ServiceConfig:
             if self.attack_factory is not None:
                 raise ConfigurationError(
                     "attack_factory applies to the local/batch backends; "
-                    "compromise a topology node for network attack studies"
+                    "compromise a topology node or set a scenario for "
+                    "network attack studies"
                 )
         # Delegate per-fragment parameter validation to ProtocolConfig using a
         # representative even-length fragment.
@@ -327,6 +350,7 @@ class ServiceConfig:
             bob_identity=self.bob_identity,
             seed=seed,
             simulator_backend=self.simulator_backend,
+            scenario=self.scenario,
         )
 
     def create_backend(self) -> Any:
@@ -337,8 +361,14 @@ class ServiceConfig:
 
     def describe(self) -> dict[str, Any]:
         """Compact JSON-friendly echo of the service-level settings."""
+        scenario_label = None
+        if self.scenario is not None:
+            from repro.attacks.scenarios import as_schedule
+
+            scenario_label = as_schedule(self.scenario).label
         return {
             "backend": self.backend,
+            **({"scenario": scenario_label} if scenario_label else {}),
             "fragment_bits": self.fragment_bits,
             "framing": self.framing,
             "max_retries": self.max_retries,

@@ -1,21 +1,37 @@
-"""Eavesdropping strategies analysed by the paper and their detection statistics.
+"""Eavesdropping strategies, the adversarial scenario engine, and detection statistics.
 
-The five attack families of §III each have a concrete model here:
+The five attack families of the paper's §III each have a concrete model here:
 
 * :class:`ImpersonationAttack` — Eve pretends to be Alice or Bob without the
-  pre-shared identity (§III-A);
+  pre-shared identity (§III-A); detection probability ``1 − (1/4)^l``;
 * :class:`InterceptResendAttack` — measure-and-resend on the quantum channel
-  (§III-B);
+  (§III-B), with basis-bias (Breidbart) and individual/collective variants;
 * :class:`ManInTheMiddleAttack` — substitution of Alice's qubits with fresh
-  uncorrelated qubits (§III-C);
+  uncorrelated qubits (§III-C), including partial substitution;
 * :class:`EntangleMeasureAttack` — an entangling probe traced out by Eve
-  (§III-D);
+  (§III-D), with a tunable coupling strength;
 * :class:`ClassicalEavesdropper` + :func:`run_leakage_experiment` — passive
   reading of the classical channel and the statistical statement that it
-  carries no message information (§III-E).
+  carries no message information (§III-E);
 
-:func:`evaluate_attack` runs the protocol repeatedly under any of these and
-aggregates detection rates, which is what the §IV attack simulations report.
+plus :class:`SourceTamperAttack`, the device-independent threat the paper's
+framing allows but does not simulate: an adversarial source emitting Werner
+states, caught by the *first* DI check.
+
+On top of the strategy classes sits the **scenario engine**
+(:mod:`repro.attacks.scenarios`): declarative :class:`AttackScenario` specs
+(strategy × strength × onset/duty-cycle × target layer), composable
+:class:`ScenarioSchedule` stacks (:mod:`repro.attacks.schedule`), and
+registries of strategies and canonical presets.  The same scenario spec
+drives direct protocol sessions (``ProtocolConfig.scenario``), the messaging
+facade (``ServiceConfig.with_scenario``) and multi-hop relay runs
+(``SessionRequest.scenario``), and is what the ``fig_security`` experiment
+sweeps.
+
+:func:`evaluate_attack` runs the protocol repeatedly under any attack (or any
+scenario's :meth:`~repro.attacks.scenarios.AttackScenario.attack_factory`)
+and aggregates detection rates, which is what the §IV attack simulations and
+the security-analysis experiments report.
 """
 
 from repro.attacks.base import Attack
@@ -29,6 +45,21 @@ from repro.attacks.information_leakage import (
 )
 from repro.attacks.intercept_resend import InterceptResendAttack
 from repro.attacks.man_in_the_middle import ManInTheMiddleAttack
+from repro.attacks.scenarios import (
+    AttackScenario,
+    ScenarioSchedule,
+    StrategySpec,
+    as_schedule,
+    get_scenario,
+    get_strategy,
+    list_scenarios,
+    list_strategies,
+    register_scenario,
+    register_strategy,
+    scenario_from_dict,
+)
+from repro.attacks.schedule import ComposedAttack, ScheduledAttack
+from repro.attacks.source_tamper import SourceTamperAttack
 
 __all__ = [
     "Attack",
@@ -42,4 +73,18 @@ __all__ = [
     "run_leakage_experiment",
     "InterceptResendAttack",
     "ManInTheMiddleAttack",
+    "SourceTamperAttack",
+    "AttackScenario",
+    "ScenarioSchedule",
+    "StrategySpec",
+    "ScheduledAttack",
+    "ComposedAttack",
+    "as_schedule",
+    "scenario_from_dict",
+    "register_strategy",
+    "get_strategy",
+    "list_strategies",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
 ]

@@ -59,6 +59,26 @@ class Attack:
         self.intercepted_pairs = 0
         self.overheard_announcements: list[Announcement] = []
 
+    # -- partial-strength helpers --------------------------------------------------------
+    @staticmethod
+    def validate_fraction(value: float, name: str = "attack_fraction") -> float:
+        """Validate a per-pair probability knob (shared by the partial attacks)."""
+        if not 0.0 <= value <= 1.0:
+            raise AttackError(f"{name} must lie in [0, 1]")
+        return float(value)
+
+    def attacks_this_pair(self, attack_fraction: float) -> bool:
+        """Bernoulli gate for partial-strength attacks: attack this pair?
+
+        Draws from ``self.rng`` *only* when ``attack_fraction < 1`` so that
+        full-strength attacks consume exactly the same RNG stream as before
+        the knob existed — the property the pinned detection-rate tests rely
+        on.
+        """
+        if attack_fraction >= 1.0:
+            return True
+        return self.rng.random() <= attack_fraction
+
     # -- quantum hooks -----------------------------------------------------------------
     def intercept_source(self, index: int, state: DensityMatrix) -> DensityMatrix:
         """Tamper with a freshly emitted pair (default: leave it untouched)."""

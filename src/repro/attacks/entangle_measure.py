@@ -35,17 +35,26 @@ class EntangleMeasureAttack(Attack):
     ----------
     strength:
         Coupling strength in [0, 1]; 1 corresponds to a full CNOT probe.
+    attack_fraction:
+        Probability with which each transmitted qubit is probed (1.0 = every
+        qubit, the paper's setting); lower values model an adversary probing
+        only a random subset of pairs.
     rng:
-        Unused by the deterministic channel form of the attack; accepted for
-        interface uniformity.
+        Used only for the per-pair attack decision when
+        ``attack_fraction < 1``; the probe map itself is deterministic.
     """
 
-    def __init__(self, strength: float = 1.0, rng=None):
+    def __init__(self, strength: float = 1.0, attack_fraction: float = 1.0, rng=None):
         super().__init__(rng=rng)
         if not 0.0 <= strength <= 1.0:
             raise AttackError("strength must lie in [0, 1]")
         self.strength = float(strength)
-        self.name = f"entangle_measure(strength={self.strength:g})"
+        self.attack_fraction = self.validate_fraction(attack_fraction)
+        self.name = (
+            f"entangle_measure(strength={self.strength:g}"
+            + (f", fraction={self.attack_fraction:g}" if self.attack_fraction < 1.0 else "")
+            + ")"
+        )
 
     def _kraus_operators(self) -> list[np.ndarray]:
         """Kraus form of the residual map on the transmitted qubit.
@@ -62,6 +71,8 @@ class EntangleMeasureAttack(Attack):
 
     def intercept_transmission(self, position: int, state: DensityMatrix) -> DensityMatrix:
         """Apply the entangling probe to Alice's transmitted qubit (qubit 0)."""
+        if not self.attacks_this_pair(self.attack_fraction):
+            return state
         self.intercepted_pairs += 1
         return state.apply_kraus(self._kraus_operators(), [0])
 

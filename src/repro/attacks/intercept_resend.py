@@ -10,8 +10,20 @@ bound of 2 and the parties abort.
 The measurement basis is parameterised by Bloch angles ``(theta, phi)``:
 ``|u⟩ = cos(θ/2)|0⟩ + e^{iφ} sin(θ/2)|1⟩`` and ``|v⟩`` its orthogonal
 complement.  ``theta = 0`` is the computational basis; ``theta = π/2, phi = 0``
-is the ``|±⟩`` basis.  Eve may also choose to attack only a fraction of the
-transmitted qubits.
+is the ``|±⟩`` basis; ``theta = π/4`` is the Breidbart basis that balances
+Eve's information gain across the conjugate bases.  Eve may also choose to
+attack only a fraction of the transmitted qubits, and may operate in one of
+two modes:
+
+* ``basis_mode="fixed"`` — the *collective* strategy: one pre-committed basis
+  for every intercepted qubit (the paper's presentation);
+* ``basis_mode="random"`` — the *individual* strategy: an independent,
+  uniformly random choice between the computational and the ``|±⟩`` basis
+  per intercepted qubit, the classic BB84-style eavesdropper.
+
+Both collapse the entanglement of every attacked pair, so the DI check bounds
+them identically; they differ in the correlation structure Eve's records keep,
+which the scenario engine's detection studies compare.
 """
 
 from __future__ import annotations
@@ -33,44 +45,73 @@ class InterceptResendAttack(Attack):
     Parameters
     ----------
     theta, phi:
-        Bloch angles of the measurement basis.
+        Bloch angles of the measurement basis (``basis_mode="fixed"``).
     attack_fraction:
         Probability with which each transmitted qubit is attacked (1.0 = every
         qubit, the paper's full-strength attack).
+    basis_mode:
+        ``"fixed"`` (default) measures every intercepted qubit in the
+        ``(theta, phi)`` basis — the collective strategy; ``"random"`` draws
+        an independent uniform choice between the computational and the
+        ``|±⟩`` basis per qubit — the individual strategy.
     rng:
         Seed or generator for Eve's measurement outcomes and attack decisions.
     """
 
-    def __init__(self, theta: float = 0.0, phi: float = 0.0, attack_fraction: float = 1.0, rng=None):
+    def __init__(
+        self,
+        theta: float = 0.0,
+        phi: float = 0.0,
+        attack_fraction: float = 1.0,
+        basis_mode: str = "fixed",
+        rng=None,
+    ):
         super().__init__(rng=rng)
-        if not 0.0 <= attack_fraction <= 1.0:
-            raise AttackError("attack_fraction must lie in [0, 1]")
+        self.attack_fraction = self.validate_fraction(attack_fraction)
+        if basis_mode not in ("fixed", "random"):
+            raise AttackError(
+                f"basis_mode must be 'fixed' or 'random', got {basis_mode!r}"
+            )
         self.theta = float(theta)
         self.phi = float(phi)
-        self.attack_fraction = float(attack_fraction)
-        self.name = f"intercept_resend(theta={self.theta:.3f}, fraction={self.attack_fraction:g})"
+        self.basis_mode = basis_mode
+        self.name = (
+            f"intercept_resend(theta={self.theta:.3f}, "
+            f"fraction={self.attack_fraction:g}, mode={self.basis_mode})"
+        )
         self.measurement_record: list[tuple[int, int]] = []
 
     # -- basis -----------------------------------------------------------------------------
-    def basis_states(self) -> tuple[np.ndarray, np.ndarray]:
-        """The measurement basis ``(|u⟩, |v⟩)`` as state vectors."""
+    @staticmethod
+    def _basis_for(theta: float, phi: float) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(|u⟩, |v⟩)`` basis for the given Bloch angles."""
         u = np.array(
-            [math.cos(self.theta / 2), np.exp(1j * self.phi) * math.sin(self.theta / 2)],
+            [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)],
             dtype=complex,
         )
         v = np.array(
-            [-np.exp(-1j * self.phi) * math.sin(self.theta / 2), math.cos(self.theta / 2)],
+            [-np.exp(-1j * phi) * math.sin(theta / 2), math.cos(theta / 2)],
             dtype=complex,
         )
         return u, v
 
+    def basis_states(self) -> tuple[np.ndarray, np.ndarray]:
+        """The configured fixed measurement basis ``(|u⟩, |v⟩)`` as state vectors."""
+        return self._basis_for(self.theta, self.phi)
+
     # -- hook -------------------------------------------------------------------------------
     def intercept_transmission(self, position: int, state: DensityMatrix) -> DensityMatrix:
         """Measure Alice's qubit (qubit 0) in the ``{|u⟩, |v⟩}`` basis and resend it."""
-        if self.attack_fraction < 1.0 and self.rng.random() > self.attack_fraction:
+        if not self.attacks_this_pair(self.attack_fraction):
             return state
         self.intercepted_pairs += 1
-        u, v = self.basis_states()
+        if self.basis_mode == "random":
+            # Individual attack: flip between the Z and X bases per qubit.
+            u, v = self._basis_for(
+                0.0 if int(self.rng.integers(2)) == 0 else math.pi / 2, 0.0
+            )
+        else:
+            u, v = self.basis_states()
         projectors = [np.outer(u, u.conj()), np.outer(v, v.conj())]
         probabilities = []
         for projector in projectors:

@@ -33,18 +33,31 @@ class ManInTheMiddleAttack(Attack):
     substitute:
         What Eve sends to Bob: ``"random_pure"`` (Haar-random pure states),
         ``"zero"`` (all ``|0⟩``) or ``"maximally_mixed"``.
+    attack_fraction:
+        Probability with which each transmitted qubit is substituted (1.0 =
+        every qubit, the paper's full substitution; lower values model a
+        *partial* man in the middle who lets a random subset through to
+        dilute the CHSH disturbance).
     rng:
-        Seed or generator for Eve's random state preparation.
+        Seed or generator for Eve's random state preparation and the per-pair
+        attack decision when ``attack_fraction < 1``.
     """
 
-    def __init__(self, substitute: str = "random_pure", rng=None):
+    def __init__(
+        self, substitute: str = "random_pure", attack_fraction: float = 1.0, rng=None
+    ):
         super().__init__(rng=rng)
         if substitute not in _STRATEGIES:
             raise AttackError(
                 f"substitute must be one of {_STRATEGIES}, got {substitute!r}"
             )
         self.substitute = substitute
-        self.name = f"man_in_the_middle({substitute})"
+        self.attack_fraction = self.validate_fraction(attack_fraction)
+        self.name = (
+            f"man_in_the_middle({substitute}"
+            + (f", fraction={self.attack_fraction:g}" if self.attack_fraction < 1.0 else "")
+            + ")"
+        )
         self.kept_states: list[DensityMatrix] = []
 
     def _fresh_qubit(self) -> DensityMatrix:
@@ -56,6 +69,8 @@ class ManInTheMiddleAttack(Attack):
 
     def intercept_transmission(self, position: int, state: DensityMatrix) -> DensityMatrix:
         """Keep Alice's qubit and forward a fresh uncorrelated qubit to Bob."""
+        if not self.attacks_this_pair(self.attack_fraction):
+            return state
         self.intercepted_pairs += 1
         # Eve keeps the qubit Alice sent (its reduced state, from her point of view).
         self.kept_states.append(state.partial_trace([0]))

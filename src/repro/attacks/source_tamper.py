@@ -1,0 +1,81 @@
+"""Adversarial entanglement source (the source-control threat of paper §III).
+
+The paper's device-independent framing explicitly allows Eve to control the
+entanglement source: the parties trust *nothing* about the devices, only the
+observed CHSH statistics.  :class:`SourceTamperAttack` models the canonical
+source-side adversary — instead of the ideal ``|Φ+⟩`` the source emits a
+Werner-mixed state
+
+    ``ρ(s) = (1 − s) |Φ+⟩⟨Φ+| + s · I/4``
+
+interpolating between the honest source (``s = 0``) and a completely
+uncorrelated one (``s = 1``).  Because the admixture happens *before*
+distribution, both DI security-check rounds sample tampered pairs, so the
+round-1 check (which channel attacks cannot touch — they act only after it)
+already catches a sufficiently strong source adversary.
+
+The attack's disturbance is analytic: the Werner state's CHSH value is
+``S(s) = 2√2 (1 − s)``, dropping below the classical bound of 2 at
+``s* = 1 − 1/√2 ≈ 0.293`` — :meth:`SourceTamperAttack.critical_strength`.
+The ``fig_security`` experiment sweeps ``s`` across that boundary and pins
+the resulting detection cliff.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.exceptions import AttackError
+from repro.quantum.density import DensityMatrix
+
+__all__ = ["SourceTamperAttack"]
+
+
+class SourceTamperAttack(Attack):
+    """Eve's source emits Werner states instead of ideal ``|Φ+⟩`` pairs.
+
+    Parameters
+    ----------
+    strength:
+        Werner mixing parameter ``s`` in [0, 1]: the emitted state is
+        ``(1 − s) ρ + s · I/d`` for every pair.  ``0`` is the honest source,
+        ``1`` a source with no entanglement at all.
+    rng:
+        Unused by this deterministic map; accepted for interface uniformity
+        with the other strategies.
+    """
+
+    def __init__(self, strength: float = 1.0, rng=None):
+        super().__init__(rng=rng)
+        if not 0.0 <= strength <= 1.0:
+            raise AttackError("strength must lie in [0, 1]")
+        self.strength = float(strength)
+        self.name = f"source_tamper(strength={self.strength:g})"
+
+    def intercept_source(self, index: int, state: DensityMatrix) -> DensityMatrix:
+        """Mix the emitted pair toward the maximally mixed state."""
+        self.intercepted_pairs += 1
+        if self.strength == 0.0:
+            return state
+        dimension = state.matrix.shape[0]
+        mixed = (1.0 - self.strength) * state.matrix + self.strength * np.eye(
+            dimension, dtype=complex
+        ) / dimension
+        return DensityMatrix(mixed, validate=False)
+
+    # -- analytic predictions --------------------------------------------------------------
+    def expected_chsh(self) -> float:
+        """CHSH value of the emitted Werner state: ``2√2 (1 − s)``."""
+        return 2.0 * math.sqrt(2.0) * (1.0 - self.strength)
+
+    @staticmethod
+    def critical_strength() -> float:
+        """Mixing strength at which the CHSH value hits the classical bound 2.
+
+        ``2√2 (1 − s) = 2`` gives ``s* = 1 − 1/√2 ≈ 0.293``: weaker tampering
+        is information-theoretically invisible to the CHSH test alone.
+        """
+        return 1.0 - 1.0 / math.sqrt(2.0)

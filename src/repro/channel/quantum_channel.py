@@ -42,6 +42,7 @@ from repro.quantum.density import DensityMatrix
 __all__ = [
     "QuantumChannel",
     "NoiselessChannel",
+    "DepolarizingChannel",
     "IdentityChainChannel",
     "FiberLossChannel",
 ]
@@ -147,6 +148,36 @@ class NoiselessChannel(QuantumChannel):
 
     def single_use_channel(self) -> KrausChannel:
         return identity_channel()
+
+
+@dataclass
+class DepolarizingChannel(QuantumChannel):
+    """A single-use depolarizing channel — the canonical *Pauli* link model.
+
+    ``ρ → (1 − p) ρ + p/3 (XρX + YρY + ZρZ)``.  Unlike
+    :class:`IdentityChainChannel` (whose thermal-relaxation component is not
+    a Pauli map), this channel is a stochastic Pauli mixture, so protocol
+    sessions over it are *stabilizer-eligible*: the dispatch layer
+    (:mod:`repro.quantum.dispatch`) certifies the session physics as
+    Bell-diagonal and ``simulator_backend="stabilizer"`` validates.  The
+    security-analysis experiment (``fig_security``) uses it as its default
+    link so the scenario grid sweeps on the fast path.
+
+    Parameters
+    ----------
+    probability:
+        Total depolarizing probability ``p`` per channel use, in [0, 1].
+    """
+
+    probability: float = 0.01
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ChannelError("depolarizing probability must lie in [0, 1]")
+        self.name = f"depolarizing(p={self.probability:g})"
+
+    def single_use_channel(self) -> KrausChannel:
+        return depolarizing_channel(self.probability)
 
 
 @dataclass

@@ -88,6 +88,7 @@ def _populate_registry() -> None:
     from repro.experiments.e2e import run_end_to_end
     from repro.experiments.fig2_message_counts import run_fig2
     from repro.experiments.fig3_channel_length import run_fig3
+    from repro.experiments.fig_security import run_fig_security
     from repro.experiments.mitigation_study import run_mitigation_study
     from repro.experiments.network_scale import run_network_scale
     from repro.experiments.table1_comparison import run_table1
@@ -153,6 +154,21 @@ def _populate_registry() -> None:
             description="Classical-channel view-distribution comparison for two messages",
             runner=_run_leakage_only,
             quick_kwargs={"sessions_per_message": 6},
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="fig_security",
+            paper_artifact="Section III / IV (security analysis, quantified)",
+            description="Scenario-grid detection study: ROC curves, power vs sample size, "
+            "leakage/detection frontier, finite-sample CHSH bounds",
+            runner=run_fig_security,
+            quick_kwargs={
+                "trials": 6,
+                "check_pairs": 48,
+                "identity_pairs": 4,
+                "strengths": (0.5, 1.0),
+            },
         )
     )
     register(

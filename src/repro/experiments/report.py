@@ -17,12 +17,14 @@ from repro.experiments.chsh_baseline import CHSHExperimentResult
 from repro.experiments.e2e import EndToEndResult
 from repro.experiments.fig2_message_counts import Fig2Result
 from repro.experiments.fig3_channel_length import Fig3Result
+from repro.experiments.fig_security import SecurityStudyResult
 from repro.experiments.mitigation_study import MitigationStudyResult
 from repro.experiments.table1_comparison import Table1Result
 from repro.network.metrics import NetworkResult
 
 __all__ = ["render_result", "render_fig2", "render_fig3", "render_table1_result",
-           "render_attacks", "render_chsh", "render_e2e", "render_network"]
+           "render_attacks", "render_chsh", "render_e2e", "render_network",
+           "render_security"]
 
 
 def render_fig2(result: Fig2Result) -> str:
@@ -102,6 +104,42 @@ def render_attacks(result: AttackSimulationResult) -> str:
             f"{result.leakage.within_message_tv_distance:.3f}), "
             f"message outcomes announced = {result.leakage.message_outcomes_announced}"
         )
+    return "\n".join(lines)
+
+
+def render_security(result: SecurityStudyResult) -> str:
+    """Render the scenario-grid security study as a detection-power table."""
+    lines = [
+        "Security analysis — adversarial scenario grid "
+        f"({result.channel_name}, engine={result.simulator_backend}, "
+        f"d={result.check_pairs}, l={result.identity_pairs}, "
+        f"{result.trials} sessions/scenario)",
+        f"  honest false-alarm rate: {result.honest_false_alarm_rate:.2f}",
+        "  scenario                           detect   AUC    n(95%)  info",
+    ]
+    for point in result.points:
+        auc = "  -  " if point.roc is None else f"{point.roc.auc:.3f}"
+        sessions = (
+            "inf" if point.sessions_for_95_detection is None
+            else str(point.sessions_for_95_detection)
+        )
+        info = "-" if point.information_gain is None else f"{point.information_gain:.2f}"
+        lines.append(
+            f"  {point.name:<34s} {point.detection_rate:>6.2f}   {auc}  {sessions:>6s}  {info}"
+        )
+    if result.frontier:
+        lines.append("  leakage/detection frontier (Eve-optimal points):")
+        for point in result.frontier:
+            lines.append(
+                f"    {point.label}: info={point.information_gain:.2f} "
+                f"detect={point.detection_rate:.2f}"
+            )
+    bound = result.chsh_bound
+    lines.append(
+        f"  finite-sample CHSH: ±{bound['epsilon_95']:.2f} at 95% with d={bound['check_pairs']}; "
+        f"S ≥ {bound['lower_bound_at_tsirelson_95']:.2f} for an ideal state; "
+        f"d={bound['pairs_for_epsilon_0.5_95']} pairs for ±0.5"
+    )
     return "\n".join(lines)
 
 
@@ -208,6 +246,7 @@ _RENDERERS = {
     EndToEndResult: render_e2e,
     MitigationStudyResult: render_mitigation,
     NetworkResult: render_network,
+    SecurityStudyResult: render_security,
 }
 
 

@@ -88,6 +88,16 @@ class SessionRequest:
         behaviour) lets the scheduler derive one from its own seed; the
         facade sets it so retransmission seeds stay deterministic per
         fragment and attempt.
+    scenario:
+        Optional declarative adversary
+        (:class:`~repro.attacks.scenarios.AttackScenario`,
+        :class:`~repro.attacks.scenarios.ScenarioSchedule`, a serialised
+        dict, or a registered preset name) attacking *this* session.  Each
+        hop runs under the sub-schedule whose target layers select it
+        (``source`` → first hop, ``channel``/``classical`` → every hop,
+        ``relay`` → only hops of multi-hop routes); a compromised node's
+        own ``attack_factory`` takes precedence on the hops it touches.
+        ``None`` (default) leaves the session honest.
     """
 
     session_id: int
@@ -97,6 +107,7 @@ class SessionRequest:
     arrival_time: float
     message: "str | None" = None
     seed: "int | None" = None
+    scenario: Any = None
 
     def __post_init__(self):
         if self.source == self.target:
@@ -113,6 +124,13 @@ class SessionRequest:
                     f"message holds {len(self.message)} bits but message_length "
                     f"is {self.message_length}"
                 )
+        if self.scenario is not None:
+            from repro.attacks.scenarios import as_schedule
+
+            try:
+                as_schedule(self.scenario)
+            except Exception as error:
+                raise NetworkError(f"invalid session scenario: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -300,8 +318,15 @@ def run_session(
         status=STATUS_DELIVERED,
         sent_message=bits_to_str(message),
     )
+    schedule = None
+    if request.scenario is not None:
+        from repro.attacks.scenarios import as_schedule
+
+        schedule = as_schedule(request.scenario)
+
     current = message
-    for index, (sender, receiver) in enumerate(route.hops()):
+    hops = list(route.hops())
+    for index, (sender, receiver) in enumerate(hops):
         link = topology.link(sender, receiver)
         hop_seed = int(derive_rng(rng, "hop", index).integers(0, 2**31 - 1))
 
@@ -311,6 +336,13 @@ def run_session(
             if node.compromised:
                 attack = node.attack_factory(derive_rng(rng, "attack", index))
                 break
+        if attack is None and schedule is not None:
+            # The request-level adversary attacks the hops its target layers
+            # select.  The derivation tag differs from the compromised-node
+            # path so the two adversary sources stay independent streams.
+            hop_schedule = schedule.subschedule_for_hop(index, len(hops))
+            if hop_schedule is not None:
+                attack = hop_schedule.build(derive_rng(rng, "scenario", index))
 
         config = params.hop_config(
             message_length=len(current),

@@ -84,6 +84,17 @@ class ProtocolConfig:
         quantum process of the session is a Pauli channel, i.e. that pair
         states provably stay Bell-diagonal — failing loudly on non-Pauli
         physics instead of implying a guarantee it cannot keep.
+    scenario:
+        Optional declarative adversary
+        (:class:`~repro.attacks.scenarios.AttackScenario`,
+        :class:`~repro.attacks.scenarios.ScenarioSchedule`, a serialised
+        dict of either, or the name of a registered preset).  When set and
+        no explicit ``attack`` object is handed to
+        :class:`~repro.protocol.runner.UADIQSDCProtocol`, the runner builds
+        the attack from this spec with seed-derived randomness, so the same
+        scenario spec reproduces identical adversarial behaviour across the
+        protocol, service and network layers.  ``None`` (default) runs an
+        honest session.
     """
 
     message_length: int
@@ -103,6 +114,7 @@ class ProtocolConfig:
     seed: int | None = None
     raise_on_abort: bool = False
     simulator_backend: str = "auto"
+    scenario: object | None = None
 
     # -- constructors ------------------------------------------------------------
     @staticmethod
@@ -221,7 +233,22 @@ class ProtocolConfig:
                     "simulator_backend='stabilizer' requires Pauli-diagonal "
                     f"session physics: {eligibility.reason}"
                 )
+        if self.scenario is not None:
+            from repro.attacks.scenarios import as_schedule
+
+            try:
+                as_schedule(self.scenario)
+            except Exception as error:
+                raise ConfigurationError(f"invalid scenario: {error}") from error
         return self
+
+    def resolved_scenario(self):
+        """The scenario normalised to a :class:`~repro.attacks.scenarios.ScenarioSchedule` (or None)."""
+        if self.scenario is None:
+            return None
+        from repro.attacks.scenarios import as_schedule
+
+        return as_schedule(self.scenario)
 
     def materialise_identities(self, rng=None) -> tuple[Identity, Identity]:
         """Return (id_A, id_B), generating any that were not supplied explicitly."""
@@ -253,3 +280,7 @@ class ProtocolConfig:
     def with_simulator_backend(self, simulator_backend: str) -> "ProtocolConfig":
         """A copy with a different pair-state simulation engine."""
         return replace(self, simulator_backend=simulator_backend)
+
+    def with_scenario(self, scenario) -> "ProtocolConfig":
+        """A copy with a declarative adversarial scenario (None = honest)."""
+        return replace(self, scenario=scenario)

@@ -72,9 +72,20 @@ class UADIQSDCProtocol:
         chsh_rng = derive_rng(rng, "chsh")
         attack_rng = derive_rng(rng, "attack")
 
+        # An explicit attack object wins; otherwise a declarative scenario on
+        # the config builds one per run from seed-derived randomness, which is
+        # what makes scenario-driven sessions exactly reproducible.  Scenario
+        # construction only touches attack_rng, so scenario-less sessions stay
+        # bit-identical to the historical path.
+        attack = self.attack
+        if attack is None:
+            schedule = self.config.resolved_scenario()
+            if schedule is not None:
+                attack = schedule.build(attack_rng)
+
         identity_alice, identity_bob = self.config.materialise_identities(rng)
         encoding_identity_alice, encoding_identity_bob = self._apply_impersonation(
-            identity_alice, identity_bob, attack_rng
+            identity_alice, identity_bob, attack_rng, attack
         )
 
         # "dense" runs the unmemoised reference engines; "auto"/"stabilizer"
@@ -92,8 +103,8 @@ class UADIQSDCProtocol:
         )
 
         transcript = ProtocolTranscript()
-        if self.attack is not None and hasattr(self.attack, "observe_announcement"):
-            transcript.classical_channel.add_tap(self.attack.observe_announcement)
+        if attack is not None and hasattr(attack, "observe_announcement"):
+            transcript.classical_channel.add_tap(attack.observe_announcement)
 
         register = EPRPairRegister(
             num_message_pairs=self.config.num_message_pairs,
@@ -102,7 +113,7 @@ class UADIQSDCProtocol:
         )
 
         # ----- Step 1: entanglement sharing -------------------------------------------
-        pairs = self._share_entanglement(register)
+        pairs = self._share_entanglement(register, attack)
         transcript.record_phase(
             "entanglement_sharing", True, num_pairs=register.total_pairs
         )
@@ -125,6 +136,7 @@ class UADIQSDCProtocol:
             pairs.pop(position)
         if not chsh_round1.passed():
             return self._abort(
+                attack,
                 AbortReason.ROUND1_CHSH_FAILED,
                 message_bits,
                 transcript,
@@ -162,7 +174,7 @@ class UADIQSDCProtocol:
         )
 
         # ----- Step 4: transmission and authentication -----------------------------------------
-        pairs = self._transmit(pairs)
+        pairs = self._transmit(pairs, attack)
         transcript.record_phase(
             "transmission", True, channel=self.config.channel.name,
             transmitted_pairs=len(pairs),
@@ -185,6 +197,7 @@ class UADIQSDCProtocol:
         )
         if not bob_auth_passed:
             return self._abort(
+                attack,
                 AbortReason.BOB_AUTHENTICATION_FAILED,
                 message_bits,
                 transcript,
@@ -205,6 +218,7 @@ class UADIQSDCProtocol:
         )
         if not alice_auth_passed:
             return self._abort(
+                attack,
                 AbortReason.ALICE_AUTHENTICATION_FAILED,
                 message_bits,
                 transcript,
@@ -230,6 +244,7 @@ class UADIQSDCProtocol:
             pairs.pop(position)
         if not chsh_round2.passed():
             return self._abort(
+                attack,
                 AbortReason.ROUND2_CHSH_FAILED,
                 message_bits,
                 transcript,
@@ -266,6 +281,7 @@ class UADIQSDCProtocol:
         )
         if not integrity_passed:
             return self._abort(
+                attack,
                 AbortReason.MESSAGE_INTEGRITY_FAILED,
                 message_bits,
                 transcript,
@@ -293,7 +309,7 @@ class UADIQSDCProtocol:
             message_bit_error_rate=message_bit_error,
             phases=list(transcript.phases),
             pair_summary=register.summary(),
-            metadata=self._metadata(),
+            metadata=self._metadata(attack),
         )
 
     # -- helpers -----------------------------------------------------------------------
@@ -303,23 +319,25 @@ class UADIQSDCProtocol:
             return bitstring_to_bits(message)
         return validate_bits(message)
 
-    def _apply_impersonation(self, identity_alice, identity_bob, attack_rng):
+    def _apply_impersonation(self, identity_alice, identity_bob, attack_rng, attack):
         """Swap in the attacker's guessed identity when Eve impersonates a party."""
         encoding_alice, encoding_bob = identity_alice, identity_bob
-        if self.attack is None:
+        if attack is None:
             return encoding_alice, encoding_bob
-        impersonates = getattr(self.attack, "impersonates", None)
+        impersonates = getattr(attack, "impersonates", None)
         if impersonates == "alice":
-            encoding_alice = self.attack.forged_identity(
+            encoding_alice = attack.forged_identity(
                 identity_alice.num_pairs, rng=attack_rng
             )
         elif impersonates == "bob":
-            encoding_bob = self.attack.forged_identity(
+            encoding_bob = attack.forged_identity(
                 identity_bob.num_pairs, rng=attack_rng
             )
         return encoding_alice, encoding_bob
 
-    def _share_entanglement(self, register: EPRPairRegister) -> dict[int, DensityMatrix]:
+    def _share_entanglement(
+        self, register: EPRPairRegister, attack
+    ) -> dict[int, DensityMatrix]:
         """Emit every pair and distribute Bob's halves (batched channel pass).
 
         The honest source emits the same ``|Φ+⟩`` state for every index, so
@@ -333,9 +351,9 @@ class UADIQSDCProtocol:
         emitted = self.config.source.emit_many(register.total_pairs)
         if self.config.distribution_channel is not None:
             emitted = self.config.distribution_channel.transmit_batch(emitted, 1)
-        if self.attack is not None and hasattr(self.attack, "intercept_source"):
+        if attack is not None and hasattr(attack, "intercept_source"):
             emitted = [
-                self.attack.intercept_source(index, state)
+                attack.intercept_source(index, state)
                 for index, state in enumerate(emitted)
             ]
         return dict(enumerate(emitted))
@@ -385,7 +403,9 @@ class UADIQSDCProtocol:
             )
         return held
 
-    def _transmit(self, pairs: dict[int, DensityMatrix]) -> dict[int, DensityMatrix]:
+    def _transmit(
+        self, pairs: dict[int, DensityMatrix], attack
+    ) -> dict[int, DensityMatrix]:
         """Send Alice's halves through the quantum channel (and any attack).
 
         The channel pass is batched over identical pair states; the attack's
@@ -396,17 +416,17 @@ class UADIQSDCProtocol:
         transmitted = self.config.channel.transmit_batch(
             [pairs[position] for position in positions], ALICE_QUBIT
         )
-        if self.attack is not None and hasattr(self.attack, "intercept_transmission"):
+        if attack is not None and hasattr(attack, "intercept_transmission"):
             transmitted = [
-                self.attack.intercept_transmission(position, state)
+                attack.intercept_transmission(position, state)
                 for position, state in zip(positions, transmitted)
             ]
         return dict(zip(positions, transmitted))
 
-    def _metadata(self) -> dict[str, Any]:
+    def _metadata(self, attack) -> dict[str, Any]:
         return {
             "channel": self.config.channel.name,
-            "attack": None if self.attack is None else getattr(self.attack, "name", "attack"),
+            "attack": None if attack is None else getattr(attack, "name", "attack"),
             "identity_pairs": self.config.identity_pairs,
             "check_pairs_per_round": self.config.check_pairs_per_round,
             "message_length": self.config.message_length,
@@ -417,6 +437,7 @@ class UADIQSDCProtocol:
 
     def _abort(
         self,
+        attack,
         reason: AbortReason,
         message_bits: Bits,
         transcript: ProtocolTranscript,
@@ -453,5 +474,5 @@ class UADIQSDCProtocol:
             message_bit_error_rate=None,
             phases=list(transcript.phases),
             pair_summary=register.summary(),
-            metadata=self._metadata(),
+            metadata=self._metadata(attack),
         )

@@ -1,0 +1,165 @@
+"""Tests for the quantitative security-analysis layer (`repro.analysis.security`)."""
+
+import math
+
+import pytest
+
+from repro.analysis.security import (
+    RocCurve,
+    TradeoffPoint,
+    binomial_test_power,
+    chsh_epsilon,
+    chsh_lower_bound,
+    detection_power,
+    detection_roc,
+    pairs_for_chsh_epsilon,
+    sessions_for_detection,
+    sessions_for_power,
+    tradeoff_frontier,
+)
+from repro.exceptions import ReproError
+
+
+class TestDetectionRoc:
+    def test_monotone_rates(self):
+        # ROC curves must be monotone in the threshold whatever the samples.
+        honest = [2.9, 2.7, 2.8, 2.6, 2.75, 2.5]
+        attacked = [1.9, 2.1, 1.5, 2.0, 1.8, 2.6]
+        roc = detection_roc(honest, attacked)
+        assert list(roc.false_positive_rates) == sorted(roc.false_positive_rates)
+        assert list(roc.true_positive_rates) == sorted(roc.true_positive_rates)
+        assert roc.false_positive_rates[-1] == 1.0
+        assert roc.true_positive_rates[-1] == 1.0
+
+    def test_perfect_separation_gives_auc_one(self):
+        roc = detection_roc([2.8, 2.7, 2.9], [1.0, 1.5, 1.9])
+        assert roc.auc == 1.0
+        assert roc.detection_at_false_alarm(0.0) == 1.0
+
+    def test_identical_distributions_give_auc_half(self):
+        roc = detection_roc([2.0, 2.5, 3.0], [2.0, 2.5, 3.0])
+        assert roc.auc == pytest.approx(0.5)
+
+    def test_inverted_separation_gives_auc_zero(self):
+        roc = detection_roc([1.0, 1.2], [2.5, 2.8])
+        assert roc.auc == 0.0
+
+    def test_detection_at_false_alarm_is_best_feasible(self):
+        roc = RocCurve(
+            thresholds=(1.0, 2.0, 3.0),
+            false_positive_rates=(0.0, 0.1, 1.0),
+            true_positive_rates=(0.5, 0.9, 1.0),
+            auc=0.9,
+        )
+        assert roc.detection_at_false_alarm(0.05) == 0.5
+        assert roc.detection_at_false_alarm(0.1) == 0.9
+        assert roc.detection_at_false_alarm(1.0) == 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            detection_roc([], [1.0])
+        with pytest.raises(ReproError):
+            detection_roc([1.0], [])
+
+
+class TestDetectionPower:
+    def test_power_monotone_in_sessions(self):
+        powers = [detection_power(0.3, n) for n in range(1, 20)]
+        assert powers == sorted(powers)
+        assert powers[0] == pytest.approx(0.3)
+
+    def test_certain_detection(self):
+        assert detection_power(1.0, 1) == 1.0
+        assert detection_power(0.0, 100) == 0.0
+
+    def test_sessions_for_detection_inverts_power(self):
+        for rate in (0.1, 0.3, 0.65, 0.9):
+            sessions = sessions_for_detection(rate, 0.95)
+            assert detection_power(rate, sessions) >= 0.95
+            if sessions > 1:
+                assert detection_power(rate, sessions - 1) < 0.95
+
+    def test_undetectable_attack_has_no_sample_size(self):
+        assert sessions_for_detection(0.0, 0.95) is None
+        assert sessions_for_detection(1.0, 0.95) == 1
+
+    def test_binomial_power_monotone_in_sessions_and_effect(self):
+        powers = [binomial_test_power(0.05, 0.5, n) for n in (5, 10, 20, 50)]
+        assert powers == sorted(powers)
+        weak = binomial_test_power(0.05, 0.2, 30)
+        strong = binomial_test_power(0.05, 0.8, 30)
+        assert strong > weak
+
+    def test_sessions_for_power_reaches_target(self):
+        sessions = sessions_for_power(0.05, 0.5, power=0.9)
+        assert binomial_test_power(0.05, 0.5, sessions) >= 0.88
+        with pytest.raises(ReproError):
+            sessions_for_power(0.5, 0.3)
+
+    def test_deterministic_attack_rate_power_is_one(self):
+        assert binomial_test_power(0.05, 1.0, 3) == 1.0
+
+
+class TestTradeoffFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            TradeoffPoint("weak", information_gain=0.2, detection_rate=0.3),
+            TradeoffPoint("dominated", information_gain=0.2, detection_rate=0.8),
+            TradeoffPoint("strong", information_gain=1.0, detection_rate=1.0),
+            TradeoffPoint("worse", information_gain=0.8, detection_rate=1.0),
+        ]
+        frontier = tradeoff_frontier(points)
+        labels = [point.label for point in frontier]
+        assert "dominated" not in labels
+        assert "worse" not in labels
+        assert labels == ["weak", "strong"]
+
+    def test_sorted_by_detection_rate(self):
+        points = [
+            TradeoffPoint("c", 1.0, 0.9),
+            TradeoffPoint("a", 0.1, 0.0),
+            TradeoffPoint("b", 0.5, 0.4),
+        ]
+        frontier = tradeoff_frontier(points)
+        rates = [point.detection_rate for point in frontier]
+        assert rates == sorted(rates)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            tradeoff_frontier([])
+
+
+class TestChshBounds:
+    def test_epsilon_shrinks_with_pairs(self):
+        widths = [chsh_epsilon(pairs) for pairs in (16, 64, 256, 1024, 4096)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_epsilon_grows_with_confidence(self):
+        assert chsh_epsilon(256, 0.99) > chsh_epsilon(256, 0.9)
+
+    def test_lower_bound_is_estimate_minus_epsilon(self):
+        estimate = 2.0 * math.sqrt(2.0)
+        assert chsh_lower_bound(estimate, 256) == pytest.approx(
+            estimate - chsh_epsilon(256)
+        )
+
+    def test_pairs_for_epsilon_inverts_epsilon(self):
+        for target in (0.2, 0.5, 1.0):
+            pairs = pairs_for_chsh_epsilon(target)
+            assert chsh_epsilon(pairs) <= target
+            # one fewer pair per setting should overshoot the target width
+            assert chsh_epsilon(max(4, pairs - 8)) > target * 0.95
+
+    def test_paper_round_size_context(self):
+        # The paper's d = 256 check pairs give a ±1.6-ish 95% half-width:
+        # large, which is exactly why the threshold test (not an exact
+        # Tsirelson match) is the abort criterion.
+        assert 1.0 < chsh_epsilon(256, 0.95) < 2.0
+
+    def test_input_validation(self):
+        with pytest.raises(ReproError):
+            chsh_epsilon(2)
+        with pytest.raises(ReproError):
+            chsh_epsilon(256, 1.5)
+        with pytest.raises(ReproError):
+            pairs_for_chsh_epsilon(0.0)
