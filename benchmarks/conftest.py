@@ -5,9 +5,26 @@ evaluation (a table, a figure, or a security simulation) and records the
 paper-comparable numbers in ``benchmark.extra_info`` so they survive into the
 pytest-benchmark JSON output.  Wall-clock timing is a by-product; the asserts
 verify that the *shape* of each result matches the paper.
+
+Trajectory emission
+-------------------
+When the ``REPRO_BENCH_TRAJECTORY`` environment variable names an output
+path, the whole session is additionally aggregated into one versioned
+:class:`repro.artifacts.trajectory.Trajectory` JSON file — per-bench timing
+samples plus every numeric ``extra_info`` value as a drift-gated metric.
+This is how the committed ``BENCH_<n>.json`` files are produced::
+
+    REPRO_BENCH_TRAJECTORY=BENCH_6.json PYTHONPATH=src python -m pytest benchmarks -q
+
+and how CI's ``bench-trajectory`` job regenerates the current trajectory it
+gates against the committed baseline (see ``docs/artifacts.md``).
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
 
 import pytest
 
@@ -31,3 +48,74 @@ def record(benchmark):
             benchmark.extra_info[key] = value
 
     return _record
+
+
+def _is_metric(value: Any) -> bool:
+    """Whether an ``extra_info`` value is drift-gateable (numbers, all the way down).
+
+    Booleans and ``None`` count (a flipped claim or a lost crossing is drift);
+    strings and mixed containers are context, not results, and land in the
+    record's ``info`` block instead.
+    """
+    if value is None or isinstance(value, (bool, int, float)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_metric(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(key, str) and _is_metric(item) for key, item in value.items())
+    # numpy scalars quack like floats
+    return hasattr(value, "item") and not hasattr(value, "__len__")
+
+
+def _bench_samples(meta: Any) -> list[float]:
+    """Raw per-round timing samples of one pytest-benchmark ``Metadata``."""
+    stats = getattr(meta, "stats", None)
+    data = getattr(stats, "data", None)
+    if data:
+        return [float(sample) for sample in data]
+    sorted_data = getattr(stats, "sorted_data", None)
+    return [float(sample) for sample in sorted_data] if sorted_data else []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate the session's benchmarks into a trajectory file (opt-in)."""
+    path = os.environ.get("REPRO_BENCH_TRAJECTORY")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+
+    from repro.artifacts import BenchmarkRecord, Trajectory, environment_fingerprint
+
+    target = Path(path)
+    trajectory = Trajectory(
+        label=target.stem, environment=environment_fingerprint()
+    )
+    for meta in sorted(benchmarks, key=lambda m: m.fullname):
+        samples = _bench_samples(meta)
+        if not samples:
+            continue
+        metrics = {
+            key: value for key, value in meta.extra_info.items() if _is_metric(value)
+        }
+        info = {
+            key: value for key, value in meta.extra_info.items() if key not in metrics
+        }
+        trajectory.add(
+            BenchmarkRecord(
+                name=meta.fullname,
+                samples=samples,
+                rounds=len(samples),
+                metrics=metrics,
+                info=info,
+            )
+        )
+    trajectory.write(target)
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(
+            f"wrote benchmark trajectory {target} "
+            f"({len(trajectory.records)} benchmarks)"
+        )

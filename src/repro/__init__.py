@@ -32,6 +32,9 @@ and constitute the supported API:
   single-session research surface (see :mod:`repro.protocol`);
 * ``AttackScenario``, ``ScenarioSchedule`` — the declarative adversarial
   scenario engine (see :mod:`repro.attacks.scenarios`);
+* ``RunArtifact``, ``Trajectory``, ``compare_trajectories`` — the
+  run-artifact pipeline and benchmark-trajectory regression gate (see
+  :mod:`repro.artifacts` and :mod:`repro.analysis.regression`);
 * the exception hierarchy rooted at ``ReproError``.
 
 Quickstart::
@@ -72,6 +75,9 @@ _LAZY_EXPORTS = {
     "ProtocolResult": "repro.protocol.results",
     "AttackScenario": "repro.attacks.scenarios",
     "ScenarioSchedule": "repro.attacks.scenarios",
+    "RunArtifact": "repro.artifacts.schema",
+    "Trajectory": "repro.artifacts.trajectory",
+    "compare_trajectories": "repro.analysis.regression",
 }
 
 __all__ = [

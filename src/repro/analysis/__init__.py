@@ -12,7 +12,10 @@
   versus sample size, information-leakage/detection trade-off frontiers and
   finite-sample CHSH confidence bounds (the quantitative layer behind the
   paper's §III/§IV security claims, driven by the ``fig_security``
-  experiment).
+  experiment);
+* :mod:`repro.analysis.regression` — bootstrap confidence intervals, effect
+  tables and the benchmark-trajectory regression verdicts behind the
+  ``python -m repro.artifacts compare`` CI gate.
 """
 
 from repro.analysis.accuracy import (
@@ -31,6 +34,14 @@ from repro.analysis.fidelity import (
     state_fidelity,
 )
 from repro.analysis.qber import bit_error_rate, quantum_bit_error_rate
+from repro.analysis.regression import (
+    BenchmarkVerdict,
+    TrajectoryComparison,
+    bootstrap_ci,
+    bootstrap_ratio_ci,
+    compare_trajectories,
+    effect_table,
+)
 from repro.analysis.security import (
     RocCurve,
     TradeoffPoint,
@@ -64,6 +75,12 @@ __all__ = [
     "state_fidelity",
     "bit_error_rate",
     "quantum_bit_error_rate",
+    "BenchmarkVerdict",
+    "TrajectoryComparison",
+    "bootstrap_ci",
+    "bootstrap_ratio_ci",
+    "compare_trajectories",
+    "effect_table",
     "binomial_standard_error",
     "chsh_standard_error",
     "mean_and_confidence_interval",

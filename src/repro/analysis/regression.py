@@ -1,0 +1,369 @@
+"""Benchmark-trajectory regression analysis: bootstrap CIs and verdicts.
+
+This is the statistics behind the CI perf gate.  Given two
+:class:`~repro.artifacts.trajectory.Trajectory` files — the committed
+baseline (``BENCH_<n>.json``) and a freshly emitted one —
+:func:`compare_trajectories` produces one verdict per benchmark:
+
+``improved`` / ``unchanged`` / ``regressed``
+    Timing verdicts.  The point estimate is the ratio of mean times
+    (current / baseline); a benchmark is *regressed* only when the ratio
+    exceeds ``timing_threshold`` **and** the bootstrap confidence interval of
+    the ratio excludes 1.0 (CI-aware: a noisy bench with wide intervals
+    cannot fail the gate on a fluke, while single-sample benches degrade to
+    a plain threshold test because their interval is degenerate).
+``new`` / ``removed``
+    Membership verdicts.  New benchmarks are fine; removed ones fail the
+    gate by default — a perf claim silently disappearing is exactly what the
+    trajectory exists to catch — unless ``allow_missing`` is set.
+
+Independently of timing, the deterministic ``metrics`` recorded by each
+bench are compared with tight relative tolerance; any drift fails the gate
+(this extends the golden e2e pins to every artifact metric).
+
+Only numpy is required here, but importing via :mod:`repro.analysis` pulls
+the package's scipy-backed siblings; CI installs scipy wherever this runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:
+    from repro.artifacts.trajectory import BenchmarkRecord, Trajectory
+
+__all__ = [
+    "BenchmarkVerdict",
+    "TrajectoryComparison",
+    "bootstrap_ci",
+    "bootstrap_ratio_ci",
+    "compare_trajectories",
+    "effect_table",
+]
+
+#: Default timing-regression threshold: current/baseline mean-time ratio
+#: above this (with a CI excluding 1.0) fails the gate.  2× regressions —
+#: the kind that undo a whole optimisation PR — are always caught.
+DEFAULT_TIMING_THRESHOLD = 1.5
+#: Default relative tolerance for metric drift.  Artifact metrics are
+#: seed-deterministic, so anything beyond float noise is a behaviour change.
+DEFAULT_METRICS_RTOL = 1e-9
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+    statistic: Callable[[np.ndarray], float] | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic`` (mean).
+
+    Deterministic for a given *seed*.  ``n == 1`` degrades to the degenerate
+    interval ``(x, x)`` — there is no resampling variability to estimate —
+    which is exactly the behaviour the single-round reproduction benches
+    rely on (the gate then reduces to a plain threshold test).
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ReproError("bootstrap_ci requires at least one sample")
+    if not 0 < confidence < 1:
+        raise ReproError("confidence must lie in (0, 1)")
+    stat = statistic or (lambda values: float(np.mean(values)))
+    if data.size == 1:
+        value = stat(data)
+        return (value, value)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    estimates = np.sort(np.array([stat(data[row]) for row in indices]))
+    alpha = (1 - confidence) / 2
+    low = estimates[int(math.floor(alpha * (n_resamples - 1)))]
+    high = estimates[int(math.ceil((1 - alpha) * (n_resamples - 1)))]
+    return (float(low), float(high))
+
+
+def bootstrap_ratio_ci(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI of ``mean(current) / mean(baseline)``.
+
+    Both sides are resampled independently; a single-sample side contributes
+    as a constant, and when *both* sides are single samples the interval is
+    the degenerate point ratio.
+    """
+    base = np.asarray(list(baseline), dtype=float)
+    cur = np.asarray(list(current), dtype=float)
+    if base.size == 0 or cur.size == 0:
+        raise ReproError("bootstrap_ratio_ci requires samples on both sides")
+    if float(np.mean(base)) <= 0:
+        raise ReproError("baseline mean must be positive to form a ratio")
+    if base.size == 1 and cur.size == 1:
+        ratio = float(cur[0] / base[0])
+        return (ratio, ratio)
+    rng = np.random.default_rng(seed)
+
+    def resampled_means(data: np.ndarray) -> np.ndarray:
+        if data.size == 1:
+            return np.full(n_resamples, float(data[0]))
+        indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+        return data[indices].mean(axis=1)
+
+    base_means = resampled_means(base)
+    cur_means = resampled_means(cur)
+    ratios = np.sort(cur_means / np.maximum(base_means, np.finfo(float).tiny))
+    alpha = (1 - confidence) / 2
+    low = ratios[int(math.floor(alpha * (n_resamples - 1)))]
+    high = ratios[int(math.ceil((1 - alpha) * (n_resamples - 1)))]
+    return (float(low), float(high))
+
+
+def _values_drifted(baseline: Any, current: Any, rtol: float) -> bool:
+    """Recursive drift check for metric values (NaN == NaN, None == None)."""
+    if baseline is None or current is None:
+        return baseline is not current
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        return baseline != current
+    if isinstance(baseline, (int, float)) and isinstance(current, (int, float)):
+        base_f, cur_f = float(baseline), float(current)
+        if math.isnan(base_f) and math.isnan(cur_f):
+            return False
+        if math.isinf(base_f) or math.isinf(cur_f):
+            return base_f != cur_f
+        return not math.isclose(base_f, cur_f, rel_tol=rtol, abs_tol=rtol)
+    if isinstance(baseline, (list, tuple)) and isinstance(current, (list, tuple)):
+        if len(baseline) != len(current):
+            return True
+        return any(_values_drifted(b, c, rtol) for b, c in zip(baseline, current))
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        if baseline.keys() != current.keys():
+            return True
+        return any(_values_drifted(baseline[k], current[k], rtol) for k in baseline)
+    return baseline != current
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkVerdict:
+    """Comparison outcome for one benchmark name."""
+
+    name: str
+    status: str  # improved | unchanged | regressed | new | removed
+    baseline_mean: float | None = None
+    current_mean: float | None = None
+    ratio: float | None = None
+    ratio_ci: tuple[float, float] | None = None
+    drifted_metrics: dict[str, tuple[Any, Any]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.drifted_metrics)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrajectoryComparison:
+    """All verdicts of one baseline-vs-current trajectory comparison."""
+
+    baseline_label: str
+    current_label: str
+    verdicts: tuple[BenchmarkVerdict, ...]
+    timing_threshold: float
+    allow_missing: bool
+    environments_differ: bool
+
+    def by_status(self, status: str) -> list[BenchmarkVerdict]:
+        return [verdict for verdict in self.verdicts if verdict.status == status]
+
+    @property
+    def regressions(self) -> list[BenchmarkVerdict]:
+        return self.by_status("regressed")
+
+    @property
+    def drifts(self) -> list[BenchmarkVerdict]:
+        return [verdict for verdict in self.verdicts if verdict.drifted]
+
+    @property
+    def failures(self) -> list[BenchmarkVerdict]:
+        """Verdicts that fail the gate under the comparison's policy."""
+        failed = list(self.regressions)
+        failed.extend(v for v in self.drifts if v not in failed)
+        if not self.allow_missing:
+            failed.extend(v for v in self.by_status("removed") if v not in failed)
+        return failed
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline": self.baseline_label,
+            "current": self.current_label,
+            "timing_threshold": self.timing_threshold,
+            "allow_missing": self.allow_missing,
+            "environments_differ": self.environments_differ,
+            "ok": self.ok,
+            "verdicts": [dataclasses.asdict(verdict) for verdict in self.verdicts],
+        }
+
+
+def compare_trajectories(
+    baseline: "Trajectory",
+    current: "Trajectory",
+    *,
+    timing_threshold: float = DEFAULT_TIMING_THRESHOLD,
+    metrics_rtol: float = DEFAULT_METRICS_RTOL,
+    allow_missing: bool = False,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> TrajectoryComparison:
+    """Compare two benchmark trajectories and return per-bench verdicts.
+
+    See the module docstring for the verdict semantics.  The regression test
+    for the threshold boundary is *strict*: a ratio exactly at
+    ``timing_threshold`` is still ``unchanged`` (thresholds state "worse
+    than", not "as bad as").
+    """
+    if timing_threshold <= 1.0:
+        raise ReproError("timing_threshold must exceed 1.0")
+    verdicts: list[BenchmarkVerdict] = []
+    current_names = set(current.names())
+    for record in sorted(current.records, key=lambda r: r.name):
+        base = baseline.get(record.name)
+        if base is None:
+            verdicts.append(
+                BenchmarkVerdict(
+                    name=record.name, status="new", current_mean=record.mean_time
+                )
+            )
+            continue
+        verdicts.append(
+            _timing_verdict(
+                base,
+                record,
+                timing_threshold=timing_threshold,
+                metrics_rtol=metrics_rtol,
+                confidence=confidence,
+                n_resamples=n_resamples,
+                seed=seed,
+            )
+        )
+    for record in sorted(baseline.records, key=lambda r: r.name):
+        if record.name not in current_names:
+            verdicts.append(
+                BenchmarkVerdict(
+                    name=record.name, status="removed", baseline_mean=record.mean_time
+                )
+            )
+    verdicts.sort(key=lambda verdict: verdict.name)
+    return TrajectoryComparison(
+        baseline_label=baseline.label,
+        current_label=current.label,
+        verdicts=tuple(verdicts),
+        timing_threshold=timing_threshold,
+        allow_missing=allow_missing,
+        environments_differ=baseline.environment != current.environment,
+    )
+
+
+def _timing_verdict(
+    base: "BenchmarkRecord",
+    current: "BenchmarkRecord",
+    *,
+    timing_threshold: float,
+    metrics_rtol: float,
+    confidence: float,
+    n_resamples: int,
+    seed: int,
+) -> BenchmarkVerdict:
+    ratio_low, ratio_high = bootstrap_ratio_ci(
+        base.samples,
+        current.samples,
+        confidence=confidence,
+        n_resamples=n_resamples,
+        seed=seed,
+    )
+    ratio = current.mean_time / base.mean_time
+    if ratio > timing_threshold and ratio_low > 1.0:
+        status = "regressed"
+    elif ratio < 1.0 / timing_threshold and ratio_high < 1.0:
+        status = "improved"
+    else:
+        status = "unchanged"
+    drifted: dict[str, tuple[Any, Any]] = {}
+    for key in sorted(base.metrics.keys() | current.metrics.keys()):
+        if key not in base.metrics or key not in current.metrics:
+            drifted[key] = (base.metrics.get(key), current.metrics.get(key))
+        elif _values_drifted(base.metrics[key], current.metrics[key], metrics_rtol):
+            drifted[key] = (base.metrics[key], current.metrics[key])
+    return BenchmarkVerdict(
+        name=current.name,
+        status=status,
+        baseline_mean=base.mean_time,
+        current_mean=current.mean_time,
+        ratio=ratio,
+        ratio_ci=(ratio_low, ratio_high),
+        drifted_metrics=drifted,
+    )
+
+
+def _format_seconds(value: "float | None") -> str:
+    if value is None:
+        return "      -"
+    if value < 1e-3:
+        return f"{value * 1e6:6.1f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:6.1f}ms"
+    return f"{value:6.2f}s "
+
+
+def effect_table(comparison: TrajectoryComparison) -> str:
+    """Render the comparison as a text effect table (the CLI's output)."""
+    lines = [
+        f"Trajectory comparison — baseline {comparison.baseline_label!r} vs "
+        f"current {comparison.current_label!r} "
+        f"(timing threshold {comparison.timing_threshold:g}x)",
+    ]
+    if comparison.environments_differ:
+        lines.append(
+            "  note: environments differ between trajectories — timing ratios "
+            "mix machine and code effects"
+        )
+    lines.append(
+        "  benchmark                                                   base      "
+        "current   ratio   95% CI            verdict"
+    )
+    for verdict in comparison.verdicts:
+        ratio = "    -  " if verdict.ratio is None else f"{verdict.ratio:6.2f}x"
+        ci = (
+            "   -             "
+            if verdict.ratio_ci is None
+            else f"[{verdict.ratio_ci[0]:5.2f}, {verdict.ratio_ci[1]:5.2f}]  "
+        )
+        flag = " METRICS DRIFTED" if verdict.drifted else ""
+        lines.append(
+            f"  {verdict.name:<58s} {_format_seconds(verdict.baseline_mean)}  "
+            f"{_format_seconds(verdict.current_mean)}  {ratio}  {ci} "
+            f"{verdict.status}{flag}"
+        )
+        for key, (base_value, current_value) in verdict.drifted_metrics.items():
+            lines.append(f"      drift {key}: {base_value!r} -> {current_value!r}")
+    counts = {
+        status: len(comparison.by_status(status))
+        for status in ("improved", "unchanged", "regressed", "new", "removed")
+    }
+    summary = ", ".join(f"{count} {status}" for status, count in counts.items() if count)
+    lines.append(f"  summary: {summary or 'no benchmarks'}; metric drifts: {len(comparison.drifts)}")
+    lines.append("  gate: " + ("PASS" if comparison.ok else "FAIL"))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Run artifacts: versioned JSON records of every experiment and benchmark.
+
+The pieces (see ``docs/artifacts.md`` for the full schema reference):
+
+* :mod:`repro.artifacts.schema` — the :class:`RunArtifact` schema, schema
+  versioning, and the deterministic/strict JSON encoding everything shares;
+* :mod:`repro.artifacts.trajectory` — :class:`Trajectory` benchmark-session
+  files (the committed ``BENCH_*.json`` per PR);
+* :mod:`repro.artifacts.metrics` — per-experiment metric extractors
+  (registered by the experiment modules themselves);
+* :mod:`repro.artifacts.environment` — the host fingerprint;
+* :mod:`repro.artifacts.capture` — artifact emission from the registry's
+  ``run()`` path (``last_artifact``, ``capture_artifacts``,
+  ``REPRO_ARTIFACT_DIR``);
+* :mod:`repro.artifacts.cli` — ``python -m repro.artifacts`` (``compare`` is
+  the CI regression gate; see :mod:`repro.analysis.regression`).
+"""
+
+from repro.artifacts.capture import capture_artifacts, last_artifact, publish
+from repro.artifacts.environment import environment_fingerprint
+from repro.artifacts.metrics import extract_metrics, has_extractor, register_metrics
+from repro.artifacts.schema import (
+    SCHEMA_VERSION,
+    ArtifactSchemaError,
+    RunArtifact,
+    canonical_dumps,
+    canonical_loads,
+)
+from repro.artifacts.trajectory import BenchmarkRecord, Trajectory
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactSchemaError",
+    "BenchmarkRecord",
+    "RunArtifact",
+    "Trajectory",
+    "canonical_dumps",
+    "canonical_loads",
+    "capture_artifacts",
+    "environment_fingerprint",
+    "extract_metrics",
+    "has_extractor",
+    "last_artifact",
+    "publish",
+    "register_metrics",
+]

@@ -1,0 +1,114 @@
+"""Artifact emission from the experiment registry's ``run()`` path.
+
+Every :meth:`repro.experiments.registry.Experiment.run` call builds a
+:class:`~repro.artifacts.schema.RunArtifact` and publishes it here.  Three
+consumers exist:
+
+* ``last_artifact(experiment_id)`` — the most recent artifact per experiment,
+  for callers that just ran one (the CLI's ``--artifact`` flag, tests);
+* ``capture_artifacts()`` — a context manager collecting every artifact
+  published inside its scope, for harnesses that run many experiments;
+* the ``REPRO_ARTIFACT_DIR`` environment variable — when set, every artifact
+  is additionally written to ``<dir>/<experiment_id>.json`` (how CI snapshots
+  a full experiment sweep without touching any call site).
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.artifacts.environment import environment_fingerprint
+from repro.artifacts.metrics import extract_metrics
+from repro.artifacts.schema import RunArtifact
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (registry imports us)
+    from repro.experiments.registry import Experiment
+
+__all__ = [
+    "capture_artifacts",
+    "last_artifact",
+    "publish",
+    "record_experiment_run",
+]
+
+_LAST: dict[str, RunArtifact] = {}
+_CAPTURES: list[list[RunArtifact]] = []
+
+
+def publish(artifact: RunArtifact) -> RunArtifact:
+    """Record *artifact* with every active consumer; returns it unchanged."""
+    _LAST[artifact.experiment_id] = artifact
+    for sink in _CAPTURES:
+        sink.append(artifact)
+    directory = os.environ.get("REPRO_ARTIFACT_DIR")
+    if directory:
+        artifact.write(Path(directory) / f"{artifact.experiment_id}.json")
+    return artifact
+
+
+def last_artifact(experiment_id: str) -> "RunArtifact | None":
+    """The most recently published artifact for *experiment_id*, if any."""
+    return _LAST.get(experiment_id)
+
+
+@contextmanager
+def capture_artifacts() -> Iterator[list[RunArtifact]]:
+    """Collect every artifact published while the context is active."""
+    sink: list[RunArtifact] = []
+    _CAPTURES.append(sink)
+    try:
+        yield sink
+    finally:
+        _CAPTURES.remove(sink)
+
+
+def _full_params(runner: Any, kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Merge *kwargs* over the runner's signature defaults.
+
+    Two artifacts describe the same workload iff their ``params`` are equal,
+    so defaults the caller did not override must still appear.  Runners with
+    uninspectable signatures degrade to the explicit kwargs alone.
+    """
+    try:
+        signature = inspect.signature(runner)
+    except (TypeError, ValueError):
+        return dict(kwargs)
+    params: dict[str, Any] = {}
+    for name, parameter in signature.parameters.items():
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            continue
+        if name in kwargs:
+            params[name] = kwargs[name]
+        elif parameter.default is not parameter.empty:
+            params[name] = parameter.default
+    # Keep any **kwargs the signature funnelled through a VAR_KEYWORD.
+    for name, value in kwargs.items():
+        params.setdefault(name, value)
+    return params
+
+
+def record_experiment_run(
+    experiment: "Experiment",
+    *,
+    kwargs: dict[str, Any],
+    result: Any,
+    duration: float,
+    quick: bool,
+) -> RunArtifact:
+    """Build and publish the artifact for one registry ``run()`` execution."""
+    params = _full_params(experiment.runner, kwargs)
+    seeds = {name: value for name, value in params.items() if "seed" in name.lower()}
+    artifact = RunArtifact(
+        experiment_id=experiment.experiment_id,
+        mode="quick" if quick else "full",
+        params=params,
+        seeds=seeds,
+        timings={"run": float(duration)},
+        metrics=extract_metrics(result, experiment.experiment_id),
+        environment=environment_fingerprint(),
+    )
+    return publish(artifact)

@@ -1,0 +1,190 @@
+"""Command-line interface for run artifacts and benchmark trajectories.
+
+Usage::
+
+    python -m repro.artifacts compare BENCH_5.json BENCH_6.json
+    python -m repro.artifacts compare BENCH_6.json bench_current.json --timing-threshold 4
+    python -m repro.artifacts show BENCH_6.json
+    python -m repro.artifacts run e2e --out e2e_artifact.json
+
+``compare`` is the CI regression gate: it exits 0 when every benchmark is
+improved/unchanged/new with no metric drift, 1 when the gate fails (timing
+regression, metric drift, or a benchmark silently removed), and 2 on usage
+or file errors.  ``show`` pretty-prints either file kind; ``run`` executes a
+registered experiment and writes its :class:`~repro.artifacts.schema.RunArtifact`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.artifacts.schema import ArtifactSchemaError, RunArtifact, canonical_dumps, canonical_loads
+from repro.artifacts.trajectory import Trajectory
+
+__all__ = ["main", "build_parser", "load_payload"]
+
+#: compare exit codes.
+EXIT_OK = 0
+EXIT_GATE_FAILED = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.artifacts",
+        description=(
+            "Inspect run artifacts and benchmark trajectories, and gate on "
+            "benchmark regression / metric drift between two trajectories."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser(
+        "compare", help="Gate a current trajectory against a committed baseline"
+    )
+    compare.add_argument("baseline", help="Baseline trajectory JSON (e.g. BENCH_6.json)")
+    compare.add_argument("current", help="Current trajectory JSON to check")
+    compare.add_argument(
+        "--timing-threshold",
+        type=float,
+        default=None,
+        help="Mean-time ratio above which a bench regresses (default 1.5; "
+        "raise on cross-machine comparisons)",
+    )
+    compare.add_argument(
+        "--metrics-rtol",
+        type=float,
+        default=None,
+        help="Relative tolerance for metric drift (default 1e-9)",
+    )
+    compare.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="Do not fail when a baseline benchmark is absent from current",
+    )
+    compare.add_argument(
+        "--json", action="store_true", help="Emit the comparison as JSON instead of a table"
+    )
+
+    show = subparsers.add_parser("show", help="Summarise an artifact or trajectory file")
+    show.add_argument("path", help="JSON file written by this pipeline")
+
+    run = subparsers.add_parser(
+        "run", help="Run a registered experiment and write its artifact"
+    )
+    run.add_argument("experiment_id", help="Experiment id (see `python -m repro.experiments list`)")
+    run.add_argument("--full", action="store_true", help="Run at paper scale instead of quick")
+    run.add_argument("--out", "-o", default=None, help="Artifact output path (default <id>.json)")
+    return parser
+
+
+def load_payload(path: "str | Path") -> "Trajectory | RunArtifact":
+    """Load either file kind, dispatching on the ``kind`` tag."""
+    text = Path(path).read_text()
+    data = canonical_loads(text)
+    if not isinstance(data, dict):
+        raise ArtifactSchemaError(f"{path}: expected a JSON object")
+    kind = data.get("kind", "trajectory")
+    if kind == "run_artifact":
+        return RunArtifact.from_dict(data)
+    return Trajectory.from_dict(data)
+
+
+def _load_trajectory(path: str) -> Trajectory:
+    payload = load_payload(path)
+    if not isinstance(payload, Trajectory):
+        raise ArtifactSchemaError(f"{path}: expected a trajectory, found a run artifact")
+    return payload
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.regression import (
+        DEFAULT_METRICS_RTOL,
+        DEFAULT_TIMING_THRESHOLD,
+        compare_trajectories,
+        effect_table,
+    )
+
+    try:
+        baseline = _load_trajectory(args.baseline)
+        current = _load_trajectory(args.current)
+    except (OSError, ArtifactSchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    comparison = compare_trajectories(
+        baseline,
+        current,
+        timing_threshold=(
+            DEFAULT_TIMING_THRESHOLD if args.timing_threshold is None else args.timing_threshold
+        ),
+        metrics_rtol=DEFAULT_METRICS_RTOL if args.metrics_rtol is None else args.metrics_rtol,
+        allow_missing=args.allow_missing,
+    )
+    if args.json:
+        print(canonical_dumps(comparison.to_dict(), indent=2))
+    else:
+        print(effect_table(comparison))
+    return EXIT_OK if comparison.ok else EXIT_GATE_FAILED
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    try:
+        payload = load_payload(args.path)
+    except (OSError, ArtifactSchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if isinstance(payload, RunArtifact):
+        print(f"Run artifact — experiment {payload.experiment_id!r} ({payload.mode} mode, "
+              f"schema {payload.schema_version})")
+        print(f"  seeds   : {payload.seeds}")
+        print(f"  timings : " + ", ".join(
+            f"{name}={duration:.4f}s" for name, duration in sorted(payload.timings.items())
+        ))
+        print("  metrics :")
+        for name in sorted(payload.metrics):
+            print(f"    {name} = {payload.metrics[name]!r}")
+        return EXIT_OK
+    print(f"Trajectory {payload.label!r} — {len(payload.records)} benchmarks "
+          f"(schema {payload.schema_version})")
+    environment = payload.environment
+    if environment:
+        print(f"  environment: python {environment.get('python')}, "
+              f"numpy {environment.get('numpy')}, {environment.get('system')} "
+              f"{environment.get('machine')}")
+    for record in sorted(payload.records, key=lambda r: r.name):
+        print(f"  {record.name:<60s} mean {record.mean_time * 1e3:9.2f} ms "
+              f"({record.rounds} rounds, {len(record.metrics)} metrics)")
+    return EXIT_OK
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.artifacts.capture import last_artifact
+    from repro.exceptions import ExperimentError
+    from repro.experiments.registry import get_experiment
+
+    try:
+        experiment = get_experiment(args.experiment_id)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    experiment.run(quick=not args.full)
+    artifact = last_artifact(args.experiment_id)
+    assert artifact is not None  # run() always publishes
+    target = artifact.write(args.out or f"{args.experiment_id}.json")
+    print(f"wrote {target}")
+    return EXIT_OK
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return EXIT_USAGE  # pragma: no cover - argparse enforces the choices

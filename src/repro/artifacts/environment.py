@@ -1,0 +1,45 @@
+"""Environment fingerprint recorded in every artifact.
+
+Timing numbers are only comparable in context: the interpreter, the BLAS
+stack behind numpy, and the machine class all move them.  Every artifact
+therefore carries a small host fingerprint so trajectory comparisons can tell
+"this PR made it slower" apart from "this ran on a slower box" (the
+regression CLI prints a warning when environments differ).
+
+The fingerprint is deliberately *excluded* from the canonical payload used
+for determinism checks — see :meth:`repro.artifacts.schema.RunArtifact.canonical_payload`.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Any
+
+__all__ = ["environment_fingerprint"]
+
+
+def _distribution_version(module_name: str) -> str | None:
+    """Version string of an installed package, or ``None`` if absent."""
+    try:
+        module = __import__(module_name)
+    except ImportError:
+        return None
+    return str(getattr(module, "__version__", "unknown"))
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Collect the host/toolchain facts that contextualise timings."""
+    from repro import __version__ as repro_version
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "machine": platform.machine(),
+        "byteorder": sys.byteorder,
+        "numpy": _distribution_version("numpy"),
+        "scipy": _distribution_version("scipy"),
+        "repro": repro_version,
+    }

@@ -1,0 +1,77 @@
+"""Metric extraction: experiment result objects → artifact ``metrics`` dicts.
+
+Each experiment module owns the knowledge of which numbers in its result
+object are *the* paper-comparable quantities (the ones a regression gate
+should watch), and registers an extractor here — mirroring how
+:mod:`repro.experiments.report` registers text renderers.  Extractors are
+keyed by result type, or by experiment id for runners whose results are
+plain containers (e.g. the impersonation sweep returns a list of points).
+
+Extractors must return JSON-encodable mappings of scalar values (or flat
+lists of scalars, for series like Fig. 3's accuracy-vs-η curve).  ``None``
+is allowed for "not reached in this parameterisation" (e.g. a threshold
+crossing outside the swept range).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["register_metrics", "extract_metrics", "has_extractor"]
+
+_TYPE_EXTRACTORS: dict[type, Callable[[Any], dict[str, Any]]] = {}
+_ID_EXTRACTORS: dict[str, Callable[[Any], dict[str, Any]]] = {}
+
+
+def register_metrics(key: "type | str") -> Callable[[Callable[[Any], dict[str, Any]]], Callable[[Any], dict[str, Any]]]:
+    """Decorator registering an extractor for a result type or experiment id.
+
+    Type registrations dispatch on ``isinstance`` of the result; string
+    registrations dispatch on the experiment id and take precedence (they
+    exist for runners whose result is a bare list/dict with no type of its
+    own).
+    """
+
+    def decorator(func: Callable[[Any], dict[str, Any]]) -> Callable[[Any], dict[str, Any]]:
+        if isinstance(key, str):
+            _ID_EXTRACTORS[key] = func
+        else:
+            _TYPE_EXTRACTORS[key] = func
+        return func
+
+    return decorator
+
+
+def has_extractor(result: Any, experiment_id: "str | None" = None) -> bool:
+    """Whether a registered (non-fallback) extractor covers this result."""
+    if experiment_id is not None and experiment_id in _ID_EXTRACTORS:
+        return True
+    return any(isinstance(result, result_type) for result_type in _TYPE_EXTRACTORS)
+
+
+def extract_metrics(result: Any, experiment_id: "str | None" = None) -> dict[str, Any]:
+    """Extract the artifact metrics for *result*.
+
+    Resolution order: experiment-id extractor, then result-type extractor
+    (exact type before base classes), then an ``artifact_metrics()`` method
+    on the result itself, then ``{}`` — an experiment without an extractor
+    still produces a valid artifact, just one with nothing for the gate to
+    watch.
+    """
+    extractor = None
+    if experiment_id is not None:
+        extractor = _ID_EXTRACTORS.get(experiment_id)
+    if extractor is None:
+        extractor = _TYPE_EXTRACTORS.get(type(result))
+    if extractor is None:
+        for result_type, candidate in _TYPE_EXTRACTORS.items():
+            if isinstance(result, result_type):
+                extractor = candidate
+                break
+    if extractor is None:
+        method = getattr(result, "artifact_metrics", None)
+        if callable(method):
+            return dict(method())
+        return {}
+    return dict(extractor(result))

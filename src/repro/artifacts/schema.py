@@ -1,0 +1,272 @@
+"""Versioned run-artifact schema with deterministic JSON serialization.
+
+Every experiment run and every benchmark session in this repository is
+summarised by a JSON *artifact*: a :class:`RunArtifact` for one experiment
+execution, a :class:`~repro.artifacts.trajectory.Trajectory` for a whole
+benchmark session (the committed ``BENCH_*.json`` files).  This module owns
+the schema versioning rules and the canonical encoding both share:
+
+* **Deterministic serialization** — ``canonical_dumps`` sorts keys, uses
+  fixed separators and ASCII escapes, and normalises numpy scalars/arrays and
+  tuples, so the same payload always produces the same bytes.  This is what
+  makes "same seed ⇒ byte-identical artifact" a testable property.
+* **Strict JSON** — non-finite floats are *not* emitted as the non-standard
+  ``NaN``/``Infinity`` literals; they are encoded as ``{"$nonfinite": ...}``
+  marker objects and decoded back to the original floats, so artifact files
+  stay parseable by any JSON reader.
+* **Schema versioning** — artifacts carry ``schema_version`` (``MAJOR.MINOR``).
+  Readers accept any minor revision of the major they know and reject unknown
+  majors loudly instead of misinterpreting fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactSchemaError",
+    "RunArtifact",
+    "canonical_dumps",
+    "canonical_loads",
+    "check_schema_version",
+    "from_jsonable",
+    "schema_major",
+    "to_jsonable",
+]
+
+#: Current artifact schema version (``MAJOR.MINOR``).  Bump the minor for
+#: additive changes (new optional fields); bump the major for anything a
+#: version-1 reader would misread.
+SCHEMA_VERSION = "1.0"
+
+#: Marker key used to encode non-finite floats in strict JSON.
+_NONFINITE = "$nonfinite"
+#: Marker key used to escape payload dicts that would otherwise collide with
+#: the ``$nonfinite`` / ``$escape`` markers themselves.
+_ESCAPE = "$escape"
+_MARKER_KEYS = frozenset({_NONFINITE, _ESCAPE})
+_NONFINITE_ENCODING = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+class ArtifactSchemaError(ReproError):
+    """A run artifact could not be parsed (bad schema version or payload)."""
+
+
+def schema_major(version: str) -> int:
+    """Return the major component of a ``MAJOR.MINOR`` schema version string."""
+    head = str(version).split(".", 1)[0]
+    try:
+        return int(head)
+    except ValueError as exc:
+        raise ArtifactSchemaError(f"unparseable schema version {version!r}") from exc
+
+
+def check_schema_version(version: str) -> str:
+    """Validate *version* against the supported major; return it unchanged."""
+    major = schema_major(version)
+    supported = schema_major(SCHEMA_VERSION)
+    if major != supported:
+        raise ArtifactSchemaError(
+            f"unsupported artifact schema version {version!r} "
+            f"(this reader understands major {supported})"
+        )
+    return str(version)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Normalise *value* into strict-JSON-compatible plain Python data.
+
+    Tuples become lists, numpy scalars/arrays become Python scalars/lists,
+    non-finite floats become ``{"$nonfinite": "nan"|"inf"|"-inf"}`` markers,
+    dict keys are stringified, and anything unrecognised falls back to its
+    ``repr`` (artifacts must always be writable; an exotic parameter object
+    degrades to a readable string rather than an error).
+    """
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {_NONFINITE: "nan"}
+        if math.isinf(value):
+            return {_NONFINITE: "inf" if value > 0 else "-inf"}
+        return value
+    # numpy scalars and arrays, without importing numpy here: both expose
+    # ``item``/``tolist`` which return pure-Python equivalents.
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return to_jsonable(value.item())
+    if hasattr(value, "tolist"):
+        return to_jsonable(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {str(key): to_jsonable(item) for key, item in value.items()}
+        if _MARKER_KEYS & encoded.keys():
+            return {_ESCAPE: encoded}
+        return encoded
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    return repr(value)
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable` marker objects back into Python floats/dicts."""
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        if value.keys() == {_NONFINITE}:
+            try:
+                return _NONFINITE_ENCODING[value[_NONFINITE]]
+            except (KeyError, TypeError) as exc:
+                raise ArtifactSchemaError(
+                    f"bad non-finite marker {value!r}"
+                ) from exc
+        if value.keys() == {_ESCAPE} and isinstance(value[_ESCAPE], dict):
+            return {key: from_jsonable(item) for key, item in value[_ESCAPE].items()}
+        return {key: from_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def canonical_dumps(value: Any, *, indent: int | None = None) -> str:
+    """Serialise *value* deterministically (sorted keys, fixed separators)."""
+    separators = (",", ":") if indent is None else (",", ": ")
+    return json.dumps(
+        to_jsonable(value),
+        sort_keys=True,
+        separators=separators,
+        indent=indent,
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_loads(text: str) -> Any:
+    """Parse canonical JSON text, decoding non-finite markers."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactSchemaError(f"artifact is not valid JSON: {exc}") from exc
+    return from_jsonable(raw)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunArtifact:
+    """One experiment execution, summarised for trajectory tracking.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id of the experiment that produced this artifact.
+    mode:
+        ``"quick"`` (CI-sized) or ``"full"`` (paper-scale) parameterisation.
+    params:
+        The *complete* keyword arguments of the run — explicit overrides
+        merged over the runner's signature defaults, so two artifacts with
+        equal ``params`` describe the same workload.
+    seeds:
+        The subset of ``params`` that seeds randomness (every key containing
+        ``"seed"``), surfaced separately because determinism claims hinge on
+        them.
+    timings:
+        Per-phase wall-clock durations in seconds (at minimum ``{"run": t}``).
+        Excluded from the canonical payload — timing is a measurement, not a
+        result.
+    metrics:
+        The paper-comparable numbers of the run (see
+        :mod:`repro.artifacts.metrics`).
+    environment:
+        Host fingerprint (see :mod:`repro.artifacts.environment`).  Also
+        excluded from the canonical payload.
+    schema_version:
+        ``MAJOR.MINOR`` schema tag, checked on load.
+    """
+
+    experiment_id: str
+    mode: str
+    params: dict[str, Any]
+    seeds: dict[str, Any]
+    timings: dict[str, float]
+    metrics: dict[str, Any]
+    environment: dict[str, Any]
+    schema_version: str = SCHEMA_VERSION
+
+    #: Field subset that defines the *reproducible* payload: everything except
+    #: host- and measurement-dependent data.
+    CANONICAL_FIELDS = ("schema_version", "experiment_id", "mode", "params", "seeds", "metrics")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON-ready dict, tagged with ``kind`` for file-type dispatch."""
+        return to_jsonable(
+            {
+                "kind": "run_artifact",
+                "schema_version": self.schema_version,
+                "experiment_id": self.experiment_id,
+                "mode": self.mode,
+                "params": self.params,
+                "seeds": self.seeds,
+                "timings": self.timings,
+                "metrics": self.metrics,
+                "environment": self.environment,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunArtifact":
+        """Parse a dict produced by :meth:`to_dict`; reject unknown majors."""
+        if not isinstance(data, dict):
+            raise ArtifactSchemaError(f"run artifact must be an object, got {type(data).__name__}")
+        kind = data.get("kind", "run_artifact")
+        if kind != "run_artifact":
+            raise ArtifactSchemaError(f"expected a run_artifact payload, got kind {kind!r}")
+        version = check_schema_version(data.get("schema_version", ""))
+        try:
+            return cls(
+                experiment_id=str(data["experiment_id"]),
+                mode=str(data.get("mode", "quick")),
+                params=dict(from_jsonable(data.get("params", {}))),
+                seeds=dict(from_jsonable(data.get("seeds", {}))),
+                timings=dict(from_jsonable(data.get("timings", {}))),
+                metrics=dict(from_jsonable(data.get("metrics", {}))),
+                environment=dict(from_jsonable(data.get("environment", {}))),
+                schema_version=version,
+            )
+        except KeyError as exc:
+            raise ArtifactSchemaError(f"run artifact missing required field {exc}") from exc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Deterministic JSON text (pretty-printed by default for diffable files)."""
+        return canonical_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        return cls.from_dict(canonical_loads(text))
+
+    def canonical_payload(self) -> dict[str, Any]:
+        """The reproducible subset: environment and timings stripped."""
+        full = self.to_dict()
+        return {key: full[key] for key in self.CANONICAL_FIELDS}
+
+    def canonical_json(self) -> str:
+        """Compact deterministic JSON of :meth:`canonical_payload`.
+
+        Two runs of the same experiment with the same seeds must produce
+        byte-identical canonical JSON; tests assert exactly this.
+        """
+        return canonical_dumps(self.canonical_payload())
+
+    def write(self, path: "str | Path") -> Path:
+        """Write the artifact to *path* (parent directories created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def read(cls, path: "str | Path") -> "RunArtifact":
+        return cls.from_json(Path(path).read_text())

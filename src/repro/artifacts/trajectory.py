@@ -1,0 +1,188 @@
+"""Benchmark trajectory files (the committed ``BENCH_*.json`` per PR).
+
+A :class:`Trajectory` aggregates one benchmark session — every
+``benchmarks/test_bench_*.py`` test that ran — into a single versioned JSON
+document: per-benchmark timing samples plus the paper-comparable metrics each
+bench recorded via its ``record(...)`` fixture.  One trajectory file is
+committed per PR (``BENCH_6.json``, ``BENCH_7.json``, …), turning the repo
+history into a perf trajectory that
+:func:`repro.analysis.regression.compare_trajectories` can gate on.
+
+The benchmarks conftest builds these automatically when the
+``REPRO_BENCH_TRAJECTORY`` environment variable names an output path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.artifacts.schema import (
+    SCHEMA_VERSION,
+    ArtifactSchemaError,
+    canonical_dumps,
+    canonical_loads,
+    check_schema_version,
+    from_jsonable,
+    to_jsonable,
+)
+
+__all__ = ["BenchmarkRecord", "Trajectory", "MAX_STORED_SAMPLES"]
+
+#: Multi-round benches can produce thousands of timing samples; trajectories
+#: keep a deterministic quantile subsample beyond this size so committed
+#: files stay reviewable while bootstrap CIs stay meaningful.
+MAX_STORED_SAMPLES = 64
+
+
+def _subsample(samples: list[float]) -> list[float]:
+    """Deterministically thin *samples* to at most :data:`MAX_STORED_SAMPLES`.
+
+    Sorted evenly-spaced quantiles: preserves location and spread (what the
+    bootstrap resamples) without storing every round.
+    """
+    if len(samples) <= MAX_STORED_SAMPLES:
+        return list(samples)
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return [
+        ordered[round(index * last / (MAX_STORED_SAMPLES - 1))]
+        for index in range(MAX_STORED_SAMPLES)
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkRecord:
+    """One benchmark's contribution to a trajectory.
+
+    Attributes
+    ----------
+    name:
+        Fully-qualified test name (``test_bench_x.py::test_y``) — the join
+        key between trajectories.
+    samples:
+        Wall-clock timing samples in seconds (one per benchmark round,
+        quantile-thinned beyond :data:`MAX_STORED_SAMPLES`).
+    rounds:
+        The original number of rounds (may exceed ``len(samples)``).
+    metrics:
+        Numeric paper-comparable values the bench recorded; these are
+        drift-gated exactly by the regression CLI.
+    info:
+        Non-numeric context (backend names, rendered fits, …); informational
+        only, never gated.
+    """
+
+    name: str
+    samples: list[float]
+    rounds: int = 0
+    metrics: dict[str, Any] = dataclasses.field(default_factory=dict)
+    info: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ArtifactSchemaError(f"benchmark record {self.name!r} has no timing samples")
+        if self.rounds <= 0:
+            object.__setattr__(self, "rounds", len(self.samples))
+        object.__setattr__(self, "samples", _subsample([float(s) for s in self.samples]))
+
+    @property
+    def mean_time(self) -> float:
+        return math.fsum(self.samples) / len(self.samples)
+
+    @property
+    def min_time(self) -> float:
+        return min(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        return to_jsonable(
+            {
+                "name": self.name,
+                "samples": self.samples,
+                "rounds": self.rounds,
+                "metrics": self.metrics,
+                "info": self.info,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchmarkRecord":
+        try:
+            return cls(
+                name=str(data["name"]),
+                samples=[float(value) for value in from_jsonable(data["samples"])],
+                rounds=int(data.get("rounds", 0)),
+                metrics=dict(from_jsonable(data.get("metrics", {}))),
+                info=dict(from_jsonable(data.get("info", {}))),
+            )
+        except KeyError as exc:
+            raise ArtifactSchemaError(f"benchmark record missing field {exc}") from exc
+
+
+@dataclasses.dataclass
+class Trajectory:
+    """A whole benchmark session: label + environment + per-bench records."""
+
+    label: str
+    records: list[BenchmarkRecord] = dataclasses.field(default_factory=list)
+    environment: dict[str, Any] = dataclasses.field(default_factory=dict)
+    schema_version: str = SCHEMA_VERSION
+
+    def add(self, record: BenchmarkRecord) -> None:
+        """Append a record (names must stay unique within one trajectory)."""
+        if record.name in self.names():
+            raise ArtifactSchemaError(f"duplicate benchmark record {record.name!r}")
+        self.records.append(record)
+
+    def names(self) -> list[str]:
+        return [record.name for record in self.records]
+
+    def get(self, name: str) -> "BenchmarkRecord | None":
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "trajectory",
+            "schema_version": self.schema_version,
+            "label": self.label,
+            "environment": to_jsonable(self.environment),
+            "records": [record.to_dict() for record in sorted(self.records, key=lambda r: r.name)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trajectory":
+        if not isinstance(data, dict):
+            raise ArtifactSchemaError(f"trajectory must be an object, got {type(data).__name__}")
+        kind = data.get("kind", "trajectory")
+        if kind != "trajectory":
+            raise ArtifactSchemaError(f"expected a trajectory payload, got kind {kind!r}")
+        version = check_schema_version(data.get("schema_version", ""))
+        records = [BenchmarkRecord.from_dict(entry) for entry in data.get("records", [])]
+        return cls(
+            label=str(data.get("label", "")),
+            records=records,
+            environment=dict(from_jsonable(data.get("environment", {}))),
+            schema_version=version,
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return canonical_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trajectory":
+        return cls.from_dict(canonical_loads(text))
+
+    def write(self, path: "str | Path") -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def read(cls, path: "str | Path") -> "Trajectory":
+        return cls.from_json(Path(path).read_text())

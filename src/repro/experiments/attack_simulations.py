@@ -21,6 +21,7 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass, field
 
+from repro.artifacts.metrics import register_metrics
 from repro.attacks import (
     EntangleMeasureAttack,
     ImpersonationAttack,
@@ -233,3 +234,47 @@ def run_impersonation_sweep(
         max_workers=max_workers,
     )
     return list(swept.values)
+
+
+@register_metrics(AttackSimulationResult)
+def attacks_artifact_metrics(result: AttackSimulationResult) -> dict:
+    """Artifact metrics for the §IV attack simulations: detection + leakage."""
+    metrics: dict = {
+        f"detection_rate.{name}": rate
+        for name, rate in result.detection_rates().items()
+    }
+    for point in result.impersonation_sweep:
+        metrics[f"impersonation_empirical_l{point.identity_pairs}"] = (
+            point.empirical_detection_rate
+        )
+        metrics[f"impersonation_theory_l{point.identity_pairs}"] = (
+            point.theoretical_detection_probability
+        )
+    if result.leakage is not None:
+        metrics.update(leakage_artifact_metrics(result.leakage))
+    return metrics
+
+
+@register_metrics(LeakageReport)
+def leakage_artifact_metrics(report: LeakageReport) -> dict:
+    """Artifact metrics for the information-leakage experiment (§III-E)."""
+    return {
+        "excess_tv_distance": report.excess_tv_distance,
+        "total_variation_distance": report.total_variation_distance,
+        "within_message_tv_distance": report.within_message_tv_distance,
+        "mutual_information_upper_bound": report.mutual_information_upper_bound,
+        "distinct_views": report.distinct_views,
+        "message_outcomes_announced": report.message_outcomes_announced,
+    }
+
+
+@register_metrics("atk-impersonation-sweep")
+def impersonation_sweep_artifact_metrics(points: list) -> dict:
+    """Artifact metrics for the bare impersonation sweep (a list of points)."""
+    metrics: dict = {}
+    for point in points:
+        metrics[f"empirical_l{point.identity_pairs}"] = point.empirical_detection_rate
+        metrics[f"theory_l{point.identity_pairs}"] = (
+            point.theoretical_detection_probability
+        )
+    return metrics

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.chsh_analysis import chsh_threshold_eta, chsh_vs_channel_length
 from repro.analysis.statistics import chsh_standard_error, mean_and_confidence_interval
+from repro.artifacts.metrics import register_metrics
 from repro.channel.quantum_channel import IdentityChainChannel
 from repro.exceptions import ExperimentError
 from repro.protocol.chsh import CHSHSettings, DISecurityCheck
@@ -99,3 +100,14 @@ def run_chsh_experiment(
     result.chsh_vs_eta = chsh_vs_channel_length(eta_sweep)
     result.max_di_channel_length = chsh_threshold_eta(max_eta=20000, step=100)
     return result
+
+
+@register_metrics(CHSHExperimentResult)
+def chsh_artifact_metrics(result: CHSHExperimentResult) -> dict:
+    """Artifact metrics for the CHSH study: convergence table + DI range."""
+    metrics: dict = {"max_di_channel_length": result.max_di_channel_length}
+    for point in result.convergence:
+        metrics[f"mean_S_d{point.num_pairs}"] = point.mean_value
+        metrics[f"pass_rate_d{point.num_pairs}"] = point.pass_rate
+    metrics["chsh_vs_eta"] = [[eta, value] for eta, value in result.chsh_vs_eta]
+    return metrics

@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--full", action="store_true", help="Run at full (paper-scale) size"
     )
+    run_parser.add_argument(
+        "--artifact",
+        metavar="PATH",
+        default=None,
+        help="Also write the run's JSON artifact (params, seeds, timings, "
+        "metrics, environment) to PATH",
+    )
 
     run_all_parser = subparsers.add_parser("run-all", help="Run every experiment")
     run_all_parser.add_argument(
@@ -67,6 +74,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         experiment = get_experiment(args.experiment_id)
         result = experiment.run(quick=not args.full)
         print(render_result(result))
+        if args.artifact:
+            from repro.artifacts import last_artifact
+
+            artifact = last_artifact(experiment.experiment_id)
+            assert artifact is not None  # run() always publishes one
+            target = artifact.write(args.artifact)
+            print(f"artifact written to {target}")
         return 0
 
     if args.command == "run-all":

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.api.config import ServiceConfig
 from repro.api.service import MessagingService
+from repro.artifacts.metrics import register_metrics
 from repro.channel.quantum_channel import IdentityChainChannel, NoiselessChannel
 from repro.exceptions import ExperimentError
 from repro.protocol.results import ProtocolResult
@@ -110,3 +111,18 @@ def run_end_to_end(
             )
             bucket.append(report.fragments[0].attempts[0].raw)
     return result
+
+
+@register_metrics(EndToEndResult)
+def e2e_artifact_metrics(result: EndToEndResult) -> dict:
+    """Artifact metrics for the e2e anchor: the four aggregate statistics.
+
+    The same quantities the golden fixture (``tests/fixtures/e2e_quick.json``)
+    pins per session, here in the aggregate form every PR's artifact carries.
+    """
+    return {
+        "ideal_delivery_rate": result.ideal_delivery_rate,
+        "noisy_delivery_rate": result.noisy_delivery_rate,
+        "mean_chsh_round1": result.mean_chsh_round1,
+        "mean_noisy_message_error": result.mean_noisy_message_error,
+    }

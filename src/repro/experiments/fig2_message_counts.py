@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.fidelity import distribution_fidelity
+from repro.artifacts.metrics import register_metrics
 from repro.device.backend import NoisyBackend
 from repro.device.device_model import DeviceModel
 from repro.exceptions import ExperimentError
@@ -119,3 +120,16 @@ def run_fig2(
             )
         )
     return result
+
+
+@register_metrics(Fig2Result)
+def fig2_artifact_metrics(result: Fig2Result) -> dict:
+    """Artifact metrics for Fig. 2: per-message accuracy/fidelity + averages."""
+    metrics = {
+        "average_fidelity": result.average_fidelity,
+        "minimum_accuracy": result.minimum_accuracy,
+    }
+    for panel in result.panels:
+        metrics[f"accuracy_{panel.message}"] = panel.accuracy
+        metrics[f"fidelity_{panel.message}"] = panel.fidelity_to_ideal
+    return metrics

@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 from repro.analysis.accuracy import AccuracyPoint, crossing_eta, exponential_decay_fit
 from repro.analysis.fidelity import distribution_fidelity
+from repro.artifacts.metrics import register_metrics
 from repro.device.backend import NoisyBackend
 from repro.device.calibration import (
     GateCalibration,
@@ -240,3 +241,13 @@ def run_fig3(
         gate_error_multiplier=gate_error_multiplier,
         points=list(swept.values),
     )
+
+
+@register_metrics(Fig3Result)
+def fig3_artifact_metrics(result: Fig3Result) -> dict:
+    """Artifact metrics for Fig. 3: the accuracy-vs-η series and its crossing."""
+    return {
+        "etas": list(result.etas),
+        "accuracies": list(result.accuracies),
+        "crossing_eta_60pct": result.crossing(),
+    }

@@ -44,6 +44,7 @@ from repro.analysis.security import (
     sessions_for_detection,
     tradeoff_frontier,
 )
+from repro.artifacts.metrics import register_metrics
 from repro.attacks.detection import AttackEvaluation, evaluate_attack
 from repro.attacks.scenarios import AttackScenario, ScenarioSchedule, get_scenario
 from repro.channel.quantum_channel import (
@@ -426,3 +427,20 @@ def run_fig_security(
     if frontier_candidates:
         result.frontier = tradeoff_frontier(frontier_candidates)
     return result
+
+
+@register_metrics(SecurityStudyResult)
+def security_artifact_metrics(result: SecurityStudyResult) -> dict:
+    """Artifact metrics for ``fig_security``: detection grid + CHSH bounds."""
+    metrics: dict = {
+        "honest_false_alarm_rate": result.honest_false_alarm_rate,
+    }
+    for point in result.points:
+        metrics[f"detect.{point.name}"] = point.detection_rate
+        if point.roc is not None:
+            metrics[f"auc.{point.name}"] = point.roc.auc
+        if point.information_gain is not None:
+            metrics[f"info.{point.name}"] = point.information_gain
+    if result.chsh_bound:
+        metrics["chsh_epsilon_95"] = result.chsh_bound.get("epsilon_95")
+    return metrics

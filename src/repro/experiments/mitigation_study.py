@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+from repro.artifacts.metrics import register_metrics
 from repro.device.backend import NoisyBackend
 from repro.device.device_model import DeviceModel
 from repro.exceptions import ExperimentError
@@ -137,3 +138,17 @@ def run_mitigation_study(
             )
         )
     return result
+
+
+@register_metrics(MitigationStudyResult)
+def mitigation_artifact_metrics(result: MitigationStudyResult) -> dict:
+    """Artifact metrics for the mitigation study: per-η accuracies + gains."""
+    metrics = {
+        "readout_gain": result.improvement("readout"),
+        "zne_gain": result.improvement("zne"),
+    }
+    for point in result.points:
+        metrics[f"raw_accuracy_eta{point.eta}"] = point.raw_accuracy
+        metrics[f"readout_accuracy_eta{point.eta}"] = point.readout_mitigated_accuracy
+        metrics[f"zne_accuracy_eta{point.eta}"] = point.zne_accuracy
+    return metrics

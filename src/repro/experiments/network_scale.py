@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.artifacts.metrics import register_metrics
 from repro.attacks.intercept_resend import InterceptResendAttack
 from repro.exceptions import ExperimentError
 from repro.network.metrics import NetworkResult
@@ -133,3 +134,25 @@ def run_network_scale(
         executor=executor,
         max_workers=max_workers,
     )
+
+
+@register_metrics(NetworkResult)
+def network_artifact_metrics(result: NetworkResult) -> dict:
+    """Artifact metrics for network simulations: traffic, latency, quality."""
+    return {
+        "num_sessions": result.num_sessions,
+        "delivered": result.delivered_count,
+        "delivered_with_errors": result.count("delivered_with_errors"),
+        "aborted": result.aborted_count,
+        "rejected": result.rejected_count,
+        "throughput_sessions_per_s": result.throughput_sessions,
+        "throughput_bits_per_s": result.throughput_bits,
+        "sim_time_s": result.sim_time,
+        "mean_latency_s": result.mean_latency,
+        "mean_wait_s": result.mean_wait,
+        "abort_rate": result.abort_rate,
+        "rejection_rate": result.rejection_rate,
+        "mean_qber": result.mean_qber,
+        "mean_chsh": result.mean_chsh,
+        "mean_hops": result.mean_hops,
+    }

@@ -9,6 +9,7 @@ full-scale reproductions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
@@ -45,10 +46,25 @@ class Experiment:
     quick_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def run(self, quick: bool = True, **overrides: Any) -> Any:
-        """Execute the experiment (quick-sized by default)."""
+        """Execute the experiment (quick-sized by default).
+
+        Every execution through this path also emits a versioned
+        :class:`~repro.artifacts.schema.RunArtifact` (params, seeds, timing,
+        metrics, environment) via :mod:`repro.artifacts.capture` — retrieve
+        it with ``last_artifact(experiment_id)`` or ``capture_artifacts()``,
+        or set ``REPRO_ARTIFACT_DIR`` to have it written to disk.
+        """
+        from repro.artifacts.capture import record_experiment_run
+
         kwargs = dict(self.quick_kwargs) if quick else {}
         kwargs.update(overrides)
-        return self.runner(**kwargs)
+        start = time.perf_counter()
+        result = self.runner(**kwargs)
+        duration = time.perf_counter() - start
+        record_experiment_run(
+            self, kwargs=kwargs, result=result, duration=duration, quick=quick
+        )
+        return result
 
 
 def register(experiment: Experiment) -> Experiment:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.artifacts.metrics import register_metrics
 from repro.baselines.comparison import (
     FunctionalComparison,
     render_table1,
@@ -79,3 +80,24 @@ def run_table1(
             max_workers=max_workers,
         )
     return result
+
+
+@register_metrics(Table1Result)
+def table1_artifact_metrics(result: Table1Result) -> dict:
+    """Artifact metrics for Table I: the headline claim + functional outcomes."""
+    metrics = {
+        "num_rows": len(result.features),
+        "only_proposed_has_authentication": result.only_proposed_has_authentication,
+        "baselines_delivered": None,
+        "proposed_success": None,
+    }
+    if result.functional is not None:
+        metrics["baselines_delivered"] = sum(
+            1
+            for delivered in result.functional.baseline_results
+            if delivered.message_delivered_correctly()
+        )
+        metrics["proposed_success"] = bool(
+            result.functional.proposed_result_summary.get("success")
+        )
+    return metrics

@@ -1,0 +1,206 @@
+"""Tests for bootstrap CIs and the compare_trajectories regression verdicts."""
+
+import math
+
+import pytest
+
+from repro.analysis.regression import (
+    BenchmarkVerdict,
+    bootstrap_ci,
+    bootstrap_ratio_ci,
+    compare_trajectories,
+    effect_table,
+)
+from repro.artifacts.trajectory import BenchmarkRecord, Trajectory
+from repro.exceptions import ReproError
+
+
+def trajectory(label, **benches):
+    """Build a trajectory from ``name=(samples, metrics)`` keyword pairs."""
+    result = Trajectory(label=label, environment={"python": "3.11"})
+    for name, (samples, metrics) in benches.items():
+        result.add(BenchmarkRecord(name=name, samples=list(samples), metrics=metrics))
+    return result
+
+
+class TestBootstrapCI:
+    def test_single_sample_is_degenerate(self):
+        assert bootstrap_ci([0.25]) == (0.25, 0.25)
+
+    def test_interval_brackets_the_mean(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.01]
+        low, high = bootstrap_ci(samples, seed=1)
+        mean = sum(samples) / len(samples)
+        assert low <= mean <= high
+        assert low < high
+
+    def test_deterministic_for_fixed_seed(self):
+        # Irregular samples so the percentile endpoints are seed-sensitive
+        # (on tiny symmetric data different seeds can coincide).
+        samples = [0.013, 0.021, 0.008, 0.034, 0.055, 0.013, 0.089, 0.002, 0.144, 0.031]
+        assert bootstrap_ci(samples, seed=7) == bootstrap_ci(samples, seed=7)
+        assert bootstrap_ci(samples, seed=0) != bootstrap_ci(samples, seed=1)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_ratio_ci_degenerate_on_two_singletons(self):
+        assert bootstrap_ratio_ci([2.0], [4.0]) == (2.0, 2.0)
+
+    def test_ratio_ci_brackets_point_ratio(self):
+        base = [1.0, 1.1, 0.9, 1.0]
+        cur = [2.0, 2.2, 1.8, 2.0]
+        low, high = bootstrap_ratio_ci(base, cur, seed=3)
+        assert low <= 2.0 <= high
+
+
+class TestCompareTrajectories:
+    def test_identical_trajectories_pass(self):
+        base = trajectory("b", x=([0.1], {"m": 1.0}))
+        comparison = compare_trajectories(base, base)
+        assert comparison.ok
+        assert comparison.verdicts[0].status == "unchanged"
+
+    def test_empty_baseline_all_new_passes(self):
+        base = trajectory("b")
+        cur = trajectory("c", x=([0.1], {}), y=([0.2], {}))
+        comparison = compare_trajectories(base, cur)
+        assert comparison.ok
+        assert {v.status for v in comparison.verdicts} == {"new"}
+        assert len(comparison.by_status("new")) == 2
+
+    def test_both_empty_passes(self):
+        comparison = compare_trajectories(trajectory("b"), trajectory("c"))
+        assert comparison.ok and not comparison.verdicts
+
+    def test_new_benchmark_appearing_is_not_a_failure(self):
+        base = trajectory("b", x=([0.1], {}))
+        cur = trajectory("c", x=([0.1], {}), fresh=([0.5], {}))
+        comparison = compare_trajectories(base, cur)
+        assert comparison.ok
+        assert comparison.by_status("new")[0].name == "fresh"
+
+    def test_disappearing_benchmark_fails_by_default(self):
+        base = trajectory("b", x=([0.1], {}), gone=([0.2], {}))
+        cur = trajectory("c", x=([0.1], {}))
+        comparison = compare_trajectories(base, cur)
+        assert not comparison.ok
+        assert comparison.by_status("removed")[0].name == "gone"
+        relaxed = compare_trajectories(base, cur, allow_missing=True)
+        assert relaxed.ok
+
+    def test_two_times_regression_fails(self):
+        base = trajectory("b", x=([0.1], {}))
+        cur = trajectory("c", x=([0.2], {}))
+        comparison = compare_trajectories(base, cur, timing_threshold=1.5)
+        assert not comparison.ok
+        verdict = comparison.verdicts[0]
+        assert verdict.status == "regressed"
+        assert verdict.ratio == pytest.approx(2.0)
+
+    def test_regression_exactly_at_threshold_is_unchanged(self):
+        # 1.5 / 1.0 is exact in binary floats, so this really sits *at* the
+        # threshold; the gate's comparison is strict ("worse than").
+        base = trajectory("b", x=([1.0], {}))
+        cur = trajectory("c", x=([1.5], {}))
+        comparison = compare_trajectories(base, cur, timing_threshold=1.5)
+        assert comparison.ok
+        assert comparison.verdicts[0].status == "unchanged"
+        # ...and marginally beyond it regresses
+        beyond = trajectory("c", x=([1.5000015], {}))
+        assert not compare_trajectories(base, beyond, timing_threshold=1.5).ok
+
+    def test_symmetric_improvement_detected(self):
+        base = trajectory("b", x=([0.2], {}))
+        cur = trajectory("c", x=([0.05], {}))
+        comparison = compare_trajectories(base, cur)
+        assert comparison.ok
+        assert comparison.verdicts[0].status == "improved"
+
+    def test_noisy_multi_sample_regression_needs_ci_support(self):
+        # Point ratio exceeds the threshold but the samples overlap so much
+        # that the bootstrap CI straddles 1.0: the CI-aware gate holds fire.
+        base = trajectory("b", x=([0.1, 0.4, 0.1, 0.4], {}))
+        cur = trajectory("c", x=([0.45, 0.1, 0.45, 0.1, 0.45, 0.35], {}))
+        comparison = compare_trajectories(base, cur, timing_threshold=1.1)
+        verdict = comparison.verdicts[0]
+        assert verdict.ratio > 1.1
+        assert verdict.ratio_ci[0] < 1.0
+        assert verdict.status == "unchanged"
+
+    def test_metric_drift_fails_even_when_timing_unchanged(self):
+        base = trajectory("b", x=([0.1], {"accuracy": 0.95}))
+        cur = trajectory("c", x=([0.1], {"accuracy": 0.90}))
+        comparison = compare_trajectories(base, cur)
+        assert not comparison.ok
+        assert comparison.verdicts[0].drifted_metrics == {"accuracy": (0.95, 0.90)}
+
+    def test_metric_added_or_removed_counts_as_drift(self):
+        base = trajectory("b", x=([0.1], {"accuracy": 0.95}))
+        cur = trajectory("c", x=([0.1], {}))
+        assert not compare_trajectories(base, cur).ok
+
+    def test_float_noise_within_tolerance_is_not_drift(self):
+        base = trajectory("b", x=([0.1], {"accuracy": 0.95}))
+        cur = trajectory("c", x=([0.1], {"accuracy": 0.95 * (1 + 1e-12)}))
+        assert compare_trajectories(base, cur).ok
+
+    def test_nan_and_none_metrics_compare_equal_to_themselves(self):
+        base = trajectory("b", x=([0.1], {"nan": math.nan, "none": None}))
+        cur = trajectory("c", x=([0.1], {"nan": math.nan, "none": None}))
+        assert compare_trajectories(base, cur).ok
+        drifted = trajectory("c", x=([0.1], {"nan": 1.0, "none": None}))
+        assert not compare_trajectories(base, drifted).ok
+
+    def test_series_metrics_compare_elementwise(self):
+        base = trajectory("b", x=([0.1], {"series": [1.0, 2.0, 3.0]}))
+        same = trajectory("c", x=([0.1], {"series": [1.0, 2.0, 3.0]}))
+        longer = trajectory("c", x=([0.1], {"series": [1.0, 2.0, 3.0, 4.0]}))
+        changed = trajectory("c", x=([0.1], {"series": [1.0, 2.5, 3.0]}))
+        assert compare_trajectories(base, same).ok
+        assert not compare_trajectories(base, longer).ok
+        assert not compare_trajectories(base, changed).ok
+
+    def test_threshold_must_exceed_one(self):
+        base = trajectory("b", x=([0.1], {}))
+        with pytest.raises(ReproError):
+            compare_trajectories(base, base, timing_threshold=1.0)
+
+    def test_environment_difference_is_flagged(self):
+        base = trajectory("b", x=([0.1], {}))
+        cur = trajectory("c", x=([0.1], {}))
+        cur.environment = {"python": "3.12"}
+        comparison = compare_trajectories(base, cur)
+        assert comparison.environments_differ
+        assert "environments differ" in effect_table(comparison)
+
+
+class TestEffectTable:
+    def test_renders_all_verdicts_and_gate(self):
+        base = trajectory("b", slow=([0.1], {"m": 1.0}), gone=([0.2], {}))
+        cur = trajectory(
+            "c", slow=([0.3], {"m": 2.0}), fresh=([0.1], {})
+        )
+        comparison = compare_trajectories(base, cur)
+        table = effect_table(comparison)
+        assert "regressed" in table and "new" in table and "removed" in table
+        assert "METRICS DRIFTED" in table
+        assert "drift m: 1.0 -> 2.0" in table
+        assert "gate: FAIL" in table
+
+    def test_pass_summary(self):
+        base = trajectory("b", x=([0.1], {}))
+        table = effect_table(compare_trajectories(base, base))
+        assert "gate: PASS" in table
+
+    def test_verdicts_serialise(self):
+        base = trajectory("b", x=([0.1], {}))
+        data = compare_trajectories(base, base).to_dict()
+        assert data["ok"] is True
+        assert data["verdicts"][0]["status"] == "unchanged"
+        assert isinstance(compare_trajectories(base, base).verdicts[0], BenchmarkVerdict)

@@ -1,0 +1,100 @@
+"""Determinism and emission tests for the registry's artifact pipeline.
+
+The load-bearing property: running any registered experiment twice in quick
+mode with its default seeds produces **byte-identical** canonical artifact
+payloads (params, seeds, metrics) once the environment/timing fields are
+stripped.  This is the contract that makes committed artifact metrics
+comparable across PRs and machines — the regression gate builds on it.
+"""
+
+import pytest
+
+from repro.artifacts import capture_artifacts, has_extractor, last_artifact
+from repro.artifacts.schema import RunArtifact
+from repro.experiments.registry import get_experiment, list_experiments
+
+EXPERIMENT_IDS = [experiment.experiment_id for experiment in list_experiments()]
+
+
+@pytest.fixture(scope="module")
+def artifact_pairs():
+    """Run every registered experiment twice (quick mode), capturing artifacts."""
+    pairs = {}
+    for experiment in list_experiments():
+        with capture_artifacts() as sink:
+            experiment.run(quick=True)
+            experiment.run(quick=True)
+        pairs[experiment.experiment_id] = (sink[0], sink[1])
+    return pairs
+
+
+class TestArtifactDeterminism:
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_quick_rerun_is_byte_identical(self, artifact_pairs, experiment_id):
+        first, second = artifact_pairs[experiment_id]
+        assert first.canonical_json() == second.canonical_json()
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_every_experiment_has_registered_metrics(self, artifact_pairs, experiment_id):
+        artifact, _ = artifact_pairs[experiment_id]
+        assert artifact.metrics, f"{experiment_id} produced an empty metrics dict"
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_seeds_are_surfaced(self, artifact_pairs, experiment_id):
+        artifact, _ = artifact_pairs[experiment_id]
+        assert artifact.seeds, f"{experiment_id} surfaced no seeds"
+        for name, value in artifact.seeds.items():
+            assert artifact.params[name] == value
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_artifact_shape(self, artifact_pairs, experiment_id):
+        artifact, _ = artifact_pairs[experiment_id]
+        assert artifact.experiment_id == experiment_id
+        assert artifact.mode == "quick"
+        assert artifact.timings["run"] > 0
+        assert artifact.environment["python"]
+        # the JSON form round-trips losslessly
+        restored = RunArtifact.from_json(artifact.to_json())
+        assert restored.canonical_json() == artifact.canonical_json()
+
+
+class TestEmissionPlumbing:
+    def test_params_include_signature_defaults(self, artifact_pairs):
+        artifact, _ = artifact_pairs["e2e"]
+        # quick_kwargs override num_sessions/message_length; eta/seed come
+        # from run_end_to_end's signature defaults.
+        assert artifact.params["num_sessions"] == 3
+        assert artifact.params["eta"] == 10
+        assert artifact.seeds == {"seed": 42}
+
+    def test_last_artifact_tracks_most_recent(self):
+        experiment = get_experiment("atk-leakage")
+        experiment.run(quick=True)
+        first = last_artifact("atk-leakage")
+        experiment.run(quick=True, sessions_per_message=4)
+        second = last_artifact("atk-leakage")
+        assert first is not None and second is not None
+        assert second.params["sessions_per_message"] == 4
+        assert first.params["sessions_per_message"] == 6
+
+    def test_extractors_cover_all_registered_results(self, artifact_pairs):
+        # has_extractor needs a result instance for type dispatch; the
+        # experiment-id fallback covers list-shaped results.
+        for experiment in list_experiments():
+            artifact, _ = artifact_pairs[experiment.experiment_id]
+            assert artifact.metrics or has_extractor(None, experiment.experiment_id)
+
+    def test_artifact_dir_env_writes_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+        get_experiment("atk-leakage").run(quick=True)
+        written = tmp_path / "artifacts" / "atk-leakage.json"
+        assert written.exists()
+        assert RunArtifact.read(written).experiment_id == "atk-leakage"
+
+    def test_capture_is_scoped(self):
+        with capture_artifacts() as outer:
+            get_experiment("atk-leakage").run(quick=True)
+            with capture_artifacts() as inner:
+                get_experiment("atk-leakage").run(quick=True)
+        assert len(outer) == 2
+        assert len(inner) == 1

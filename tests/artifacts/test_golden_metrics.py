@@ -1,0 +1,63 @@
+"""Golden-fixture pins for quick-mode run-artifact payloads.
+
+``tests/fixtures/artifact_metrics_quick.json`` extends the golden e2e pins
+to the artifact layer: for *every* registered experiment it pins the
+canonical payload (params, seeds, metrics) the registry emits in quick
+mode.  A refactor that drifts a numeric result, renames a metric, changes
+a default parameter, or stops surfacing a seed fails here loudly.
+
+For an intentional change, regenerate with
+``PYTHONPATH=src python tests/fixtures/regenerate_artifact_metrics_quick.py``
+and justify the diff in review.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.artifacts.schema import canonical_dumps
+from repro.experiments.registry import list_experiments
+
+FIXTURE_PATH = Path(__file__).parent.parent / "fixtures" / "artifact_metrics_quick.json"
+
+EXPERIMENT_IDS = [experiment.experiment_id for experiment in list_experiments()]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with FIXTURE_PATH.open() as handle:
+        return json.load(handle)["artifacts"]
+
+
+@pytest.fixture(scope="module")
+def current():
+    import sys
+
+    sys.path.insert(0, str(FIXTURE_PATH.parent))
+    try:
+        from regenerate_artifact_metrics_quick import build_fixture
+    finally:
+        sys.path.pop(0)
+    return build_fixture()["artifacts"]
+
+
+class TestGoldenArtifactMetrics:
+    def test_fixture_covers_every_registered_experiment(self, golden):
+        assert sorted(golden) == sorted(EXPERIMENT_IDS)
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_canonical_payload_exact(self, golden, current, experiment_id):
+        # canonical_dumps normalises the JSON round-trip (tuples vs lists,
+        # non-finite markers) so pinned and fresh payloads compare byte-wise.
+        assert canonical_dumps(current[experiment_id]) == canonical_dumps(
+            golden[experiment_id]
+        ), f"{experiment_id} artifact payload drifted from the golden fixture"
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_pinned_payload_shape(self, golden, experiment_id):
+        payload = golden[experiment_id]
+        assert payload["experiment_id"] == experiment_id
+        assert payload["mode"] == "quick"
+        assert payload["metrics"], f"{experiment_id} pinned an empty metrics dict"
+        assert payload["seeds"], f"{experiment_id} pinned no seeds"

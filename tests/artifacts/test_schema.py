@@ -1,0 +1,135 @@
+"""Unit tests for the RunArtifact schema and the canonical JSON encoding."""
+
+import json
+import math
+
+import pytest
+
+from repro.artifacts.schema import (
+    SCHEMA_VERSION,
+    ArtifactSchemaError,
+    RunArtifact,
+    canonical_dumps,
+    canonical_loads,
+    check_schema_version,
+    schema_major,
+    to_jsonable,
+)
+
+
+def make_artifact(**overrides):
+    fields = dict(
+        experiment_id="e2e",
+        mode="quick",
+        params={"num_sessions": 3, "seed": 42, "messages": ("00", "11")},
+        seeds={"seed": 42},
+        timings={"run": 0.123},
+        metrics={"ideal_delivery_rate": 1.0, "crossing": None},
+        environment={"python": "3.11", "numpy": "2.0"},
+    )
+    fields.update(overrides)
+    return RunArtifact(**fields)
+
+
+class TestCanonicalEncoding:
+    def test_deterministic_key_order(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_tuples_and_numpy_normalise(self):
+        np = pytest.importorskip("numpy")
+        assert canonical_dumps((1, 2)) == canonical_dumps([1, 2])
+        assert canonical_dumps(np.int64(3)) == canonical_dumps(3)
+        assert canonical_dumps(np.array([1.5, 2.5])) == canonical_dumps([1.5, 2.5])
+
+    def test_nonfinite_floats_are_strict_json(self):
+        text = canonical_dumps({"a": math.nan, "b": math.inf, "c": -math.inf})
+        json.loads(text)  # must be parseable by a strict reader
+        decoded = canonical_loads(text)
+        assert math.isnan(decoded["a"])
+        assert decoded["b"] == math.inf
+        assert decoded["c"] == -math.inf
+
+    def test_marker_collision_escapes(self):
+        payload = {"$nonfinite": "nan", "other": 1}
+        assert canonical_loads(canonical_dumps(payload)) == payload
+        exact_marker = {"$nonfinite": "nan"}
+        assert canonical_loads(canonical_dumps(exact_marker)) == exact_marker
+
+    def test_unknown_objects_degrade_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert canonical_loads(canonical_dumps({"x": Weird()})) == {"x": "<weird>"}
+
+    def test_non_string_keys_are_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_invalid_json_raises_schema_error(self):
+        with pytest.raises(ArtifactSchemaError):
+            canonical_loads("not json {")
+
+
+class TestSchemaVersioning:
+    def test_current_version_accepted(self):
+        assert check_schema_version(SCHEMA_VERSION) == SCHEMA_VERSION
+
+    def test_same_major_other_minor_accepted(self):
+        major = schema_major(SCHEMA_VERSION)
+        assert check_schema_version(f"{major}.99") == f"{major}.99"
+
+    @pytest.mark.parametrize("version", ["2.0", "0.9", "99.1"])
+    def test_unknown_major_rejected(self, version):
+        with pytest.raises(ArtifactSchemaError, match="unsupported artifact schema"):
+            check_schema_version(version)
+
+    @pytest.mark.parametrize("version", ["", "x.y", "one"])
+    def test_unparseable_version_rejected(self, version):
+        with pytest.raises(ArtifactSchemaError):
+            check_schema_version(version)
+
+    def test_from_dict_rejects_unknown_major(self):
+        data = make_artifact().to_dict()
+        data["schema_version"] = "2.0"
+        with pytest.raises(ArtifactSchemaError):
+            RunArtifact.from_dict(data)
+
+    def test_from_dict_rejects_wrong_kind(self):
+        data = make_artifact().to_dict()
+        data["kind"] = "trajectory"
+        with pytest.raises(ArtifactSchemaError):
+            RunArtifact.from_dict(data)
+
+
+class TestRunArtifact:
+    def test_json_round_trip(self):
+        artifact = make_artifact()
+        restored = RunArtifact.from_json(artifact.to_json())
+        assert restored.experiment_id == artifact.experiment_id
+        assert restored.canonical_json() == artifact.canonical_json()
+        # tuples normalise to lists on the way through JSON
+        assert restored.params["messages"] == ["00", "11"]
+
+    def test_canonical_payload_strips_environment_and_timings(self):
+        artifact = make_artifact()
+        payload = artifact.canonical_payload()
+        assert "environment" not in payload
+        assert "timings" not in payload
+        assert payload["metrics"] == to_jsonable(artifact.metrics)
+
+    def test_canonical_json_ignores_host_and_timing_changes(self):
+        one = make_artifact()
+        two = make_artifact(
+            timings={"run": 99.0}, environment={"python": "3.99", "numpy": "9.9"}
+        )
+        assert one.canonical_json() == two.canonical_json()
+
+    def test_canonical_json_sees_metric_changes(self):
+        one = make_artifact()
+        two = make_artifact(metrics={**one.metrics, "ideal_delivery_rate": 0.5})
+        assert one.canonical_json() != two.canonical_json()
+
+    def test_write_and_read(self, tmp_path):
+        artifact = make_artifact()
+        target = artifact.write(tmp_path / "deep" / "artifact.json")
+        assert RunArtifact.read(target).canonical_json() == artifact.canonical_json()

@@ -1,0 +1,114 @@
+"""Property-based tests (Hypothesis) for RunArtifact JSON round-trips.
+
+Deterministic by construction (``derandomize=True``): Hypothesis replays the
+same example set every run, so a CI pass is a stable pass.
+
+The schema's contract under test: *any* params/metrics payload built from
+JSON-ish values — including NaN/±inf floats, nested containers, and keys
+that collide with the encoder's own marker objects — survives
+``to_json``/``from_json`` with canonical-JSON equality, and unknown schema
+majors are always rejected.
+"""
+
+import json
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artifacts.schema import (
+    SCHEMA_VERSION,
+    ArtifactSchemaError,
+    RunArtifact,
+    canonical_dumps,
+    canonical_loads,
+    schema_major,
+)
+
+SETTINGS = settings(max_examples=100, deadline=None, derandomize=True)
+
+#: Scalar leaves, explicitly including the floats JSON cannot express.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.text(max_size=20),
+)
+
+#: Keys biased towards the encoder's own marker names to hunt collisions.
+keys = st.one_of(st.text(max_size=12), st.sampled_from(["$nonfinite", "$escape", ""]))
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+payload_dicts = st.dictionaries(keys, values, max_size=5)
+
+
+def build(params, metrics, seed):
+    return RunArtifact(
+        experiment_id="prop",
+        mode="quick",
+        params=params,
+        seeds={"seed": seed},
+        timings={"run": 0.5},
+        metrics=metrics,
+        environment={"python": "x"},
+    )
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(params=payload_dicts, metrics=payload_dicts, seed=st.integers(0, 2**31))
+    def test_json_round_trip_is_canonical_identity(self, params, metrics, seed):
+        artifact = build(params, metrics, seed)
+        text = artifact.to_json()
+        json.loads(text)  # strict JSON: no NaN/Infinity literals
+        restored = RunArtifact.from_json(text)
+        assert restored.canonical_json() == artifact.canonical_json()
+
+    @SETTINGS
+    @given(params=payload_dicts, metrics=payload_dicts, seed=st.integers(0, 2**31))
+    def test_second_round_trip_is_stable(self, params, metrics, seed):
+        artifact = build(params, metrics, seed)
+        once = RunArtifact.from_json(artifact.to_json())
+        twice = RunArtifact.from_json(once.to_json())
+        assert once.to_json() == twice.to_json()
+
+    @SETTINGS
+    @given(value=values)
+    def test_canonical_value_round_trip(self, value):
+        text = canonical_dumps(value)
+        json.loads(text)
+        assert canonical_dumps(canonical_loads(text)) == text
+
+    @SETTINGS
+    @given(value=st.floats(allow_nan=True, allow_infinity=True, width=64))
+    def test_every_float_survives(self, value):
+        restored = canonical_loads(canonical_dumps(value))
+        if math.isnan(value):
+            assert math.isnan(restored)
+        else:
+            assert restored == value
+
+
+class TestSchemaRejection:
+    @SETTINGS
+    @given(major=st.integers(min_value=0, max_value=999), minor=st.integers(0, 99))
+    def test_unknown_majors_always_rejected(self, major, minor):
+        data = build({}, {}, 0).to_dict()
+        data["schema_version"] = f"{major}.{minor}"
+        if major == schema_major(SCHEMA_VERSION):
+            assert RunArtifact.from_dict(data).schema_version == f"{major}.{minor}"
+        else:
+            with pytest.raises(ArtifactSchemaError):
+                RunArtifact.from_dict(data)

@@ -1,0 +1,86 @@
+"""Unit tests for benchmark trajectory files."""
+
+import math
+
+import pytest
+
+from repro.artifacts.schema import ArtifactSchemaError
+from repro.artifacts.trajectory import MAX_STORED_SAMPLES, BenchmarkRecord, Trajectory
+
+
+def make_record(name="bench::a", samples=(0.1, 0.2), **overrides):
+    fields = dict(name=name, samples=list(samples), metrics={"accuracy": 0.9}, info={"backend": "auto"})
+    fields.update(overrides)
+    return BenchmarkRecord(**fields)
+
+
+class TestBenchmarkRecord:
+    def test_statistics(self):
+        record = make_record(samples=[0.1, 0.3])
+        assert record.mean_time == pytest.approx(0.2)
+        assert record.min_time == pytest.approx(0.1)
+        assert record.rounds == 2
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ArtifactSchemaError, match="no timing samples"):
+            make_record(samples=[])
+
+    def test_round_trip(self):
+        record = make_record()
+        restored = BenchmarkRecord.from_dict(record.to_dict())
+        assert restored == record
+
+    def test_subsampling_caps_stored_samples(self):
+        samples = [1.0 + i / 1000 for i in range(1000)]
+        record = make_record(samples=samples)
+        assert len(record.samples) == MAX_STORED_SAMPLES
+        assert record.rounds == 1000
+        # the quantile subsample preserves the extremes and the location
+        assert record.samples[0] == min(samples)
+        assert record.samples[-1] == max(samples)
+        assert record.mean_time == pytest.approx(sum(samples) / len(samples), rel=1e-3)
+
+    def test_subsampling_is_deterministic(self):
+        samples = list(reversed([float(i) for i in range(500)]))
+        assert make_record(samples=samples).samples == make_record(samples=samples).samples
+
+
+class TestTrajectory:
+    def test_round_trip(self):
+        trajectory = Trajectory(label="BENCH_6", environment={"python": "3.11"})
+        trajectory.add(make_record("bench::b"))
+        trajectory.add(make_record("bench::a"))
+        restored = Trajectory.from_json(trajectory.to_json())
+        assert restored.label == "BENCH_6"
+        assert restored.environment == {"python": "3.11"}
+        # records serialise sorted by name
+        assert restored.names() == ["bench::a", "bench::b"]
+        assert restored.get("bench::b") == trajectory.get("bench::b")
+
+    def test_duplicate_names_rejected(self):
+        trajectory = Trajectory(label="x")
+        trajectory.add(make_record("bench::a"))
+        with pytest.raises(ArtifactSchemaError, match="duplicate"):
+            trajectory.add(make_record("bench::a"))
+
+    def test_unknown_major_rejected(self):
+        data = Trajectory(label="x").to_dict()
+        data["schema_version"] = "9.0"
+        with pytest.raises(ArtifactSchemaError):
+            Trajectory.from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = Trajectory(label="x").to_dict()
+        data["kind"] = "run_artifact"
+        with pytest.raises(ArtifactSchemaError):
+            Trajectory.from_dict(data)
+
+    def test_write_and_read(self, tmp_path):
+        trajectory = Trajectory(label="t", records=[make_record()])
+        target = trajectory.write(tmp_path / "t.json")
+        assert Trajectory.read(target).to_json() == trajectory.to_json()
+
+    def test_nan_metrics_survive(self):
+        trajectory = Trajectory(label="t", records=[make_record(metrics={"x": math.nan})])
+        restored = Trajectory.from_json(trajectory.to_json())
+        assert math.isnan(restored.records[0].metrics["x"])

@@ -1,0 +1,45 @@
+"""Regenerate the golden quick-mode artifact-metrics fixture.
+
+Pins the canonical payload (params, seeds, metrics) of the run artifact
+every registered experiment emits in quick mode.  Run only for an
+*intentional, reviewed* change to an experiment's parameters, seeds, or
+registered metric extractor::
+
+    PYTHONPATH=src python tests/fixtures/regenerate_artifact_metrics_quick.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def build_fixture() -> dict:
+    from repro.artifacts import capture_artifacts
+    from repro.experiments.registry import list_experiments
+
+    payloads = {}
+    with capture_artifacts() as sink:
+        for experiment in list_experiments():
+            experiment.run(quick=True)
+    for artifact in sink:
+        payloads[artifact.experiment_id] = artifact.canonical_payload()
+    return {
+        "_comment": (
+            "Golden quick-mode run-artifact canonical payloads (params, "
+            "seeds, metrics) for every registered experiment. Regenerate "
+            "ONLY for an intentional, reviewed change: PYTHONPATH=src "
+            "python tests/fixtures/regenerate_artifact_metrics_quick.py"
+        ),
+        "artifacts": payloads,
+    }
+
+
+FIXTURE_PATH = Path(__file__).parent / "artifact_metrics_quick.json"
+
+
+if __name__ == "__main__":
+    with FIXTURE_PATH.open("w") as handle:
+        json.dump(build_fixture(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE_PATH}")
