@@ -32,6 +32,7 @@ from repro.api.fragmentation import derive_seed
 from repro.api.report import AttemptRecord
 from repro.exceptions import ConfigurationError
 from repro.protocol.runner import UADIQSDCProtocol
+from repro.telemetry import runtime as telemetry
 from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits
 from repro.utils.rng import as_rng
 
@@ -104,7 +105,14 @@ def _execute_fragment(job: FragmentJob, config: Any) -> FragmentDelivery:
     if config.attack_factory is not None:
         attack_rng = as_rng(derive_seed(job.seed, stream="attack"))
         attack = config.attack_factory(job.index, job.attempt, attack_rng)
-    result = UADIQSDCProtocol(protocol_config, attack=attack).run(job.bits)
+    with telemetry.span(
+        "service.fragment_attempt",
+        "service",
+        {"fragment": job.index, "attempt": job.attempt},
+    ) as span:
+        telemetry.counter_inc("service.fragment_attempts")
+        result = UADIQSDCProtocol(protocol_config, attack=attack).run(job.bits)
+        span.attributes["success"] = result.success
     return FragmentDelivery(
         job=job,
         success=result.success,

@@ -47,10 +47,14 @@ from repro.api.fragmentation import (
     reassemble,
 )
 from repro.api.report import DeliveryReport, FragmentRecord
+from repro.telemetry import runtime as telemetry
 from repro.utils.bits import Bits
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
 
 __all__ = ["MessagingService"]
+
+_log = get_logger("api.service")
 
 
 class MessagingService:
@@ -109,6 +113,33 @@ class MessagingService:
         else:
             frames = [None]
 
+        with telemetry.span(
+            "service.send",
+            "service",
+            {
+                "backend": backend.name,
+                "fragments": len(frames),
+                "payload_bits": len(payload_bits),
+            },
+        ) as send_span:
+            report = self._deliver(
+                config, backend, payload, payload_bits, resolved_kind, frames, base_seed, to
+            )
+            send_span.attributes["success"] = report.success
+        return report
+
+    def _deliver(
+        self,
+        config: ServiceConfig,
+        backend: Any,
+        payload: Any,
+        payload_bits: Bits,
+        resolved_kind: str,
+        frames: list,
+        base_seed: int,
+        to: "str | None",
+    ) -> DeliveryReport:
+        """The attempt-wave loop of one send (split out to sit inside the span)."""
         records = {
             index: FragmentRecord(
                 index=index,
@@ -142,7 +173,24 @@ class MessagingService:
                 )
                 for index in sorted(pending)
             ]
-            for delivery in backend.deliver(jobs, config):
+            if attempt > 0:
+                telemetry.counter_inc(
+                    "service.retransmissions", len(jobs), backend=backend.name
+                )
+                _log.info(
+                    "retransmitting %d fragment(s) %s attempt=%d (trace_id=%s)",
+                    len(jobs),
+                    sorted(pending),
+                    attempt,
+                    telemetry.current_trace_id(),
+                )
+            with telemetry.span(
+                "service.attempt_wave",
+                "service",
+                {"attempt": attempt, "fragments": len(jobs)},
+            ):
+                deliveries = backend.deliver(jobs, config)
+            for delivery in deliveries:
                 index = delivery.job.index
                 record = delivery.record
                 payload_ok, fragment_bits_out = self._verify(
@@ -153,6 +201,20 @@ class MessagingService:
                 )
                 record.frame_intact = payload_ok
                 records[index].attempts.append(record)
+                if delivery.success and not payload_ok:
+                    # The session delivered bits but the frame failed
+                    # verification (header mismatch or CRC) — the condition
+                    # the crc_failures counter tracks.
+                    telemetry.counter_inc(
+                        "service.crc_failures", backend=backend.name
+                    )
+                    _log.debug(
+                        "fragment %d attempt %d failed frame verification"
+                        " (trace_id=%s)",
+                        index,
+                        attempt,
+                        telemetry.current_trace_id(),
+                    )
                 if payload_ok and fragment_bits_out is not None:
                     delivered_payloads[index] = fragment_bits_out
                     records[index].delivered = True

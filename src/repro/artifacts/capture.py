@@ -102,12 +102,29 @@ def record_experiment_run(
     """Build and publish the artifact for one registry ``run()`` execution."""
     params = _full_params(experiment.runner, kwargs)
     seeds = {name: value for name, value in params.items() if "seed" in name.lower()}
+    timings: dict[str, Any] = {"run": float(duration)}
+    # With a telemetry session active (`--trace` runs), attach the session's
+    # span rollup and metrics snapshot.  They land in `timings`, which is
+    # outside RunArtifact.CANONICAL_FIELDS, so canonical hashes and the
+    # artifact-metric pins are unchanged whether or not tracing was on.
+    from repro.telemetry import runtime as telemetry
+
+    session = telemetry.active_session()
+    if session is not None:
+        from repro.telemetry.export import span_rollup
+
+        document = session.snapshot_document()
+        timings["telemetry"] = {
+            "clock": session.clock.kind,
+            "spans": span_rollup(document),
+            "metrics": document.metrics,
+        }
     artifact = RunArtifact(
         experiment_id=experiment.experiment_id,
         mode="quick" if quick else "full",
         params=params,
         seeds=seeds,
-        timings={"run": float(duration)},
+        timings=timings,
         metrics=extract_metrics(result, experiment.experiment_id),
         environment=environment_fingerprint(),
     )

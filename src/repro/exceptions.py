@@ -28,6 +28,7 @@ __all__ = [
     "AttackError",
     "ExperimentError",
     "NetworkError",
+    "TelemetryError",
 ]
 
 
@@ -110,3 +111,7 @@ class ExperimentError(ReproError):
 
 class NetworkError(ReproError):
     """Invalid network topology, routing request, or scheduler configuration."""
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry usage (bad trace file, malformed export request)."""

@@ -52,10 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="Also write the run's JSON artifact (params, seeds, timings, "
         "metrics, environment) to PATH",
     )
+    run_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="Enable DEBUG console logging (span-correlated when tracing)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="Capture telemetry during the run and write the trace JSON to "
+        "PATH (inspect with `python -m repro.telemetry`)",
+    )
 
     run_all_parser = subparsers.add_parser("run-all", help="Run every experiment")
     run_all_parser.add_argument(
         "--full", action="store_true", help="Run at full (paper-scale) size"
+    )
+    run_all_parser.add_argument(
+        "--verbose", action="store_true", help="Enable DEBUG console logging"
     )
     return parser
 
@@ -70,10 +85,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{experiment.description}")
         return 0
 
+    if getattr(args, "verbose", False):
+        import logging
+
+        from repro.utils.logging import TRACE_FORMAT, enable_console_logging
+
+        enable_console_logging(logging.DEBUG, fmt=TRACE_FORMAT)
+
     if args.command == "run":
         experiment = get_experiment(args.experiment_id)
-        result = experiment.run(quick=not args.full)
+        if args.trace:
+            from pathlib import Path
+
+            from repro import telemetry
+
+            with telemetry.capture() as session:
+                result = experiment.run(quick=not args.full)
+            target = Path(args.trace)
+            target.write_text(session.document.dumps() + "\n", encoding="utf-8")
+        else:
+            result = experiment.run(quick=not args.full)
         print(render_result(result))
+        if args.trace:
+            print(f"trace written to {args.trace}")
         if args.artifact:
             from repro.artifacts import last_artifact
 

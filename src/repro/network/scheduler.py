@@ -49,7 +49,11 @@ from repro.network.sessions import (
     run_session,
 )
 from repro.network.topology import NetworkTopology
+from repro.telemetry import runtime as telemetry
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
+
+_log = get_logger("network.scheduler")
 
 __all__ = [
     "PoissonTraffic",
@@ -237,11 +241,22 @@ class NetworkScheduler:
         from repro.experiments.sweep import point_seed
 
         traffic_rng = as_rng(point_seed(self.seed, {"stream": "traffic"}))
-        requests = traffic.generate(self.topology, traffic_rng)
-        requests = sorted(requests, key=lambda r: (r.arrival_time, r.session_id))
-        pendings = [self._prepare(request) for request in requests]
-        sim_time = self._reservation_pass(pendings)
-        self._execution_pass(pendings)
+        with telemetry.span(
+            "network.simulate",
+            "network",
+            {"topology": self.topology.name, "executor": self.executor},
+        ):
+            requests = traffic.generate(self.topology, traffic_rng)
+            requests = sorted(requests, key=lambda r: (r.arrival_time, r.session_id))
+            pendings = [self._prepare(request) for request in requests]
+            with telemetry.span("network.reservation", "network"):
+                sim_time = self._reservation_pass(pendings)
+            with telemetry.span(
+                "network.execution",
+                "network",
+                {"admitted": sum(1 for p in pendings if p.admitted)},
+            ):
+                self._execution_pass(pendings)
         return NetworkResult(
             topology_name=self.topology.name,
             num_nodes=self.topology.num_nodes,
@@ -265,6 +280,13 @@ class NetworkScheduler:
             route = self.routing.route(request.source, request.target)
         except NetworkError:
             record.abort_reason = "no_route"
+            telemetry.counter_inc("scheduler.rejections", reason="no_route")
+            _log.debug(
+                "session %d rejected: no route %s -> %s",
+                request.session_id,
+                request.source,
+                request.target,
+            )
             return _Pending(request, record, None, {}, 0.0)
         record.route_nodes = route.nodes
 
@@ -323,6 +345,17 @@ class NetworkScheduler:
         def admit(pending: _Pending, now: float) -> None:
             record = pending.record
             session_id = pending.request.session_id
+            telemetry.counter_inc("scheduler.admitted")
+            telemetry.counter_inc(
+                "scheduler.qubits_reserved", sum(pending.qubits_needed.values())
+            )
+            _log.debug(
+                "session %d admitted at t=%g (queued %g, %d qubits)",
+                session_id,
+                now,
+                now - pending.request.arrival_time,
+                sum(pending.qubits_needed.values()),
+            )
             for name, needed in pending.qubits_needed.items():
                 memories[name].store(session_id, tuple(range(needed)))
             record.start_time = now
@@ -351,10 +384,18 @@ class NetworkScheduler:
                 if not viable(pending):
                     pending.resolved = True
                     pending.record.abort_reason = "insufficient_capacity"
+                    telemetry.counter_inc(
+                        "scheduler.rejections", reason="insufficient_capacity"
+                    )
+                    _log.debug(
+                        "session %d rejected: needs more qubits than any node has",
+                        pending.request.session_id,
+                    )
                 elif fits(pending):
                     admit(pending, now)
                 else:
                     queue.append(pending)
+                    telemetry.observe("scheduler.queue_depth", len(queue))
             elif kind == _COMPLETION:
                 session_id = pending.request.session_id
                 for name in pending.qubits_needed:
@@ -373,6 +414,14 @@ class NetworkScheduler:
             elif kind == _TIMEOUT:
                 pending.resolved = True
                 pending.record.abort_reason = "capacity_timeout"
+                telemetry.counter_inc(
+                    "scheduler.rejections", reason="capacity_timeout"
+                )
+                _log.debug(
+                    "session %d rejected: queued past max_wait=%g",
+                    pending.request.session_id,
+                    self.max_wait,
+                )
                 queue = [waiting for waiting in queue if waiting is not pending]
 
         # With max_wait=None a queued session is always admitted eventually

@@ -34,6 +34,7 @@ from repro.network.routing import Route
 from repro.network.topology import NetworkTopology
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.runner import UADIQSDCProtocol
+from repro.telemetry import runtime as telemetry
 from repro.utils.bits import (
     Bits,
     bits_to_str,
@@ -303,6 +304,29 @@ def run_session(
             f"route {route.nodes} does not serve request "
             f"{request.source!r} -> {request.target!r}"
         )
+    with telemetry.span(
+        "network.session",
+        "network",
+        {
+            "session_id": request.session_id,
+            "source": request.source,
+            "target": request.target,
+            "hops": len(route.nodes) - 1,
+        },
+    ) as span:
+        outcome = _run_hops(topology, route, request, params, seed, hold_time)
+        span.attributes["status"] = outcome.status
+    return outcome
+
+
+def _run_hops(
+    topology: NetworkTopology,
+    route: Route,
+    request: SessionRequest,
+    params: SessionParameters,
+    seed: int,
+    hold_time: float,
+) -> SessionOutcome:
     rng = as_rng(int(seed))
     if request.message is not None:
         message: Bits = bitstring_to_bits(request.message)
@@ -351,7 +375,13 @@ def run_session(
             memory_decoherence=topology.node(sender).memory_decoherence,
             memory_hold_time=hold_time if index == 0 else 0.0,
         )
-        result = UADIQSDCProtocol(config, attack=attack).run(current)
+        with telemetry.span(
+            "network.hop",
+            "network",
+            {"hop": index, "sender": sender, "receiver": receiver},
+        ) as hop_span:
+            result = UADIQSDCProtocol(config, attack=attack).run(current)
+            hop_span.attributes["success"] = result.success
 
         outcome.hop_reports.append(
             HopReport(

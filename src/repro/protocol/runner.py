@@ -40,6 +40,7 @@ from repro.protocol.parties import ALICE_QUBIT, Alice, Bob
 from repro.protocol.results import AbortReason, ProtocolResult
 from repro.protocol.transcript import ProtocolTranscript
 from repro.quantum.density import DensityMatrix
+from repro.telemetry import runtime as telemetry
 from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits, hamming_distance, validate_bits
 from repro.utils.rng import as_rng, derive_rng
 
@@ -65,6 +66,18 @@ class UADIQSDCProtocol:
     # -- public API ----------------------------------------------------------------
     def run(self, message: "str | Bits") -> ProtocolResult:
         """Execute the protocol end to end for the given secret message."""
+        with telemetry.span(
+            "protocol.session",
+            "protocol",
+            {"backend": self.config.simulator_backend},
+        ) as span:
+            result = self._run(message)
+            span.attributes["success"] = result.success
+            if result.abort_reason is not AbortReason.NONE:
+                span.attributes["abort_reason"] = result.abort_reason.value
+        return result
+
+    def _run(self, message: "str | Bits") -> ProtocolResult:
         message_bits = self._coerce_message(message)
         rng = as_rng(self.config.seed)
         alice_rng = derive_rng(rng, "alice")

@@ -18,16 +18,26 @@ from typing import Any
 
 from repro.channel.classical_channel import Announcement, ClassicalChannel
 from repro.protocol.results import PhaseReport
+from repro.telemetry import runtime as telemetry
 
 __all__ = ["ProtocolTranscript"]
 
 
 class ProtocolTranscript:
-    """Ordered record of classical announcements and phase outcomes."""
+    """Ordered record of classical announcements and phase outcomes.
+
+    When a telemetry session is active, every :meth:`record_phase` call also
+    emits a ``phase.<name>`` span covering the work since the previous phase
+    boundary (phase reports are written at the *end* of each phase, so the
+    inter-call gap *is* the phase).  :class:`PhaseReport` and
+    :class:`~repro.protocol.results.ProtocolResult` are unchanged — spans are
+    a parallel, optional record.
+    """
 
     def __init__(self, classical_channel: ClassicalChannel | None = None):
         self.classical_channel = classical_channel or ClassicalChannel()
         self.phases: list[PhaseReport] = []
+        self._phase_mark = telemetry.clock_mark()
 
     # -- classical announcements -----------------------------------------------------
     def announce(self, sender: str, topic: str, payload: Any) -> Announcement:
@@ -44,9 +54,19 @@ class ProtocolTranscript:
 
     # -- phase reports ------------------------------------------------------------------
     def record_phase(self, name: str, passed: bool, **details: Any) -> PhaseReport:
-        """Append a phase report and return it."""
+        """Append a phase report (and, under telemetry, a ``phase.*`` span)."""
         report = PhaseReport(name=name, passed=passed, details=dict(details))
         self.phases.append(report)
+        if telemetry.enabled():
+            mark = self._phase_mark
+            self._phase_mark = telemetry.clock_mark()
+            telemetry.record_span(
+                f"phase.{name}",
+                "phase",
+                start=mark if mark is not None else self._phase_mark,
+                end=self._phase_mark,
+                attributes={"passed": passed},
+            )
         return report
 
     def phase(self, name: str) -> PhaseReport:

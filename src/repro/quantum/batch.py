@@ -232,6 +232,17 @@ class PropagatorCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Telemetry reads these counters at snapshot time (never per access),
+        # so registration is the cache's only telemetry cost.
+        from repro.telemetry.runtime import register_propagator_cache
+
+        register_propagator_cache(self)
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Approximate matrix bytes currently held across all three stores."""
+        return self._bytes
 
     @staticmethod
     def _entry_bytes(entry) -> int:
@@ -256,6 +267,7 @@ class PropagatorCache:
                 if store:
                     _, evicted = store.popitem(last=False)
                     self._bytes -= self._entry_bytes(evicted)
+                    self.evictions += 1
                     break
             else:
                 break
@@ -280,6 +292,7 @@ class PropagatorCache:
         while len(self._circuits) > self.max_entries:
             _, evicted = self._circuits.popitem(last=False)
             self._bytes -= self._entry_bytes(evicted)
+            self.evictions += 1
         self._evict_for_bytes()
 
     # -- step and run-length entries -----------------------------------------------------
@@ -299,6 +312,7 @@ class PropagatorCache:
             while len(self._steps) > 4 * self.max_entries:
                 _, evicted = self._steps.popitem(last=False)
                 self._bytes -= self._entry_bytes(evicted)
+                self.evictions += 1
             self._evict_for_bytes()
         else:
             self._steps.move_to_end(key)
@@ -323,6 +337,7 @@ class PropagatorCache:
             while len(self._powers) > 4 * self.max_entries:
                 _, evicted = self._powers.popitem(last=False)
                 self._bytes -= self._entry_bytes(evicted)
+                self.evictions += 1
             self._evict_for_bytes()
         else:
             self._powers.move_to_end(power_key)

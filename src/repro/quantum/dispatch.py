@@ -45,6 +45,8 @@ from repro.quantum.channels import KrausChannel
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise_model import NoiseModel, QuantumError
 from repro.quantum.operators import I_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX, kron_all
+from repro.telemetry import runtime as telemetry
+from repro.utils.logging import get_logger
 
 __all__ = [
     "BACKEND_CHOICES",
@@ -72,6 +74,20 @@ from repro.quantum.stabilizer import CLIFFORD_GATE_NAMES  # noqa: E402
 _PAULI_1Q = {"I": I_MATRIX, "X": X_MATRIX, "Y": Y_MATRIX, "Z": Z_MATRIX}
 
 _ATOL = 1e-9
+
+_log = get_logger("quantum.dispatch")
+
+
+def _decide(requested: str, backend: str, reason: str) -> DispatchDecision:
+    """Build a decision, counting it and logging auto->dense fallbacks."""
+    telemetry.counter_inc("dispatch.decisions", requested=requested, backend=backend)
+    if requested == "auto" and backend == "dense":
+        _log.debug(
+            "dispatch fallback to dense (trace_id=%s): %s",
+            telemetry.current_trace_id(),
+            reason,
+        )
+    return DispatchDecision(backend, reason)
 
 
 @dataclass(frozen=True)
@@ -218,7 +234,7 @@ def select_backend(
             f"unknown simulator backend {requested!r}; choose from {BACKEND_CHOICES}"
         )
     if requested == "dense":
-        return DispatchDecision("dense", "dense backend requested")
+        return _decide(requested, "dense", "dense backend requested")
     if isinstance(circuits, QuantumCircuit):
         circuits = [circuits]
 
@@ -231,7 +247,7 @@ def select_backend(
             raise SimulationError(
                 f"simulator_backend='stabilizer' was forced but {reason}"
             )
-        return DispatchDecision("dense", reason)
+        return _decide(requested, "dense", reason)
 
     non_pauli = next(
         (
@@ -251,9 +267,11 @@ def select_backend(
                 f"simulator_backend='stabilizer' was forced but {reason}; "
                 "consider pauli_twirl_noise_model() for an explicit approximation"
             )
-        return DispatchDecision("dense", reason)
+        return _decide(requested, "dense", reason)
 
-    return DispatchDecision("stabilizer", "Clifford circuits with Pauli-diagonal noise")
+    return _decide(
+        requested, "stabilizer", "Clifford circuits with Pauli-diagonal noise"
+    )
 
 
 # -- Pauli twirling (explicit approximation) ----------------------------------------------

@@ -45,6 +45,7 @@ from repro.quantum.density import DensityMatrix
 from repro.quantum.noise_model import NoiseModel
 from repro.quantum.operators import Operator
 from repro.quantum.states import Statevector
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -189,6 +190,7 @@ class StatevectorSimulator:
             raise SimulationError(f"shots must be non-negative, got {shots}")
         generator = as_rng(rng) if rng is not None else self._rng
         hits_before, misses_before = self._cache.hits, self._cache.misses
+        mark = telemetry.clock_mark()
         results = []
         for circuit in circuits:
             if (
@@ -212,6 +214,17 @@ class StatevectorSimulator:
                     generator,
                 )
             )
+        telemetry.record_span(
+            "sim.run_batch",
+            "sim",
+            start=mark,
+            attributes={
+                "method": "statevector_batch",
+                "circuits": len(results),
+                "cache_hits": self._cache.hits - hits_before,
+                "cache_misses": self._cache.misses - misses_before,
+            },
+        )
         return BatchResult(
             results=results,
             shots=shots,
@@ -474,6 +487,7 @@ class DensityMatrixSimulator:
             raise SimulationError(f"shots must be non-negative, got {shots}")
         generator = as_rng(rng) if rng is not None else self._rng
         hits_before, misses_before = self._cache.hits, self._cache.misses
+        mark = telemetry.clock_mark()
         results = []
         for circuit in circuits:
             if not StatevectorSimulator._measurements_are_terminal(circuit):
@@ -497,6 +511,17 @@ class DensityMatrixSimulator:
                     generator,
                 )
             )
+        telemetry.record_span(
+            "sim.run_batch",
+            "sim",
+            start=mark,
+            attributes={
+                "method": "density_matrix_batch",
+                "circuits": len(results),
+                "cache_hits": self._cache.hits - hits_before,
+                "cache_misses": self._cache.misses - misses_before,
+            },
+        )
         return BatchResult(
             results=results,
             shots=shots,

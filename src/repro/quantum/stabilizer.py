@@ -53,6 +53,7 @@ from repro.quantum.batch import (
 )
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.simulator import SimulationResult, _format_clbits
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -545,10 +546,22 @@ class StabilizerSimulator:
             raise SimulationError(f"shots must be non-negative, got {shots}")
         generator = as_rng(rng) if rng is not None else self._rng
         hits_before, misses_before = self.cache_hits, self.cache_misses
+        mark = telemetry.clock_mark()
         results = [
             self.run(circuit, shots=shots, initial_state=initial_state, rng=generator)
             for circuit in circuits
         ]
+        telemetry.record_span(
+            "sim.run_batch",
+            "sim",
+            start=mark,
+            attributes={
+                "method": "stabilizer_batch",
+                "circuits": len(results),
+                "cache_hits": self.cache_hits - hits_before,
+                "cache_misses": self.cache_misses - misses_before,
+            },
+        )
         return BatchResult(
             results=results,
             shots=shots,

@@ -1,0 +1,79 @@
+"""Structured telemetry: hierarchical tracing, metrics, and trace export.
+
+The subsystem is zero-dependency (stdlib only) and off by default.  The
+instrumented library calls the no-op-fast helpers in
+:mod:`repro.telemetry.runtime`; enabling capture is one context manager::
+
+    from repro import telemetry
+
+    with telemetry.capture() as session:
+        service.send(b"hello")
+    print(session.document.dumps())
+
+Trace files round-trip through :class:`~repro.telemetry.export.TraceDocument`
+and are inspected with ``python -m repro.telemetry summarize|export|diff``.
+Deterministic traces (for tests and trace diffing across code versions) use
+the tick clock: ``telemetry.capture(clock="ticks")``.
+"""
+
+from repro.telemetry.clock import Clock, TickClock, WallClock, resolve_clock
+from repro.telemetry.export import (
+    TraceDocument,
+    diff_documents,
+    span_rollup,
+    summarize,
+    to_chrome_trace,
+    to_folded_stacks,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import (
+    TelemetrySession,
+    active_session,
+    capture,
+    clock_mark,
+    counter_inc,
+    current_trace_id,
+    enabled,
+    event,
+    gauge_set,
+    observe,
+    record_span,
+    register_propagator_cache,
+    span,
+    start,
+    stop,
+)
+from repro.telemetry.spans import ROOT_SPAN_ID, Span
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "TickClock",
+    "resolve_clock",
+    "Span",
+    "ROOT_SPAN_ID",
+    "Tracer",
+    "MetricsRegistry",
+    "TelemetrySession",
+    "TraceDocument",
+    "start",
+    "stop",
+    "capture",
+    "enabled",
+    "active_session",
+    "span",
+    "record_span",
+    "event",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "clock_mark",
+    "current_trace_id",
+    "register_propagator_cache",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "summarize",
+    "span_rollup",
+    "diff_documents",
+]

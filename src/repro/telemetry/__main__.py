@@ -1,0 +1,18 @@
+"""Entry point for ``python -m repro.telemetry``."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Summaries and exports are meant to be piped (head, grep, ...);
+        # a closed pipe is a normal way for the consumer to stop reading.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

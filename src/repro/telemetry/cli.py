@@ -1,0 +1,112 @@
+"""``python -m repro.telemetry`` — inspect, convert and compare trace files.
+
+Subcommands
+-----------
+``summarize TRACE``
+    Print the span tree and metrics tables of a native trace file.
+``export TRACE --format chrome|folded|summary [-o OUT]``
+    Convert a native trace to Chrome trace-event JSON (Perfetto /
+    ``chrome://tracing``), folded flamegraph stacks, or the plain summary.
+``diff BEFORE AFTER``
+    Compare two traces: per-span-name count/duration changes and counter
+    deltas.
+
+Exit codes: 0 on success, 1 for a malformed trace file, 2 for a missing
+file or bad usage (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.export import (
+    TraceDocument,
+    diff_documents,
+    summarize,
+    to_chrome_trace,
+    to_folded_stacks,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect, convert and compare repro telemetry trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="print span tree + metrics of a trace")
+    p_sum.add_argument("trace", help="path to a native trace JSON file")
+    p_sum.add_argument(
+        "--max-depth", type=int, default=None, help="limit span tree depth"
+    )
+
+    p_exp = sub.add_parser("export", help="convert a trace to another format")
+    p_exp.add_argument("trace", help="path to a native trace JSON file")
+    p_exp.add_argument(
+        "--format",
+        choices=("chrome", "folded", "summary"),
+        default="chrome",
+        help="output format (default: chrome trace-event JSON)",
+    )
+    p_exp.add_argument(
+        "-o", "--output", default=None, help="output file (default: stdout)"
+    )
+
+    p_diff = sub.add_parser("diff", help="compare two traces")
+    p_diff.add_argument("before", help="baseline trace JSON file")
+    p_diff.add_argument("after", help="comparison trace JSON file")
+
+    return parser
+
+
+def _load(path: str) -> TraceDocument:
+    file = Path(path)
+    if not file.is_file():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        return TraceDocument.loads(file.read_text(encoding="utf-8"))
+    except TelemetryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def _emit(text: str, output: "str | None") -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "summarize":
+        document = _load(args.trace)
+        print(summarize(document, max_depth=args.max_depth))
+        return 0
+
+    if args.command == "export":
+        document = _load(args.trace)
+        if args.format == "chrome":
+            from repro.artifacts.schema import canonical_dumps
+
+            text = canonical_dumps(to_chrome_trace(document), indent=2)
+        elif args.format == "folded":
+            text = to_folded_stacks(document)
+        else:
+            text = summarize(document)
+        _emit(text, args.output)
+        return 0
+
+    # diff
+    before = _load(args.before)
+    after = _load(args.after)
+    print(diff_documents(before, after))
+    return 0

@@ -1,0 +1,82 @@
+"""Explicit clocks for the tracer: wall time for profiling, ticks for tests.
+
+Every timestamp a telemetry session records comes from one injected
+:class:`Clock` instance — the tracer never calls :func:`time.perf_counter`
+directly.  That injection point is what makes traces *reproducible*: a
+:class:`TickClock` advances by a fixed amount per observation, so two runs of
+the same deterministic workload (same seeds, serial executor) produce
+byte-identical trace documents, which the telemetry determinism tests pin.
+
+:class:`WallClock` is the profiling default; its unit is seconds
+(``perf_counter`` origin-shifted to the session start, so exported traces
+begin at t≈0).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "TickClock", "resolve_clock"]
+
+
+class Clock:
+    """Timestamp source contract: ``now()`` plus a unit tag for exporters.
+
+    ``unit`` is ``"s"`` (seconds — Chrome export multiplies by 1e6 to get
+    microseconds) or ``"ticks"`` (logical time — exported one tick per
+    microsecond).
+    """
+
+    #: Exporter unit tag; subclasses override.
+    unit = "s"
+    #: Name used in trace documents and ``resolve_clock``.
+    kind = "abstract"
+
+    def now(self) -> float:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall time in seconds, origin-shifted to construction time."""
+
+    unit = "s"
+    kind = "wall"
+
+    def __init__(self):
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+
+class TickClock(Clock):
+    """Deterministic logical clock: every observation advances by one tick.
+
+    Durations measured with a tick clock count *clock observations*, not
+    elapsed time — which is exactly the property the determinism tests need:
+    a fixed workload observes the clock a fixed number of times in a fixed
+    order (under the serial executor), so all timestamps are reproducible.
+    """
+
+    unit = "ticks"
+    kind = "ticks"
+
+    def __init__(self, resolution: float = 1.0):
+        self._time = 0.0
+        self.resolution = float(resolution)
+
+    def now(self) -> float:
+        current = self._time
+        self._time += self.resolution
+        return current
+
+
+def resolve_clock(spec: "str | Clock | None") -> Clock:
+    """Build a clock from a spec: ``"wall"`` (default), ``"ticks"`` or an instance."""
+    if spec is None or spec == "wall":
+        return WallClock()
+    if spec == "ticks":
+        return TickClock()
+    if isinstance(spec, Clock):
+        return spec
+    raise ValueError(f"unknown clock spec {spec!r}; use 'wall', 'ticks' or a Clock")

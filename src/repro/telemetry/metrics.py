@@ -1,0 +1,156 @@
+"""Labelled metrics: counters, gauges and histograms with a cardinality guard.
+
+The registry is Prometheus-shaped but in-process and snapshot-based: hot
+paths call :meth:`MetricsRegistry.inc` / :meth:`observe` / :meth:`set_gauge`
+with keyword labels, and a consumer takes one deterministic
+:meth:`snapshot` at the end of a capture (the snapshot lands in trace
+documents and, for ``--trace`` experiment runs, in the run artifact).
+
+Label sets are bounded per metric (:attr:`MetricsRegistry.max_series`):
+beyond the cap, new label combinations collapse into one ``__overflow__``
+series and a drop counter increments, so an instrumentation mistake (e.g.
+labelling by session id) degrades to an aggregate instead of unbounded
+memory growth.  The guard is tested by the telemetry suite.
+
+Histograms use base-2 exponential buckets keyed by the exponent
+(``bucket b`` counts values in ``(2**(b-1), 2**b]``; zero and negative
+values land in the ``"zero"`` bucket) plus exact count/sum/min/max — enough
+to read latency shapes without configuring boundaries per metric.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = ["MetricsRegistry", "OVERFLOW_LABELS"]
+
+#: Label set that absorbs series beyond the per-metric cardinality cap.
+OVERFLOW_LABELS = (("__overflow__", "true"),)
+
+_LabelKey = tuple
+
+
+class _Histogram:
+    """Mutable accumulator behind one histogram series."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.buckets: dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if value <= 0:
+            bucket = "zero"
+        else:
+            bucket = str(math.ceil(math.log2(value)) if value > 1e-300 else 0)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+            "buckets": {key: self.buckets[key] for key in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of labelled counters, gauges and histograms.
+
+    Parameters
+    ----------
+    max_series:
+        Cardinality cap per (kind, metric name): the maximum number of
+        distinct label sets recorded before new ones collapse into the
+        ``__overflow__`` series.
+    """
+
+    def __init__(self, max_series: int = 128):
+        if max_series < 1:
+            raise ValueError("max_series must be positive")
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[_LabelKey, float]] = {}
+        self._gauges: dict[str, dict[_LabelKey, float]] = {}
+        self._histograms: dict[str, dict[_LabelKey, _Histogram]] = {}
+
+    # -- internals ---------------------------------------------------------------
+    def _series(self, store: dict, name: str, labels: dict[str, Any], factory):
+        """Find-or-create one series, enforcing the cardinality cap."""
+        key: _LabelKey = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        metric = store.get(name)
+        if metric is None:
+            metric = store[name] = {}
+        series = metric.get(key)
+        if series is None:
+            if len(metric) >= self.max_series and key != OVERFLOW_LABELS:
+                self.dropped_series += 1
+                key = OVERFLOW_LABELS
+                series = metric.get(key)
+            if series is None:
+                series = metric[key] = factory()
+        return metric, key, series
+
+    # -- recording ---------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add *value* to the counter series selected by *labels*."""
+        with self._lock:
+            metric, key, current = self._series(self._counters, name, labels, float)
+            metric[key] = current + float(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge series selected by *labels* to *value* (last write wins)."""
+        with self._lock:
+            metric, key, _ = self._series(self._gauges, name, labels, float)
+            metric[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into the histogram series selected by *labels*."""
+        with self._lock:
+            _, _, series = self._series(self._histograms, name, labels, _Histogram)
+            series.observe(float(value))
+
+    # -- reading -----------------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0.0 if never incremented)."""
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            return self._counters.get(name, {}).get(key, 0.0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic JSON-friendly dump of every series.
+
+        Series are keyed by their label set rendered as ``k=v`` pairs joined
+        with commas (empty label set renders as ``""``), sorted, so two
+        identical workloads produce byte-identical snapshots.
+        """
+
+        def render(metric: dict) -> dict[str, Any]:
+            out = {}
+            for key in sorted(metric):
+                label = ",".join(f"{k}={v}" for k, v in key)
+                value = metric[key]
+                out[label] = value.to_dict() if isinstance(value, _Histogram) else value
+            return out
+
+        with self._lock:
+            return {
+                "counters": {n: render(m) for n, m in sorted(self._counters.items())},
+                "gauges": {n: render(m) for n, m in sorted(self._gauges.items())},
+                "histograms": {
+                    n: render(m) for n, m in sorted(self._histograms.items())
+                },
+                "dropped_series": self.dropped_series,
+            }

@@ -1,0 +1,278 @@
+"""Process-wide telemetry switchboard: the only API instrumented code calls.
+
+Instrumentation sites throughout the library (service, protocol, network,
+quantum) never talk to :class:`~repro.telemetry.tracer.Tracer` or
+:class:`~repro.telemetry.metrics.MetricsRegistry` directly — they call the
+module-level helpers here (:func:`span`, :func:`counter_inc`,
+:func:`gauge_set`, :func:`observe`, :func:`record_span`, :func:`clock_mark`).
+When no session is active (the default), every helper reduces to one
+``is None`` check and returns a shared no-op object, which is what keeps
+disabled-mode overhead far below the 2% budget the overhead benchmark pins.
+
+A session is activated with :func:`start`/:func:`stop` or the
+:func:`capture` context manager; :func:`stop` returns a
+:class:`~repro.telemetry.export.TraceDocument` bundling the span tree, the
+metrics snapshot, and clock metadata.
+
+:class:`~repro.quantum.batch.PropagatorCache` instances self-register here
+(via a ``WeakSet``) at construction; their counters are folded into the
+metrics snapshot at capture time rather than on every cache access, so the
+cache hot path carries no telemetry cost even when tracing is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.telemetry.clock import Clock, resolve_clock
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "TelemetrySession",
+    "start",
+    "stop",
+    "capture",
+    "enabled",
+    "active_session",
+    "span",
+    "record_span",
+    "event",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "clock_mark",
+    "current_trace_id",
+    "register_propagator_cache",
+]
+
+
+class _NullSpan:
+    """Shared inert stand-in yielded by :func:`span` while telemetry is off."""
+
+    __slots__ = ()
+    span_id = -1
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        # A fresh throwaway dict per access: writes are silently discarded
+        # instead of accumulating on shared state.
+        return {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+# Caches register themselves even when telemetry is off (registration happens
+# once per cache, not per access); an active session aggregates their counters
+# into the snapshot.  WeakSet so telemetry never extends a cache's lifetime.
+_propagator_caches: "weakref.WeakSet[Any]" = weakref.WeakSet()
+
+_lock = threading.Lock()
+_session: "TelemetrySession | None" = None
+
+
+class TelemetrySession:
+    """One capture window: a tracer, a metrics registry, and their clock."""
+
+    def __init__(self, clock: "str | Clock | None" = None, max_series: int = 128):
+        self.clock = resolve_clock(clock)
+        self.tracer = Tracer(self.clock)
+        self.metrics = MetricsRegistry(max_series=max_series)
+        self._cache_baseline = self._cache_totals()
+
+    @staticmethod
+    def _cache_totals() -> dict[str, float]:
+        totals = {"hits": 0.0, "misses": 0.0, "evictions": 0.0, "bytes_in_use": 0.0}
+        for cache in list(_propagator_caches):
+            totals["hits"] += getattr(cache, "hits", 0)
+            totals["misses"] += getattr(cache, "misses", 0)
+            totals["evictions"] += getattr(cache, "evictions", 0)
+            totals["bytes_in_use"] += getattr(cache, "bytes_in_use", 0)
+        return totals
+
+    def _fold_cache_metrics(self) -> None:
+        """Write propagator-cache counter deltas into the metrics registry.
+
+        The baseline advances after each fold so mid-session snapshots (the
+        artifact attachment) and the final :meth:`finish` never double-count.
+        """
+        totals = self._cache_totals()
+        for key in ("hits", "misses", "evictions"):
+            delta = totals[key] - self._cache_baseline[key]
+            if delta:
+                self.metrics.inc(f"propagator_cache.{key}", delta)
+        self._cache_baseline = totals
+        self.metrics.set_gauge("propagator_cache.bytes_in_use", totals["bytes_in_use"])
+
+    def snapshot_document(self) -> "Any":
+        """Mid-session trace document: committed spans + current metrics.
+
+        Unlike :meth:`finish` this does not close the root span or end the
+        session; the artifacts pipeline uses it to attach telemetry to a
+        :class:`~repro.artifacts.schema.RunArtifact` while capture continues.
+        """
+        from repro.telemetry.export import TraceDocument
+
+        self._fold_cache_metrics()
+        return TraceDocument(
+            clock_kind=self.clock.kind,
+            clock_unit=self.clock.unit,
+            spans=self.tracer.snapshot(),
+            metrics=self.metrics.snapshot(),
+        )
+
+    def finish(self) -> "Any":
+        """Close the trace and build the exportable document."""
+        from repro.telemetry.export import TraceDocument
+
+        self._fold_cache_metrics()
+        spans = self.tracer.finish()
+        return TraceDocument(
+            clock_kind=self.clock.kind,
+            clock_unit=self.clock.unit,
+            spans=spans,
+            metrics=self.metrics.snapshot(),
+        )
+
+
+# -- session lifecycle ---------------------------------------------------------
+def start(clock: "str | Clock | None" = None, max_series: int = 128) -> TelemetrySession:
+    """Activate a telemetry session (error if one is already active)."""
+    global _session
+    with _lock:
+        if _session is not None:
+            from repro.exceptions import TelemetryError
+
+            raise TelemetryError("a telemetry session is already active")
+        _session = TelemetrySession(clock, max_series=max_series)
+        return _session
+
+
+def stop() -> "Any":
+    """Deactivate the session and return its :class:`TraceDocument`."""
+    global _session
+    with _lock:
+        session = _session
+        _session = None
+    if session is None:
+        from repro.exceptions import TelemetryError
+
+        raise TelemetryError("no telemetry session is active")
+    return session.finish()
+
+
+@contextmanager
+def capture(clock: "str | Clock | None" = None, max_series: int = 128) -> Iterator[TelemetrySession]:
+    """Context manager form of :func:`start`/:func:`stop`.
+
+    The session object gains a ``document`` attribute holding the finished
+    :class:`TraceDocument` once the block exits.
+    """
+    session = start(clock, max_series=max_series)
+    try:
+        yield session
+    finally:
+        global _session
+        with _lock:
+            if _session is session:
+                _session = None
+        session.document = session.finish()
+
+
+def enabled() -> bool:
+    """True while a telemetry session is active."""
+    return _session is not None
+
+
+def active_session() -> "TelemetrySession | None":
+    """The active session, or None."""
+    return _session
+
+
+# -- instrumentation fast path -------------------------------------------------
+def span(name: str, category: str = "span", attributes: "dict[str, Any] | None" = None):
+    """Context manager opening a span, or a shared no-op when disabled."""
+    session = _session
+    if session is None:
+        return _NULL_SPAN
+    return session.tracer.span(name, category, attributes)
+
+
+def record_span(
+    name: str,
+    category: str = "span",
+    *,
+    start: "float | None" = None,
+    end: "float | None" = None,
+    attributes: "dict[str, Any] | None" = None,
+) -> "Span | None":
+    """Record an already-timed span; no-op (returns None) when disabled."""
+    session = _session
+    if session is None:
+        return None
+    return session.tracer.record(name, category, start=start, end=end, attributes=attributes)
+
+
+def event(name: str, category: str = "event", **attributes: Any) -> "Span | None":
+    """Record a zero-duration marker; no-op when disabled."""
+    session = _session
+    if session is None:
+        return None
+    return session.tracer.event(name, category, **attributes)
+
+
+def counter_inc(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Increment a counter; no-op when disabled."""
+    session = _session
+    if session is not None:
+        session.metrics.inc(name, value, **labels)
+
+
+def gauge_set(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge; no-op when disabled."""
+    session = _session
+    if session is not None:
+        session.metrics.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram observation; no-op when disabled."""
+    session = _session
+    if session is not None:
+        session.metrics.observe(name, value, **labels)
+
+
+def clock_mark() -> "float | None":
+    """Read the session clock (for caller-timed ``record_span``); None when off."""
+    session = _session
+    if session is None:
+        return None
+    return session.clock.now()
+
+
+def current_trace_id() -> "int | None":
+    """Id of the innermost open span of this context; None when disabled.
+
+    Used by the logging layer to stamp ``%(trace_id)s`` onto log records so
+    log lines correlate with exported spans.
+    """
+    session = _session
+    if session is None:
+        return None
+    current = session.tracer.current_span()
+    return session.tracer.root.span_id if current is None else current.span_id
+
+
+def register_propagator_cache(cache: Any) -> None:
+    """Register a PropagatorCache for snapshot-time counter aggregation."""
+    _propagator_caches.add(cache)

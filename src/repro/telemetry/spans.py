@@ -1,0 +1,89 @@
+"""The span model: one timed, attributed node of a hierarchical trace.
+
+A :class:`Span` is deliberately a plain mutable dataclass rather than an
+object wired to the tracer: the tracer owns ids, parenting and clock reads,
+and a finished span is pure data that serialises to one JSON object.  The
+hierarchy is encoded by ``parent_id`` (the synthetic root span has id 0 and
+parent ``None``), which keeps trace documents flat, streamable and easy to
+re-tree in exporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ROOT_SPAN_ID", "Span"]
+
+#: Id of the synthetic root span every trace contains.
+ROOT_SPAN_ID = 0
+
+
+@dataclass
+class Span:
+    """One node of the span tree.
+
+    Attributes
+    ----------
+    span_id:
+        Dense per-trace id (0 is the synthetic root).
+    parent_id:
+        Id of the enclosing span (``None`` only on the root).  Spans started
+        on worker threads with no active parent attach to the root, so a
+        threaded execution pass still yields one connected tree.
+    name:
+        Dotted span name, e.g. ``"protocol.session"`` or ``"phase.encoding"``.
+    category:
+        Coarse grouping used by exporters (``"service"``, ``"protocol"``,
+        ``"phase"``, ``"network"``, ``"sim"``, ...).
+    start, end:
+        Clock readings (unit defined by the session clock).  ``end`` is None
+        while the span is open.
+    thread:
+        Dense index of the OS thread the span ran on (0 = first seen).
+    attributes:
+        JSON-friendly key/value payload (counts, seeds, outcomes, reasons).
+    """
+
+    span_id: int
+    parent_id: "int | None"
+    name: str
+    category: str = "span"
+    start: float = 0.0
+    end: "float | None" = None
+    thread: int = 0
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span duration in clock units (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready representation (see ``TraceDocument``)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Parse a dict produced by :meth:`to_dict`."""
+        return cls(
+            span_id=int(data["id"]),
+            parent_id=None if data.get("parent") is None else int(data["parent"]),
+            name=str(data["name"]),
+            category=str(data.get("category", "span")),
+            start=float(data.get("start", 0.0)),
+            end=None if data.get("end") is None else float(data["end"]),
+            thread=int(data.get("thread", 0)),
+            attributes=dict(data.get("attributes", {})),
+        )

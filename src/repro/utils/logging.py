@@ -3,16 +3,52 @@
 The library never configures the root logger; it logs under the ``repro``
 namespace and leaves handler configuration to applications.  The helper
 :func:`enable_console_logging` is a convenience for examples and experiment
-scripts.
+scripts; it is idempotent per configuration — calling it again with the same
+level and format reuses the handler it installed, and calling it with a
+different level/format reconfigures that handler in place instead of
+stacking a second one (repeated CLI invocations in one process would
+otherwise duplicate every log line).
+
+Every handler installed here carries :class:`TraceIdFilter`, which stamps
+``record.trace_id`` with the id of the innermost open telemetry span (or
+``-`` when telemetry is off), so a ``%(trace_id)s`` format correlates log
+lines with exported trace spans.
 """
 
 from __future__ import annotations
 
 import logging
 
-__all__ = ["get_logger", "enable_console_logging"]
+__all__ = [
+    "get_logger",
+    "enable_console_logging",
+    "TraceIdFilter",
+    "DEFAULT_FORMAT",
+    "TRACE_FORMAT",
+]
 
 _LIBRARY_LOGGER_NAME = "repro"
+
+DEFAULT_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+TRACE_FORMAT = "%(asctime)s %(name)s %(levelname)s [span=%(trace_id)s]: %(message)s"
+
+#: Marker attribute identifying handlers installed by this module.
+_HANDLER_MARKER = "_repro_console_handler"
+
+
+class TraceIdFilter(logging.Filter):
+    """Stamp every record with the current telemetry span id (``-`` if none).
+
+    Implemented as a filter rather than a formatter so any format string —
+    with or without ``%(trace_id)s`` — works on the same handler.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        from repro.telemetry.runtime import current_trace_id
+
+        trace_id = current_trace_id()
+        record.trace_id = "-" if trace_id is None else trace_id
+        return True
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -27,14 +63,32 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stream handler with a compact format to the library logger."""
+def enable_console_logging(
+    level: int = logging.INFO, fmt: str | None = None
+) -> logging.Logger:
+    """Attach (or reconfigure) the library's console handler.
+
+    Idempotent per configuration: at most one handler installed by this
+    function ever exists on the ``repro`` logger.  Repeat calls with the
+    same ``(level, fmt)`` are no-ops; calls with a different configuration
+    update the existing handler instead of adding another.  Handlers the
+    application attached itself are never touched.
+    """
+    if fmt is None:
+        fmt = DEFAULT_FORMAT
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_MARKER, False)), None
+    )
+    if handler is None:
         handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-        )
+        setattr(handler, _HANDLER_MARKER, True)
+        handler.addFilter(TraceIdFilter())
         logger.addHandler(handler)
+    handler.setLevel(level)
+    current = handler.formatter._fmt if handler.formatter is not None else None
+    if current != fmt:
+        handler.setFormatter(logging.Formatter(fmt))
     return logger

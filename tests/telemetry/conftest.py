@@ -1,0 +1,15 @@
+"""Telemetry test fixtures: guarantee no session leaks between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Fail-safe: stop any session a test left active (and flag nothing)."""
+    yield
+    if runtime.enabled():
+        runtime.stop()

@@ -1,0 +1,93 @@
+"""CLI tests for ``python -m repro.telemetry``: commands and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.cli import main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    with telemetry.capture(clock="ticks") as session:
+        with telemetry.span("service.send", "service"):
+            with telemetry.span("phase.encoding", "phase"):
+                telemetry.counter_inc("service.fragment_attempts")
+    path = tmp_path / "trace.json"
+    path.write_text(session.document.dumps(), encoding="utf-8")
+    return path
+
+
+class TestSummarize:
+    def test_prints_span_tree(self, trace_file, capsys):
+        assert main(["summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "service.send" in out
+        assert "phase.encoding" in out
+        assert "service.fragment_attempts" in out
+
+    def test_max_depth_limits_tree(self, trace_file, capsys):
+        assert main(["summarize", str(trace_file), "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "service.send" in out
+        assert "phase.encoding" not in out
+
+
+class TestExport:
+    def test_chrome_export_parses_as_trace_events(self, trace_file, tmp_path, capsys):
+        output = tmp_path / "chrome.json"
+        assert main(["export", str(trace_file), "-o", str(output)]) == 0
+        chrome = json.loads(output.read_text(encoding="utf-8"))
+        assert {event["name"] for event in chrome["traceEvents"]} == {
+            "trace",
+            "service.send",
+            "phase.encoding",
+        }
+        assert all(event["ph"] == "X" for event in chrome["traceEvents"])
+
+    def test_folded_export(self, trace_file, capsys):
+        assert main(["export", str(trace_file), "--format", "folded"]) == 0
+        out = capsys.readouterr().out
+        assert "trace;service.send;phase.encoding" in out
+
+    def test_summary_export_to_stdout(self, trace_file, capsys):
+        assert main(["export", str(trace_file), "--format", "summary"]) == 0
+        assert "service.send" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_diff_of_identical_traces_shows_equality(self, trace_file, capsys):
+        assert main(["diff", str(trace_file), str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "= service.send" in out
+        assert "~" not in out.replace("->", "")
+
+
+class TestExitCodes:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summarize", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"spans\": \"nope\"", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summarize", str(bad)])
+        assert excinfo.value.code == 1
+
+    def test_valid_json_non_document_exits_1(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["export", str(bad)])
+        assert excinfo.value.code == 1
+
+    def test_unknown_command_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,251 @@
+"""Unit tests for the telemetry core: clocks, spans, tracer, metrics, runtime."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import TelemetryError
+from repro.telemetry import runtime
+from repro.telemetry.clock import TickClock, WallClock, resolve_clock
+from repro.telemetry.metrics import OVERFLOW_LABELS, MetricsRegistry
+from repro.telemetry.spans import ROOT_SPAN_ID, Span
+from repro.telemetry.tracer import Tracer
+
+
+# -- clocks ------------------------------------------------------------------------
+class TestClocks:
+    def test_wall_clock_is_monotonic_and_origin_shifted(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert 0.0 <= first <= second
+
+    def test_tick_clock_advances_one_resolution_per_observation(self):
+        clock = TickClock()
+        assert [clock.now() for _ in range(4)] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_tick_clock_custom_resolution(self):
+        clock = TickClock(resolution=0.5)
+        assert [clock.now() for _ in range(3)] == [0.0, 0.5, 1.0]
+
+    def test_resolve_clock_specs(self):
+        assert resolve_clock(None).kind == "wall"
+        assert resolve_clock("wall").kind == "wall"
+        assert resolve_clock("ticks").kind == "ticks"
+        instance = TickClock()
+        assert resolve_clock(instance) is instance
+        with pytest.raises(ValueError):
+            resolve_clock("lamport")
+
+
+# -- spans -------------------------------------------------------------------------
+class TestSpan:
+    def test_round_trip(self):
+        span = Span(
+            span_id=3,
+            parent_id=1,
+            name="phase.encoding",
+            category="phase",
+            start=1.0,
+            end=4.0,
+            thread=2,
+            attributes={"passed": True},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_open_span_duration_is_zero(self):
+        assert Span(span_id=1, parent_id=0, name="x").duration == 0.0
+
+
+# -- tracer ------------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer(TickClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tracer.current_span() is outer
+        spans = tracer.finish()
+        assert spans[0].span_id == ROOT_SPAN_ID
+        assert outer.parent_id == ROOT_SPAN_ID
+        # Commit order: innermost closes first.
+        assert [s.name for s in spans] == ["trace", "inner", "outer"]
+
+    def test_exception_records_error_attribute_and_reraises(self):
+        tracer = Tracer(TickClock())
+        with pytest.raises(ValueError):
+            with tracer.span("work") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_worker_thread_spans_attach_to_root(self):
+        tracer = Tracer(TickClock())
+        seen = {}
+
+        def work():
+            with tracer.span("threaded") as span:
+                seen["parent"] = span.parent_id
+                seen["thread"] = span.thread
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert seen["parent"] == ROOT_SPAN_ID
+        assert seen["thread"] != tracer.root.thread
+
+    def test_record_with_explicit_bounds(self):
+        tracer = Tracer(TickClock())
+        span = tracer.record("phase.hold", "phase", start=2.0, end=5.0)
+        assert span.start == 2.0 and span.end == 5.0 and span.duration == 3.0
+
+    def test_identical_workloads_yield_identical_traces(self):
+        def workload(tracer):
+            with tracer.span("a"):
+                with tracer.span("b", attributes={"k": 1}):
+                    pass
+                tracer.event("marker")
+            return [s.to_dict() for s in tracer.finish()]
+
+        assert workload(Tracer(TickClock())) == workload(Tracer(TickClock()))
+
+
+# -- metrics -----------------------------------------------------------------------
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 2, backend="dense")
+        registry.inc("hits", backend="dense")
+        registry.set_gauge("depth", 7)
+        registry.set_gauge("depth", 3)
+        registry.observe("latency", 0.5)
+        registry.observe("latency", 2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"]["backend=dense"] == 3.0
+        assert snap["gauges"]["depth"][""] == 3.0
+        histogram = snap["histograms"]["latency"][""]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == 2.5
+        assert histogram["min"] == 0.5 and histogram["max"] == 2.0
+
+    def test_cardinality_guard_collapses_into_overflow(self):
+        registry = MetricsRegistry(max_series=3)
+        for index in range(10):
+            registry.inc("sessions", session=index)
+        snap = registry.snapshot()
+        series = snap["counters"]["sessions"]
+        overflow_label = ",".join(f"{k}={v}" for k, v in OVERFLOW_LABELS)
+        assert len(series) == 4  # 3 real + overflow
+        assert series[overflow_label] == 7.0
+        assert snap["dropped_series"] == 7
+
+    def test_existing_series_keep_updating_past_the_cap(self):
+        registry = MetricsRegistry(max_series=1)
+        registry.inc("n", tag="a")
+        registry.inc("n", tag="b")  # overflows
+        registry.inc("n", tag="a")  # existing series still updates
+        assert registry.counter_value("n", tag="a") == 2.0
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("z", 1, b="2", a="1")
+            registry.inc("a", 5)
+            registry.observe("h", 3.0, kind="x")
+            return registry.snapshot()
+
+        assert build() == build()
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series=0)
+
+
+# -- runtime -----------------------------------------------------------------------
+class TestRuntime:
+    def test_disabled_helpers_are_noops(self):
+        assert not runtime.enabled()
+        assert runtime.clock_mark() is None
+        assert runtime.record_span("x") is None
+        assert runtime.event("x") is None
+        assert runtime.current_trace_id() is None
+        runtime.counter_inc("x")
+        runtime.gauge_set("x", 1.0)
+        runtime.observe("x", 1.0)
+        with runtime.span("x") as span:
+            span.attributes["ignored"] = True  # discarded, not accumulated
+        assert span.attributes == {}
+
+    def test_capture_produces_document_and_deactivates(self):
+        with telemetry.capture(clock="ticks") as session:
+            with runtime.span("work"):
+                runtime.counter_inc("count")
+            assert runtime.enabled()
+        assert not runtime.enabled()
+        doc = session.document
+        assert [s.name for s in doc.spans] == ["trace", "work"]
+        assert doc.metrics["counters"]["count"][""] == 1.0
+        assert doc.clock_kind == "ticks"
+
+    def test_double_start_raises(self):
+        runtime.start()
+        try:
+            with pytest.raises(TelemetryError):
+                runtime.start()
+        finally:
+            runtime.stop()
+
+    def test_stop_without_session_raises(self):
+        with pytest.raises(TelemetryError):
+            runtime.stop()
+
+    def test_current_trace_id_tracks_innermost_span(self):
+        with telemetry.capture(clock="ticks") as session:
+            root_id = runtime.current_trace_id()
+            with runtime.span("outer") as outer:
+                assert runtime.current_trace_id() == outer.span_id
+        assert root_id == session.tracer.root.span_id
+
+    def test_propagator_cache_counters_fold_into_snapshot(self):
+        from repro.quantum.batch import PropagatorCache, compile_unitary
+        from repro.quantum.circuit import QuantumCircuit
+
+        cache = PropagatorCache()
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        with telemetry.capture(clock="ticks") as session:
+            compile_unitary(circuit, cache)  # miss
+            compile_unitary(circuit, cache)  # hit
+        counters = session.document.metrics["counters"]
+        assert counters["propagator_cache.hits"][""] == 1.0
+        assert counters["propagator_cache.misses"][""] == 1.0
+
+    def test_cache_activity_before_session_is_not_counted(self):
+        from repro.quantum.batch import PropagatorCache, compile_unitary
+        from repro.quantum.circuit import QuantumCircuit
+
+        cache = PropagatorCache()
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        compile_unitary(circuit, cache)  # miss outside any session
+        with telemetry.capture(clock="ticks") as session:
+            pass
+        counters = session.document.metrics["counters"]
+        assert "propagator_cache.misses" not in counters
+
+    def test_propagator_cache_eviction_counter(self):
+        from repro.quantum.batch import PropagatorCache, compile_unitary
+        from repro.quantum.circuit import QuantumCircuit
+
+        cache = PropagatorCache(max_entries=1)
+        for angle_index in range(3):
+            circuit = QuantumCircuit(1)
+            for _ in range(angle_index + 1):
+                circuit.h(0)
+            compile_unitary(circuit, cache)
+        assert cache.evictions > 0
+        assert cache.bytes_in_use >= 0

@@ -1,0 +1,70 @@
+"""Source hygiene lint: library code must log via ``repro.utils.logging``.
+
+Two rules, enforced over every module under ``src/repro/`` by walking the
+AST (so docstrings and comments never false-positive):
+
+* no ``print(...)`` calls — CLI entry points are the only place the library
+  writes to stdout, everything else goes through the logging satellite;
+* no bare ``logging.getLogger(...)`` — loggers must come from
+  :func:`repro.utils.logging.get_logger` so they nest under the library
+  namespace and pick up the trace-id filter.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+# Modules allowed to print (user-facing CLIs) or to call logging.getLogger
+# (the logging helper itself).
+PRINT_ALLOWED = ("cli.py", "__main__.py")
+GETLOGGER_ALLOWED = (str(Path("utils") / "logging.py"),)
+
+
+def _module_paths() -> list[Path]:
+    return sorted(SRC_ROOT.rglob("*.py"))
+
+
+def _call_violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    relative = str(path.relative_to(SRC_ROOT))
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "print"
+            and not relative.endswith(PRINT_ALLOWED)
+        ):
+            violations.append(f"{relative}:{node.lineno}: print() call")
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "getLogger"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "logging"
+            and relative not in GETLOGGER_ALLOWED
+        ):
+            violations.append(
+                f"{relative}:{node.lineno}: bare logging.getLogger() "
+                "(use repro.utils.logging.get_logger)"
+            )
+    return violations
+
+
+def test_source_tree_is_nontrivial():
+    assert len(_module_paths()) > 25
+
+
+def test_no_print_calls_and_no_bare_getlogger_in_library_code():
+    violations = [
+        violation
+        for path in _module_paths()
+        for violation in _call_violations(path)
+    ]
+    assert not violations, "\n".join(violations)

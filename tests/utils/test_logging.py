@@ -1,0 +1,101 @@
+"""Tests for the logging satellite: namespacing, idempotency, trace ids."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import telemetry
+from repro.utils.logging import (
+    DEFAULT_FORMAT,
+    TRACE_FORMAT,
+    TraceIdFilter,
+    enable_console_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    logger = logging.getLogger("repro")
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    yield
+    logger.handlers[:] = saved_handlers
+    logger.setLevel(saved_level)
+
+
+def _installed_handlers():
+    logger = logging.getLogger("repro")
+    return [
+        h for h in logger.handlers if getattr(h, "_repro_console_handler", False)
+    ]
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("network.scheduler").name == "repro.network.scheduler"
+
+    def test_already_namespaced_names_pass_through(self):
+        assert get_logger("repro.api.service").name == "repro.api.service"
+
+
+class TestEnableConsoleLogging:
+    def test_installs_exactly_one_handler(self):
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.INFO)
+        assert len(_installed_handlers()) == 1
+
+    def test_reconfigures_in_place_instead_of_stacking(self):
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.DEBUG, fmt=TRACE_FORMAT)
+        handlers = _installed_handlers()
+        assert len(handlers) == 1
+        assert handlers[0].level == logging.DEBUG
+        assert handlers[0].formatter._fmt == TRACE_FORMAT
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_default_format_used_when_unspecified(self):
+        enable_console_logging(logging.INFO)
+        assert _installed_handlers()[0].formatter._fmt == DEFAULT_FORMAT
+
+    def test_application_handlers_are_untouched(self):
+        logger = logging.getLogger("repro")
+        app_handler = logging.NullHandler()
+        logger.addHandler(app_handler)
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.DEBUG)
+        assert app_handler in logger.handlers
+
+    def test_handler_carries_trace_id_filter(self):
+        enable_console_logging(logging.INFO)
+        handler = _installed_handlers()[0]
+        assert any(isinstance(f, TraceIdFilter) for f in handler.filters)
+
+
+class TestTraceIdFilter:
+    def _record(self) -> logging.LogRecord:
+        return logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "msg", (), None
+        )
+
+    def test_stamps_dash_when_telemetry_disabled(self):
+        record = self._record()
+        assert TraceIdFilter().filter(record) is True
+        assert record.trace_id == "-"
+
+    def test_stamps_current_span_id_when_tracing(self):
+        with telemetry.capture(clock="ticks"):
+            with telemetry.span("work") as span:
+                record = self._record()
+                TraceIdFilter().filter(record)
+                assert record.trace_id == span.span_id
+
+    def test_trace_format_renders(self):
+        record = self._record()
+        TraceIdFilter().filter(record)
+        line = logging.Formatter(TRACE_FORMAT).format(record)
+        assert "[span=-]" in line
