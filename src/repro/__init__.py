@@ -17,6 +17,10 @@ The package is organised in layers:
 * :mod:`repro.api` — the service-level public API: the
   :class:`~repro.api.service.MessagingService` facade, payload codecs,
   fragmentation and the pluggable local/batch/network backends.
+* :mod:`repro.runtime` — the concurrent delivery runtime: worker-pool and
+  asyncio engines over the service facade, admission control with
+  block/reject/shed backpressure, deterministic replay, and the
+  sustained-load harness.
 * :mod:`repro.analysis` — fidelity, QBER, CHSH statistics.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
 
@@ -32,6 +36,8 @@ and constitute the supported API:
   single-session research surface (see :mod:`repro.protocol`);
 * ``AttackScenario``, ``ScenarioSchedule`` — the declarative adversarial
   scenario engine (see :mod:`repro.attacks.scenarios`);
+* ``DeliveryEngine``, ``AsyncDeliveryEngine`` — the concurrent delivery
+  runtime (see :mod:`repro.runtime`);
 * ``RunArtifact``, ``Trajectory``, ``compare_trajectories`` — the
   run-artifact pipeline and benchmark-trajectory regression gate (see
   :mod:`repro.artifacts` and :mod:`repro.analysis.regression`);
@@ -75,6 +81,8 @@ _LAZY_EXPORTS = {
     "ProtocolResult": "repro.protocol.results",
     "AttackScenario": "repro.attacks.scenarios",
     "ScenarioSchedule": "repro.attacks.scenarios",
+    "DeliveryEngine": "repro.runtime.engine",
+    "AsyncDeliveryEngine": "repro.runtime.engine",
     "RunArtifact": "repro.artifacts.schema",
     "Trajectory": "repro.artifacts.trajectory",
     "compare_trajectories": "repro.analysis.regression",

@@ -93,29 +93,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         enable_console_logging(logging.DEBUG, fmt=TRACE_FORMAT)
 
     if args.command == "run":
+        # SIGINT is cooperative: the first Ctrl-C asks interrupt-aware
+        # experiments (the load harness) to drain and finish early, the
+        # second aborts the run — either way the trace and artifact of
+        # whatever completed are still flushed below.
+        from repro.runtime.interrupt import graceful_sigint, shutdown_requested
+
         experiment = get_experiment(args.experiment_id)
-        if args.trace:
+        result = None
+        session = None
+        aborted = False
+        with graceful_sigint():
+            try:
+                if args.trace:
+                    from repro import telemetry
+
+                    with telemetry.capture() as session:
+                        result = experiment.run(quick=not args.full)
+                else:
+                    result = experiment.run(quick=not args.full)
+            except KeyboardInterrupt:
+                aborted = True
+            interrupted = aborted or shutdown_requested()
+        if result is not None:
+            print(render_result(result))
+        elif aborted:
+            print("run aborted before a result was produced", file=sys.stderr)
+        if args.trace and session is not None:
             from pathlib import Path
 
-            from repro import telemetry
-
-            with telemetry.capture() as session:
-                result = experiment.run(quick=not args.full)
             target = Path(args.trace)
             target.write_text(session.document.dumps() + "\n", encoding="utf-8")
-        else:
-            result = experiment.run(quick=not args.full)
-        print(render_result(result))
-        if args.trace:
             print(f"trace written to {args.trace}")
         if args.artifact:
             from repro.artifacts import last_artifact
 
             artifact = last_artifact(experiment.experiment_id)
-            assert artifact is not None  # run() always publishes one
-            target = artifact.write(args.artifact)
-            print(f"artifact written to {target}")
-        return 0
+            if artifact is None:  # only possible on an aborted run
+                print("no artifact produced (run aborted)", file=sys.stderr)
+            else:
+                target = artifact.write(args.artifact)
+                print(f"artifact written to {target}")
+        return 130 if interrupted else 0
 
     if args.command == "run-all":
         for experiment in list_experiments():

@@ -213,11 +213,13 @@ def run_fig3(
         )
     base_seed = resolve_base_seed(seed)
 
-    # One propagator cache shared by every point of a serial sweep; parallel
-    # executors keep per-backend caches (the cache is not thread-safe).
+    # One propagator cache shared by every point of the sweep.  The cache is
+    # internally locked, so serial and thread executors both share it (point
+    # counts never depend on cache state); process pools cannot share memory,
+    # so they keep per-backend caches.
     from repro.quantum.batch import PropagatorCache
 
-    shared_cache = PropagatorCache() if executor == "serial" else None
+    shared_cache = PropagatorCache() if executor in ("serial", "thread") else None
     worker = functools.partial(
         _fig3_point,
         shots=shots,

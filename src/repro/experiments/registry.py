@@ -104,6 +104,7 @@ def _populate_registry() -> None:
     from repro.experiments.e2e import run_end_to_end
     from repro.experiments.fig2_message_counts import run_fig2
     from repro.experiments.fig3_channel_length import run_fig3
+    from repro.experiments.fig_load import run_fig_load
     from repro.experiments.fig_security import run_fig_security
     from repro.experiments.mitigation_study import run_mitigation_study
     from repro.experiments.network_scale import run_network_scale
@@ -214,6 +215,20 @@ def _populate_registry() -> None:
                 "message_length": 8,
                 "check_pairs": 32,
                 "qubit_capacity": 220,
+            },
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="fig_load",
+            paper_artifact="System extension (delivery runtime under sustained load)",
+            description="Concurrent delivery runtime load study: throughput, latency "
+            "percentiles, drop/abort rates per backpressure policy",
+            runner=run_fig_load,
+            quick_kwargs={
+                "messages": 3000,
+                "queue_capacity": 48,
+                "calibration_sends": 8,
             },
         )
     )

@@ -17,14 +17,15 @@ from repro.experiments.chsh_baseline import CHSHExperimentResult
 from repro.experiments.e2e import EndToEndResult
 from repro.experiments.fig2_message_counts import Fig2Result
 from repro.experiments.fig3_channel_length import Fig3Result
+from repro.experiments.fig_load import LoadStudyResult
 from repro.experiments.fig_security import SecurityStudyResult
 from repro.experiments.mitigation_study import MitigationStudyResult
 from repro.experiments.table1_comparison import Table1Result
 from repro.network.metrics import NetworkResult
 
 __all__ = ["render_result", "render_fig2", "render_fig3", "render_table1_result",
-           "render_attacks", "render_chsh", "render_e2e", "render_network",
-           "render_security"]
+           "render_attacks", "render_chsh", "render_e2e", "render_load",
+           "render_network", "render_security"]
 
 
 def render_fig2(result: Fig2Result) -> str:
@@ -237,6 +238,30 @@ def render_network(result: NetworkResult) -> str:
     return "\n".join(lines)
 
 
+def render_load(result: LoadStudyResult) -> str:
+    """Render the load study as one throughput/latency row per scenario."""
+    lines = [
+        f"Sustained-load study — {result.topology_name} "
+        f"({result.num_nodes} nodes, {result.workers} workers, "
+        f"{result.messages_per_scenario} msgs/scenario)",
+        f"  capacity ≈ {result.service_capacity:.0f} msgs/s "
+        f"(mean route {result.mean_hops:.2f} hops); calibrated abort "
+        f"probability {result.calibration['abort_probability']:.2f} "
+        f"from {result.calibration['sends']} live sends",
+        "  scenario          thruput   p50      p99      delivered  dropped (rej/shed/exp)",
+    ]
+    for name, scenario in result.scenarios:
+        stats = scenario.latency_percentiles()
+        lines.append(
+            f"  {name:<16}  {scenario.throughput:>7.1f}/s  "
+            f"{stats['p50'] * 1e3:>6.2f}ms {stats['p99'] * 1e3:>6.2f}ms  "
+            f"{scenario.delivered:>9}  {scenario.dropped:>6} "
+            f"({scenario.rejected}/{scenario.shed}/{scenario.expired})"
+            + ("  [interrupted]" if scenario.interrupted else "")
+        )
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     Fig2Result: render_fig2,
     Fig3Result: render_fig3,
@@ -247,6 +272,7 @@ _RENDERERS = {
     MitigationStudyResult: render_mitigation,
     NetworkResult: render_network,
     SecurityStudyResult: render_security,
+    LoadStudyResult: render_load,
 }
 
 

@@ -49,6 +49,7 @@ from repro.network.sessions import (
     run_session,
 )
 from repro.network.topology import NetworkTopology
+from repro.runtime.admission import NodeCapacityLedger
 from repro.telemetry import runtime as telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
@@ -303,11 +304,14 @@ class NetworkScheduler:
         return _Pending(request, record, route, qubits_needed, duration)
 
     def _reservation_pass(self, pendings: list[_Pending]) -> float:
-        """Discrete-event admission/timing; fills scheduling fields of records."""
-        memories = {
-            name: self.topology.node(name).spawn_memory()
-            for name in self.topology.node_names
-        }
+        """Discrete-event admission/timing; fills scheduling fields of records.
+
+        Capacity accounting lives in
+        :class:`~repro.runtime.admission.NodeCapacityLedger` — the same
+        ledger the delivery runtime uses — so both layers share one
+        definition of "this node can hold the session's pairs".
+        """
+        ledger = NodeCapacityLedger(self.topology)
         events: list[tuple[float, int, int, _Pending]] = []
         sequence = 0
 
@@ -327,21 +331,6 @@ class NetworkScheduler:
         queue: list[_Pending] = []
         sim_time = max((p.request.arrival_time for p in pendings), default=0.0)
 
-        def fits(pending: _Pending) -> bool:
-            return all(
-                memories[name].qubits_in_use() + needed <= capacity
-                for name, needed in pending.qubits_needed.items()
-                if (capacity := self.topology.node(name).qubit_capacity) is not None
-            )
-
-        def viable(pending: _Pending) -> bool:
-            """Could the session ever fit, even on an idle network?"""
-            return all(
-                self.topology.node(name).qubit_capacity is None
-                or needed <= self.topology.node(name).qubit_capacity
-                for name, needed in pending.qubits_needed.items()
-            )
-
         def admit(pending: _Pending, now: float) -> None:
             record = pending.record
             session_id = pending.request.session_id
@@ -356,8 +345,7 @@ class NetworkScheduler:
                 now - pending.request.arrival_time,
                 sum(pending.qubits_needed.values()),
             )
-            for name, needed in pending.qubits_needed.items():
-                memories[name].store(session_id, tuple(range(needed)))
+            ledger.reserve(session_id, pending.qubits_needed)
             record.start_time = now
             record.finish_time = now + pending.duration
             record.hold_time = (now - pending.request.arrival_time) / self.hold_time_unit
@@ -381,7 +369,7 @@ class NetworkScheduler:
                 continue
             sim_time = max(sim_time, now)
             if kind == _ARRIVAL:
-                if not viable(pending):
+                if not ledger.viable(pending.qubits_needed):
                     pending.resolved = True
                     pending.record.abort_reason = "insufficient_capacity"
                     telemetry.counter_inc(
@@ -391,22 +379,21 @@ class NetworkScheduler:
                         "session %d rejected: needs more qubits than any node has",
                         pending.request.session_id,
                     )
-                elif fits(pending):
+                elif ledger.fits(pending.qubits_needed):
                     admit(pending, now)
                 else:
                     queue.append(pending)
                     telemetry.observe("scheduler.queue_depth", len(queue))
             elif kind == _COMPLETION:
                 session_id = pending.request.session_id
-                for name in pending.qubits_needed:
-                    memories[name].retrieve(session_id)
+                ledger.release(session_id, pending.qubits_needed)
                 for sender, receiver in pending.route.hops():
                     self.topology.link(sender, receiver).classical_channel.broadcast(
                         "scheduler", "route_released", {"session": session_id}
                     )
                 still_waiting = []
                 for waiting in queue:
-                    if not waiting.resolved and fits(waiting):
+                    if not waiting.resolved and ledger.fits(waiting.qubits_needed):
                         admit(waiting, now)
                     elif not waiting.resolved:
                         still_waiting.append(waiting)

@@ -32,6 +32,7 @@ compiled path makes relative to the sequential reference implementation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
@@ -217,6 +218,13 @@ class PropagatorCache:
         end of the register limits (a 10-qubit compiled unitary is 16 MB),
         so eviction also triggers on byte pressure, least recently used
         first.
+
+    Thread safety: all accessors take an internal re-entrant lock, so one
+    cache may be shared by concurrent sessions (threaded sweeps, the
+    delivery runtime's worker pool).  Builds on a miss run *outside* the
+    lock — two threads missing the same key may both compile, but the
+    compilation is deterministic and last-write-wins, so the race costs
+    duplicate work, never wrong results.
     """
 
     def __init__(self, max_entries: int = 256, max_bytes: int = 256 * 2**20):
@@ -230,6 +238,7 @@ class PropagatorCache:
         self._steps: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._powers: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -275,25 +284,27 @@ class PropagatorCache:
     # -- whole-circuit entries ---------------------------------------------------------
     def get(self, key: tuple):
         """Return the compiled propagator for *key*, or ``None`` on a miss."""
-        entry = self._circuits.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._circuits.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._circuits.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._circuits.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, compiled) -> None:
         """Insert a compiled propagator, evicting the least recently used entry."""
-        if key not in self._circuits:
-            self._bytes += self._entry_bytes(compiled)
-        self._circuits[key] = compiled
-        self._circuits.move_to_end(key)
-        while len(self._circuits) > self.max_entries:
-            _, evicted = self._circuits.popitem(last=False)
-            self._bytes -= self._entry_bytes(evicted)
-            self.evictions += 1
-        self._evict_for_bytes()
+        with self._lock:
+            if key not in self._circuits:
+                self._bytes += self._entry_bytes(compiled)
+            self._circuits[key] = compiled
+            self._circuits.move_to_end(key)
+            while len(self._circuits) > self.max_entries:
+                _, evicted = self._circuits.popitem(last=False)
+                self._bytes -= self._entry_bytes(evicted)
+                self.evictions += 1
+            self._evict_for_bytes()
 
     # -- step and run-length entries -----------------------------------------------------
     def step(self, key: tuple, build) -> np.ndarray:
@@ -304,19 +315,25 @@ class PropagatorCache:
         signature embedded into different register sizes — or compiled under
         different noise models — yields different matrices.
         """
-        matrix = self._steps.get(key)
-        if matrix is None:
-            matrix = build()
-            self._steps[key] = matrix
-            self._bytes += self._entry_bytes(matrix)
+        with self._lock:
+            matrix = self._steps.get(key)
+            if matrix is not None:
+                self._steps.move_to_end(key)
+                return matrix
+        built = build()  # outside the lock: deterministic, so a duplicate
+        with self._lock:  # build under a race is wasted work, not corruption
+            matrix = self._steps.get(key)
+            if matrix is not None:
+                self._steps.move_to_end(key)
+                return matrix
+            self._steps[key] = built
+            self._bytes += self._entry_bytes(built)
             while len(self._steps) > 4 * self.max_entries:
                 _, evicted = self._steps.popitem(last=False)
                 self._bytes -= self._entry_bytes(evicted)
                 self.evictions += 1
             self._evict_for_bytes()
-        else:
-            self._steps.move_to_end(key)
-        return matrix
+        return built
 
     def power(self, key: tuple, count: int, matrix: np.ndarray) -> np.ndarray:
         """Return ``matrix ** count`` for a repeated instruction run, cached.
@@ -329,29 +346,37 @@ class PropagatorCache:
         if count == 1:
             return matrix
         power_key = (key, count)
-        result = self._powers.get(power_key)
-        if result is None:
-            result = np.linalg.matrix_power(matrix, count)
-            self._powers[power_key] = result
-            self._bytes += self._entry_bytes(result)
+        with self._lock:
+            result = self._powers.get(power_key)
+            if result is not None:
+                self._powers.move_to_end(power_key)
+                return result
+        built = np.linalg.matrix_power(matrix, count)
+        with self._lock:
+            result = self._powers.get(power_key)
+            if result is not None:
+                self._powers.move_to_end(power_key)
+                return result
+            self._powers[power_key] = built
+            self._bytes += self._entry_bytes(built)
             while len(self._powers) > 4 * self.max_entries:
                 _, evicted = self._powers.popitem(last=False)
                 self._bytes -= self._entry_bytes(evicted)
                 self.evictions += 1
             self._evict_for_bytes()
-        else:
-            self._powers.move_to_end(power_key)
-        return result
+        return built
 
     def clear(self) -> None:
         """Drop every cached entry (used when a noise model is swapped out)."""
-        self._circuits.clear()
-        self._steps.clear()
-        self._powers.clear()
-        self._bytes = 0
+        with self._lock:
+            self._circuits.clear()
+            self._steps.clear()
+            self._powers.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
-        return len(self._circuits)
+        with self._lock:
+            return len(self._circuits)
 
 
 def _run_length_segments(

@@ -1,0 +1,280 @@
+"""Admission-control building blocks for the concurrent delivery runtime.
+
+Three composable pieces, each clock-agnostic (every method takes ``now`` so
+the same classes drive both the wall-clock engine and the virtual-clock load
+simulation):
+
+* :class:`TokenBucket` — classic rate limiting: a bucket of ``burst`` tokens
+  refilled at ``rate`` per second; a request that finds no token is rate
+  limited.
+* :class:`AdmissionQueue` — a bounded FIFO with a configurable backpressure
+  policy (see the matrix below) and timeout-based expiry: an entry still
+  queued past its deadline is dropped the moment it would be dispatched.
+* :class:`NodeCapacityLedger` — per-node EPR-pair occupancy accounting built
+  on :class:`~repro.channel.memory.QuantumMemory`, extracted from (and still
+  used by) the network scheduler's reservation pass, so the runtime and the
+  discrete-event network simulator share one definition of "this node has
+  capacity".
+
+Backpressure policy matrix
+--------------------------
+==============  =============================================================
+``block``       The submitter waits for a queue slot (closed-loop clients;
+                the queue is effectively bounded by the caller population).
+                Nothing is dropped; latency absorbs the backpressure.
+``reject``      A request arriving at a full queue is refused immediately
+                (load shedding at the edge; the client sees a fast failure).
+``shed_oldest`` The new request is admitted and the *oldest* queued request
+                is dropped (freshness-first: bounded staleness under
+                overload, as in mailbox-style actor runtimes).
+==============  =============================================================
+
+Expiry is orthogonal to the policy: with an admission timeout every queued
+entry carries a deadline, and entries that exceeded it are resolved as
+``expired`` rather than executed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "AdmissionQueue",
+    "NodeCapacityLedger",
+    "QueueEntry",
+    "TokenBucket",
+]
+
+#: Backpressure policies accepted by :class:`AdmissionQueue` (and everything
+#: built on it: the delivery engine and the load harness).
+BACKPRESSURE_POLICIES = ("block", "reject", "shed_oldest")
+
+
+class TokenBucket:
+    """Token-bucket rate limiter (``rate`` tokens/second, ``burst`` capacity).
+
+    The bucket starts full.  :meth:`try_acquire` consumes one token if
+    available; :meth:`next_token_time` tells a blocking caller when to retry.
+    Time flows through the ``now`` arguments, so the bucket works unchanged
+    on a virtual clock.
+    """
+
+    def __init__(self, rate: float, burst: "float | None" = None):
+        if rate <= 0:
+            raise ConfigurationError("token-bucket rate must be positive")
+        burst = rate if burst is None else burst
+        if burst < 1:
+            raise ConfigurationError("token-bucket burst must be at least 1 token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._updated: "float | None" = None
+
+    def _refill(self, now: float) -> None:
+        if self._updated is None:
+            self._updated = now
+            return
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Consume one token if the bucket holds one; False when rate limited."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def next_token_time(self, now: float) -> float:
+        """The earliest time a token will be available (>= *now*)."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return now
+        return now + (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class QueueEntry:
+    """One queued item: opaque payload plus its admission bookkeeping."""
+
+    item: Any
+    enqueued_at: float
+    deadline: "float | None" = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+class AdmissionQueue:
+    """A bounded FIFO with backpressure policies and timeout-based expiry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued entries (``None`` = unbounded; the ``block`` policy
+        is typically paired with a bound enforced by the submitting side).
+    policy:
+        One of :data:`BACKPRESSURE_POLICIES`.  The queue itself implements
+        ``reject`` and ``shed_oldest``; ``block`` is reported to the caller
+        (:meth:`offer` returns ``"full"``) because *waiting* is the caller's
+        concern — the threaded engine parks the submitter on a condition
+        variable, the discrete-event simulator reschedules the arrival.
+    timeout:
+        Admission patience: entries queued longer than this are expired at
+        dispatch time (``None`` = wait indefinitely).
+    """
+
+    def __init__(
+        self,
+        capacity: "int | None" = None,
+        policy: str = "block",
+        timeout: "float | None" = None,
+    ):
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r}; known: "
+                f"{BACKPRESSURE_POLICIES}"
+            )
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("queue capacity must be positive or None")
+        if timeout is not None and timeout < 0:
+            raise ConfigurationError("admission timeout must be non-negative or None")
+        self.capacity = capacity
+        self.policy = policy
+        self.timeout = timeout
+        self._entries: "deque[QueueEntry]" = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    def offer(self, item: Any, now: float) -> "tuple[str, list[QueueEntry]]":
+        """Try to enqueue *item*; returns ``(verdict, shed_entries)``.
+
+        Verdicts: ``"queued"`` (admitted to the queue — possibly after
+        shedding the entries returned alongside), ``"rejected"`` (policy
+        ``reject`` and the queue is full) or ``"full"`` (policy ``block``
+        and the queue is full — the caller must wait and re-offer).
+        """
+        shed: list[QueueEntry] = []
+        if self.full:
+            if self.policy == "reject":
+                return "rejected", shed
+            if self.policy == "block":
+                return "full", shed
+            while self.full and self._entries:
+                shed.append(self._entries.popleft())
+        deadline = None if self.timeout is None else now + self.timeout
+        self._entries.append(QueueEntry(item, enqueued_at=now, deadline=deadline))
+        return "queued", shed
+
+    def pop(self, now: float) -> "tuple[QueueEntry | None, list[QueueEntry]]":
+        """Dequeue the next live entry, dropping expired ones along the way.
+
+        Returns ``(entry, expired_entries)``; ``entry`` is ``None`` when the
+        queue held only expired entries (or nothing).
+        """
+        expired: list[QueueEntry] = []
+        while self._entries:
+            entry = self._entries.popleft()
+            if entry.expired(now):
+                expired.append(entry)
+                continue
+            return entry, expired
+        return None, expired
+
+    def drain(self) -> "list[QueueEntry]":
+        """Remove and return every queued entry (shutdown support)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+    def remove_expired(self, now: float) -> "list[QueueEntry]":
+        """Drop and return every entry whose deadline has passed."""
+        live: "deque[QueueEntry]" = deque()
+        expired: list[QueueEntry] = []
+        for entry in self._entries:
+            (expired if entry.expired(now) else live).append(entry)
+        self._entries = live
+        return expired
+
+    def iter_entries(self) -> "Iterable[QueueEntry]":
+        """Read-only iteration in FIFO order (scheduler-style queue scans)."""
+        return iter(tuple(self._entries))
+
+    def remove(self, entry: QueueEntry) -> bool:
+        """Remove a specific entry (identity comparison); True if present."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+
+class NodeCapacityLedger:
+    """Per-node EPR-pair occupancy built on :class:`QuantumMemory` semantics.
+
+    This is the capacity model of the network scheduler's reservation pass,
+    extracted so the delivery runtime and the load simulator share it: every
+    node of the topology gets a memory spawned from its own configuration
+    (:meth:`~repro.network.topology.NetworkNode.spawn_memory`), a reservation
+    stores one keyed register per node holding the qubits the session pins
+    there, and release retrieves them.  ``fits``/``viable`` reproduce the
+    scheduler's admission predicates exactly.
+
+    The *topology* object only needs ``node_names`` and ``node(name)``
+    returning objects with ``qubit_capacity`` and ``spawn_memory()`` — the
+    :class:`~repro.network.topology.NetworkTopology` contract.
+    """
+
+    def __init__(self, topology: Any):
+        self.topology = topology
+        self.memories = {
+            name: topology.node(name).spawn_memory() for name in topology.node_names
+        }
+
+    def qubits_in_use(self, name: str) -> int:
+        """Occupancy of one node's memory."""
+        return self.memories[name].qubits_in_use()
+
+    def fits(self, needs: Mapping[str, int]) -> bool:
+        """Whether every needed node can hold its share *right now*."""
+        return all(
+            self.memories[name].qubits_in_use() + needed <= capacity
+            for name, needed in needs.items()
+            if (capacity := self.topology.node(name).qubit_capacity) is not None
+        )
+
+    def viable(self, needs: Mapping[str, int]) -> bool:
+        """Whether the request could ever fit, even on an idle network."""
+        return all(
+            self.topology.node(name).qubit_capacity is None
+            or needed <= self.topology.node(name).qubit_capacity
+            for name, needed in needs.items()
+        )
+
+    def reserve(self, key: Any, needs: Mapping[str, int]) -> None:
+        """Pin *needs* qubits per node under *key* (one register per node)."""
+        for name, needed in needs.items():
+            self.memories[name].store(key, tuple(range(needed)))
+
+    def release(self, key: Any, needs: Mapping[str, int]) -> None:
+        """Release the reservation *key* made on the given nodes."""
+        for name in needs:
+            self.memories[name].retrieve(key)
+
+    def occupancy(self) -> "OrderedDict[str, int]":
+        """Per-node qubits in use, in topology node order (telemetry/debug)."""
+        return OrderedDict(
+            (name, self.memories[name].qubits_in_use())
+            for name in self.topology.node_names
+        )

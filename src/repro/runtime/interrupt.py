@@ -1,0 +1,94 @@
+"""Cooperative graceful-shutdown signalling for long runtime operations.
+
+A sustained-load run can take minutes; killing it with SIGINT should not
+discard everything it measured.  This module holds one process-wide event
+that long-running loops poll (the load simulator between events, the live
+harness between submissions):
+
+* :func:`request_shutdown` sets the flag;
+* :func:`shutdown_requested` is the poll the loops call;
+* :func:`install_sigint_handler` wires SIGINT to the flag — the *first*
+  Ctrl-C requests a graceful drain (the run stops early, marks its result
+  ``interrupted`` and still flushes artifacts), a *second* Ctrl-C falls
+  through to the default ``KeyboardInterrupt`` for a hard stop.
+
+The flag is cooperative by design: nothing is killed, loops notice the
+request at their next poll point.  Callers that install the handler must
+restore the previous one (the context manager does both).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "graceful_sigint",
+    "install_sigint_handler",
+    "request_shutdown",
+    "reset_shutdown",
+    "shutdown_requested",
+]
+
+_log = get_logger("runtime.interrupt")
+
+_shutdown = threading.Event()
+
+
+def request_shutdown() -> None:
+    """Ask every polling loop to drain and stop at its next check point."""
+    _shutdown.set()
+
+
+def shutdown_requested() -> bool:
+    """Whether a graceful shutdown has been requested."""
+    return _shutdown.is_set()
+
+
+def reset_shutdown() -> None:
+    """Clear the flag (call before starting a new interruptible run)."""
+    _shutdown.clear()
+
+
+def install_sigint_handler() -> Any:
+    """Route SIGINT to :func:`request_shutdown`; returns the old handler.
+
+    First Ctrl-C: graceful (sets the flag, the run drains and flushes).
+    Second Ctrl-C: restores the previous handler and re-raises, so an
+    unresponsive run can still be killed the ordinary way.
+
+    Only the main thread of the main interpreter may install signal
+    handlers; callers on other threads get ``None`` back and cooperative
+    polling still works via :func:`request_shutdown`.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    previous = signal.getsignal(signal.SIGINT)
+
+    def _handler(signum: int, frame: Any) -> None:
+        if shutdown_requested():
+            signal.signal(signal.SIGINT, previous)
+            raise KeyboardInterrupt
+        _log.info("SIGINT: graceful shutdown requested (Ctrl-C again to force)")
+        request_shutdown()
+
+    signal.signal(signal.SIGINT, _handler)
+    return previous
+
+
+@contextmanager
+def graceful_sigint() -> Iterator[None]:
+    """Install the graceful SIGINT handler for the duration of a block."""
+    reset_shutdown()
+    previous = install_sigint_handler()
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
+        reset_shutdown()

@@ -1,0 +1,86 @@
+"""Tests for the ``fig_load`` sustained-load experiment."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.fig_load import LoadStudyResult, load_artifact_metrics, run_fig_load
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import render_result
+
+QUICK = dict(messages=400, queue_capacity=48, calibration_sends=4)
+
+
+@pytest.fixture(scope="module")
+def result() -> LoadStudyResult:
+    return run_fig_load(**QUICK)
+
+
+class TestRunFigLoad:
+    def test_covers_the_policy_matrix(self, result):
+        names = [name for name, _ in result.scenarios]
+        assert names == ["steady_block", "overload_reject", "burst_shed", "closed_loop"]
+        assert result.scenario("overload_reject").policy == "reject"
+        assert result.scenario("burst_shed").policy == "shed_oldest"
+        with pytest.raises(ExperimentError):
+            result.scenario("missing")
+
+    def test_total_offered_counts_all_scenarios(self, result):
+        assert result.total_offered == 4 * QUICK["messages"]
+
+    def test_steady_scenario_drops_nothing(self, result):
+        steady = result.scenario("steady_block")
+        assert steady.dropped == 0
+        assert steady.delivered + steady.aborted == QUICK["messages"]
+
+    def test_overload_scenarios_exercise_backpressure(self, result):
+        assert result.scenario("overload_reject").rejected > 0
+        assert result.scenario("burst_shed").shed > 0
+
+    def test_calibration_feeds_the_model(self, result):
+        calibration = result.calibration
+        assert calibration["sends"] == QUICK["calibration_sends"]
+        assert 0.0 <= calibration["abort_probability"] <= 1.0
+        assert calibration["wall_total_time"] > 0
+
+    def test_rerun_is_deterministic(self, result):
+        again = run_fig_load(**QUICK)
+        assert json.dumps(load_artifact_metrics(again), sort_keys=True) == json.dumps(
+            load_artifact_metrics(result), sort_keys=True
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_fig_load(messages=0)
+        with pytest.raises(ExperimentError):
+            run_fig_load(workers=0)
+
+
+class TestArtifactMetrics:
+    def test_metrics_are_flat_scalars_without_wall_clock(self, result):
+        metrics = load_artifact_metrics(result)
+        assert metrics["total_offered"] == 4 * QUICK["messages"]
+        assert not any(key.startswith("wall") or "wall_" in key for key in metrics)
+        for key, value in metrics.items():
+            assert isinstance(value, (int, float, str)), key
+
+    def test_percentiles_reported_per_scenario(self, result):
+        metrics = load_artifact_metrics(result)
+        for scenario in ("steady_block", "overload_reject", "burst_shed", "closed_loop"):
+            for stat in ("latency_p50", "latency_p95", "latency_p99", "latency_p999"):
+                assert f"{scenario}_{stat}" in metrics
+        assert metrics["steady_block_dropped"] == 0
+
+
+class TestRegistration:
+    def test_registered_with_quick_kwargs(self):
+        experiment = get_experiment("fig_load")
+        assert experiment.quick_kwargs["messages"] >= 2500  # ≥10⁴ over 4 scenarios
+        assert experiment.runner is run_fig_load
+
+    def test_renderer_mentions_every_scenario(self, result):
+        rendered = render_result(result)
+        assert "Sustained-load study" in rendered
+        for name in ("steady_block", "overload_reject", "burst_shed", "closed_loop"):
+            assert name in rendered

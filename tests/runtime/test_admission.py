@@ -1,0 +1,170 @@
+"""Unit tests for the admission-control building blocks."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.admission import (
+    BACKPRESSURE_POLICIES,
+    AdmissionQueue,
+    NodeCapacityLedger,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.05)
+        assert bucket.try_acquire(0.16)
+
+    def test_next_token_time(self):
+        bucket = TokenBucket(rate=4.0, burst=1)
+        assert bucket.next_token_time(0.0) == 0.0
+        bucket.try_acquire(0.0)
+        eta = bucket.next_token_time(0.0)
+        assert eta == pytest.approx(0.25)
+        assert not bucket.try_acquire(eta - 0.01)
+        assert bucket.try_acquire(eta + 0.001)
+
+    def test_burst_caps_accumulation(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        # A long idle period must not bank more than `burst` tokens.
+        grants = [bucket.try_acquire(100.0) for _ in range(3)]
+        assert grants == [True, True, False]
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        bucket.try_acquire(5.0)
+        # An out-of-order now must not produce negative refill.
+        assert not bucket.try_acquire(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=5.0, burst=0.5)
+
+
+class TestAdmissionQueue:
+    def test_policy_matrix_is_complete(self):
+        assert BACKPRESSURE_POLICIES == ("block", "reject", "shed_oldest")
+        for policy in BACKPRESSURE_POLICIES:
+            AdmissionQueue(capacity=2, policy=policy)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(policy="drop_newest")
+
+    def test_fifo_order(self):
+        queue = AdmissionQueue()
+        for item in "abc":
+            verdict, shed = queue.offer(item, 0.0)
+            assert verdict == "queued" and not shed
+        popped = [queue.pop(1.0)[0].item for _ in range(3)]
+        assert popped == ["a", "b", "c"]
+        entry, expired = queue.pop(1.0)
+        assert entry is None and not expired
+
+    def test_reject_policy_refuses_when_full(self):
+        queue = AdmissionQueue(capacity=2, policy="reject")
+        assert queue.offer("a", 0.0)[0] == "queued"
+        assert queue.offer("b", 0.0)[0] == "queued"
+        assert queue.offer("c", 0.0)[0] == "rejected"
+        assert len(queue) == 2
+
+    def test_block_policy_reports_full(self):
+        queue = AdmissionQueue(capacity=1, policy="block")
+        assert queue.offer("a", 0.0)[0] == "queued"
+        verdict, shed = queue.offer("b", 0.0)
+        assert verdict == "full" and not shed
+        assert len(queue) == 1  # the caller waits; nothing was enqueued
+
+    def test_shed_oldest_evicts_head(self):
+        queue = AdmissionQueue(capacity=2, policy="shed_oldest")
+        queue.offer("a", 0.0)
+        queue.offer("b", 0.0)
+        verdict, shed = queue.offer("c", 0.0)
+        assert verdict == "queued"
+        assert [entry.item for entry in shed] == ["a"]
+        assert [entry.item for entry in queue.iter_entries()] == ["b", "c"]
+
+    def test_timeout_expires_stale_entries_at_pop(self):
+        queue = AdmissionQueue(timeout=1.0)
+        queue.offer("old", 0.0)
+        queue.offer("fresh", 0.8)
+        entry, expired = queue.pop(1.5)
+        assert entry.item == "fresh"
+        assert [e.item for e in expired] == ["old"]
+
+    def test_remove_expired_without_pop(self):
+        queue = AdmissionQueue(timeout=0.5)
+        queue.offer("a", 0.0)
+        queue.offer("b", 0.4)
+        expired = queue.remove_expired(0.7)
+        assert [e.item for e in expired] == ["a"]
+        assert len(queue) == 1
+
+    def test_drain_empties_queue(self):
+        queue = AdmissionQueue()
+        for item in "xyz":
+            queue.offer(item, 0.0)
+        drained = queue.drain()
+        assert [entry.item for entry in drained] == ["x", "y", "z"]
+        assert len(queue) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(timeout=-1.0)
+
+
+class TestNodeCapacityLedger:
+    @pytest.fixture
+    def topology(self):
+        from repro.network.topology import build_topology
+
+        return build_topology("line", num_nodes=3, qubit_capacity=10)
+
+    def test_matches_scheduler_semantics(self, topology):
+        ledger = NodeCapacityLedger(topology)
+        names = topology.node_names
+        needs = {names[0]: 6, names[1]: 6}
+        assert ledger.viable(needs)
+        assert ledger.fits(needs)
+        ledger.reserve("s1", needs)
+        assert ledger.qubits_in_use(names[0]) == 6
+        # A second identical reservation exceeds capacity but stays viable.
+        assert not ledger.fits(needs)
+        assert ledger.viable(needs)
+        ledger.release("s1", needs)
+        assert ledger.fits(needs)
+        assert ledger.qubits_in_use(names[0]) == 0
+
+    def test_unviable_requests_never_fit(self, topology):
+        ledger = NodeCapacityLedger(topology)
+        names = topology.node_names
+        assert not ledger.viable({names[0]: 11})
+        assert not ledger.fits({names[0]: 11})
+
+    def test_occupancy_in_node_order(self, topology):
+        ledger = NodeCapacityLedger(topology)
+        names = topology.node_names
+        ledger.reserve("s", {names[1]: 4})
+        assert list(ledger.occupancy().items()) == [
+            (names[0], 0),
+            (names[1], 4),
+            (names[2], 0),
+        ]
+
+    def test_scheduler_uses_the_ledger(self):
+        """The network scheduler's reservation pass runs on this ledger."""
+        import inspect
+
+        from repro.network.scheduler import NetworkScheduler
+
+        source = inspect.getsource(NetworkScheduler._reservation_pass)
+        assert "NodeCapacityLedger" in source

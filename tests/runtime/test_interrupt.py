@@ -1,0 +1,74 @@
+"""Tests for the cooperative SIGINT / graceful-shutdown machinery."""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.runtime import interrupt
+
+
+@pytest.fixture(autouse=True)
+def clean_flag():
+    interrupt.reset_shutdown()
+    yield
+    interrupt.reset_shutdown()
+
+
+class TestShutdownFlag:
+    def test_request_and_poll(self):
+        assert not interrupt.shutdown_requested()
+        interrupt.request_shutdown()
+        assert interrupt.shutdown_requested()
+        interrupt.reset_shutdown()
+        assert not interrupt.shutdown_requested()
+
+    def test_flag_is_visible_across_threads(self):
+        seen = threading.Event()
+
+        def poller():
+            while not interrupt.shutdown_requested():
+                pass
+            seen.set()
+
+        thread = threading.Thread(target=poller, daemon=True)
+        thread.start()
+        interrupt.request_shutdown()
+        assert seen.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+
+class TestSigintHandler:
+    def test_first_sigint_sets_flag_second_raises(self):
+        previous = interrupt.install_sigint_handler()
+        try:
+            os.kill(os.getpid(), signal.SIGINT)
+            assert interrupt.shutdown_requested()
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+        finally:
+            signal.signal(signal.SIGINT, previous)
+            interrupt.reset_shutdown()
+        # The second Ctrl-C restored the previous handler on its way out.
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_graceful_sigint_context_restores_handler(self):
+        before = signal.getsignal(signal.SIGINT)
+        with interrupt.graceful_sigint():
+            assert signal.getsignal(signal.SIGINT) is not before
+            os.kill(os.getpid(), signal.SIGINT)
+            assert interrupt.shutdown_requested()
+        assert signal.getsignal(signal.SIGINT) is before
+        assert not interrupt.shutdown_requested()
+
+    def test_install_off_main_thread_returns_none(self):
+        result = {}
+
+        def worker():
+            result["handler"] = interrupt.install_sigint_handler()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert result["handler"] is None
