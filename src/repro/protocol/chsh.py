@@ -148,10 +148,19 @@ class DISecurityCheck:
         (two uniform draws), so memoised estimates are bit-identical to
         ``memoize=False`` — asserted by
         ``tests/protocol/test_simulator_backend.py``.
+    shared_branch_cache:
+        Optional externally owned cache used instead of the per-call one
+        when ``memoize`` is enabled.  A batch of sessions measuring the same
+        pair states (``run_session_batch``, ``BatchBackend``) shares one
+        dict so the branch statistics are computed once per batch rather
+        than once per session; entries are keyed by the full ``(settings,
+        alice setting, bob setting, state bytes)`` tuple, so checks with
+        different settings can safely share one cache.
     """
 
     settings: CHSHSettings = field(default_factory=CHSHSettings)
     memoize: bool = True
+    shared_branch_cache: "dict[tuple, tuple] | None" = None
 
     def estimate(
         self,
@@ -173,7 +182,13 @@ class DISecurityCheck:
             (j, k): 0 for j in (1, 2) for k in (1, 2)
         }
         counts: dict[tuple[int, int], int] = {(j, k): 0 for j in (1, 2) for k in (1, 2)}
-        branch_cache: dict[tuple, tuple] | None = {} if self.memoize else None
+        branch_cache: dict[tuple, tuple] | None = None
+        if self.memoize:
+            branch_cache = (
+                self.shared_branch_cache
+                if self.shared_branch_cache is not None
+                else {}
+            )
 
         for pair in pairs:
             alice_setting = self._draw_alice_setting(generator)
@@ -251,16 +266,18 @@ class DISecurityCheck:
     ) -> tuple[int, int]:
         """Measure one pair using per-state cached branch statistics.
 
-        The cache maps ``(alice setting, bob setting, state bytes)`` to
-        ``(p_alice_plus, p_bob_plus | alice=+1, p_bob_plus | alice=−1)``,
-        computed on first sight by exactly the operations the reference
-        ``_measure_pair`` performs — so subsequent pairs sharing the state
-        draw from bit-identical floats with the same two uniform draws.
-        ``None`` marks a zero-probability branch (only an error if drawn).
+        The cache maps ``(settings, alice setting, bob setting, state
+        bytes)`` to ``(p_alice_plus, p_bob_plus | alice=+1, p_bob_plus |
+        alice=−1)``, computed on first sight by exactly the operations the
+        reference ``_measure_pair`` performs — so subsequent pairs sharing
+        the state draw from bit-identical floats with the same two uniform
+        draws.  The settings component makes the key safe for caches shared
+        across checks (``shared_branch_cache``).  ``None`` marks a
+        zero-probability branch (only an error if drawn).
         """
         if pair.num_qubits != 2:
             raise ProtocolError("security-check pairs must be two-qubit states")
-        key = (alice_setting, bob_setting, self._state_key(pair))
+        key = (self.settings, alice_setting, bob_setting, self._state_key(pair))
         entry = branch_cache.get(key)
         if entry is None:
             alice_observable = equatorial_observable(

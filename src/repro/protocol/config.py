@@ -226,12 +226,12 @@ class ProtocolConfig:
                 f"unknown simulator_backend {self.simulator_backend!r}; "
                 f"choose from {BACKEND_CHOICES}"
             )
-        if self.simulator_backend == "stabilizer":
+        if self.simulator_backend in ("stabilizer", "stabilizer_batched"):
             eligibility = protocol_eligibility(self)
             if not eligibility.eligible:
                 raise ConfigurationError(
-                    "simulator_backend='stabilizer' requires Pauli-diagonal "
-                    f"session physics: {eligibility.reason}"
+                    f"simulator_backend={self.simulator_backend!r} requires "
+                    f"Pauli-diagonal session physics: {eligibility.reason}"
                 )
         if self.scenario is not None:
             from repro.attacks.scenarios import as_schedule

@@ -162,12 +162,20 @@ class Bob:
     same floats, so outcomes are bit-identical to the unmemoised path
     (``memoize=False``, the reference used by the protocol's ``dense``
     simulator backend).
+
+    ``shared_probability_cache`` optionally replaces the per-call cache with
+    an externally owned dict so a batch of sessions (``run_session_batch``,
+    ``BatchBackend``) computes each distinct state's Bell-outcome
+    probability vector once per batch.  The key — the state's matrix bytes —
+    is configuration-independent, so sharing across sessions with different
+    identities or seeds is exact.
     """
 
     identity: Identity
     peer_identity: Identity
     rng: object = None
     memoize: bool = True
+    shared_probability_cache: "dict[bytes, object] | None" = None
 
     def __post_init__(self):
         self.rng = as_rng(self.rng)
@@ -203,7 +211,13 @@ class Bob:
     ) -> dict[int, BellState]:
         """Bell-state measurement of the listed pairs (one shot per pair)."""
         outcomes: dict[int, BellState] = {}
-        probability_cache: dict[bytes, object] | None = {} if self.memoize else None
+        probability_cache: dict[bytes, object] | None = None
+        if self.memoize:
+            probability_cache = (
+                self.shared_probability_cache
+                if self.shared_probability_cache is not None
+                else {}
+            )
         for position in positions:
             if position not in pairs:
                 raise ProtocolError(f"no pair at position {position}")

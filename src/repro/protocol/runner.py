@@ -23,6 +23,7 @@ party impersonation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.channel.memory import QuantumMemory
@@ -44,7 +45,54 @@ from repro.telemetry import runtime as telemetry
 from repro.utils.bits import Bits, bits_to_str, bitstring_to_bits, hamming_distance, validate_bits
 from repro.utils.rng import as_rng, derive_rng
 
-__all__ = ["UADIQSDCProtocol"]
+__all__ = ["SessionCaches", "UADIQSDCProtocol", "run_session_batch"]
+
+
+@dataclass
+class SessionCaches:
+    """Memoisation state shared by a batch of protocol sessions.
+
+    A sweep or service wave runs many sessions whose pairs carry the same
+    handful of quantum states (the Pauli encodings of one channel output) and
+    whose security checks measure the same states under the same settings.
+    Each session's fast path already memoises those statistics *within* the
+    session; threading one :class:`SessionCaches` through a batch hoists the
+    memo across sessions, so the eigendecompositions and projector
+    applications run once per batch instead of once per session.
+
+    Sharing is exact: cache keys are configuration-independent (state bytes,
+    plus the CHSH settings for branch statistics), the cached floats are the
+    very values a solo session would compute, and per-pair RNG consumption is
+    unchanged — so batched sessions are bit-identical to unbatched ones
+    (asserted by ``tests/protocol/test_simulator_backend.py``).
+
+    Only engaged on the fast path (``simulator_backend != "dense"``); dense
+    reference sessions never memoise.
+    """
+
+    chsh_branches: dict = field(default_factory=dict)
+    bell_probabilities: dict = field(default_factory=dict)
+
+
+def run_session_batch(
+    sessions: "list[tuple[ProtocolConfig, Any, str | Bits]]",
+    caches: SessionCaches | None = None,
+) -> list:
+    """Run ``(config, attack, message)`` sessions sharing one memo state.
+
+    The fused counterpart of a per-session loop over
+    ``UADIQSDCProtocol(config, attack).run(message)``: each session still
+    consumes only its own seed-derived randomness (results are bit-identical
+    to solo runs), but state-dependent measurement statistics are computed
+    once per batch through *caches* (a fresh :class:`SessionCaches` when not
+    supplied).
+    """
+    if caches is None:
+        caches = SessionCaches()
+    return [
+        UADIQSDCProtocol(config, attack=attack, caches=caches).run(message)
+        for config, attack, message in sessions
+    ]
 
 
 class UADIQSDCProtocol:
@@ -57,11 +105,21 @@ class UADIQSDCProtocol:
     attack:
         Optional attack model implementing any subset of the hooks documented
         in :class:`repro.attacks.base.Attack`.  ``None`` runs an honest session.
+    caches:
+        Optional :class:`SessionCaches` shared with other sessions of a
+        batch (see :func:`run_session_batch`).  Only consulted on the fast
+        path; bit-identical to running without it.
     """
 
-    def __init__(self, config: ProtocolConfig, attack: Any | None = None):
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        attack: Any | None = None,
+        caches: "SessionCaches | None" = None,
+    ):
         self.config = config.validate()
         self.attack = attack
+        self.caches = caches
 
     # -- public API ----------------------------------------------------------------
     def run(self, message: "str | Bits") -> ProtocolResult:
@@ -105,6 +163,7 @@ class UADIQSDCProtocol:
         # engage the structure-sharing fast paths, which are bit-identical to
         # the reference by construction (see ProtocolConfig.simulator_backend).
         fast_path = self.config.simulator_backend != "dense"
+        caches = self.caches if fast_path else None
         alice = Alice(
             identity=encoding_identity_alice, peer_identity=identity_bob, rng=alice_rng
         )
@@ -113,6 +172,7 @@ class UADIQSDCProtocol:
             peer_identity=identity_alice,
             rng=bob_rng,
             memoize=fast_path,
+            shared_probability_cache=None if caches is None else caches.bell_probabilities,
         )
 
         transcript = ProtocolTranscript()
@@ -134,7 +194,11 @@ class UADIQSDCProtocol:
         # ----- Step 2: first DI security check ------------------------------------------
         round1_positions = register.assign_round1_check(rng=alice_rng)
         transcript.announce("alice", "round1_check_positions", list(round1_positions))
-        security_check = DISecurityCheck(self.config.chsh_settings, memoize=fast_path)
+        security_check = DISecurityCheck(
+            self.config.chsh_settings,
+            memoize=fast_path,
+            shared_branch_cache=None if caches is None else caches.chsh_branches,
+        )
         chsh_round1 = security_check.estimate(
             [pairs[p] for p in round1_positions], rng=chsh_rng
         )

@@ -64,7 +64,10 @@ __all__ = [
 ]
 
 #: The backend names every ``simulator_backend`` knob accepts.
-BACKEND_CHOICES = ("auto", "dense", "stabilizer")
+BACKEND_CHOICES = ("auto", "dense", "stabilizer", "stabilizer_batched")
+
+#: The two stabilizer-engine flavours (serial CHP and vectorized batch).
+_STABILIZER_BACKENDS = ("stabilizer", "stabilizer_batched")
 
 #: Gate names the stabilizer tableau implements (single source of truth is
 #: the engine; re-exported here because eligibility analysis is this
@@ -97,7 +100,8 @@ class DispatchDecision:
     Attributes
     ----------
     backend:
-        ``"stabilizer"`` or ``"dense"`` — the resolved execution backend.
+        ``"stabilizer"``, ``"stabilizer_batched"`` or ``"dense"`` — the
+        resolved execution backend.
     reason:
         Human-readable explanation (surfaced in result/job metadata so a
         user can see *why* a workload did or did not take the fast path).
@@ -108,8 +112,8 @@ class DispatchDecision:
 
     @property
     def use_stabilizer(self) -> bool:
-        """True when the tableau backend was selected."""
-        return self.backend == "stabilizer"
+        """True when a tableau backend (serial or batched) was selected."""
+        return self.backend in _STABILIZER_BACKENDS
 
 
 def _pauli_strings(num_qubits: int) -> Iterable[tuple[str, np.ndarray]]:
@@ -218,14 +222,19 @@ def select_backend(
     requested: str,
     circuits: "QuantumCircuit | Sequence[QuantumCircuit]",
     noise_model: NoiseModel | None = None,
+    batch: bool = False,
 ) -> DispatchDecision:
     """Resolve a requested backend for a (circuit batch, noise model) pair.
 
-    ``"dense"`` is always honoured.  ``"auto"`` picks the stabilizer backend
+    ``"dense"`` is always honoured.  ``"auto"`` picks a stabilizer backend
     exactly when every circuit is Clifford and every noise error that can
     fire on them is a Pauli mixture — the class on which the tableau is
     provably distribution-identical to the dense simulators — and falls
-    back to dense otherwise.  ``"stabilizer"`` raises
+    back to dense otherwise; with ``batch=True`` (a whole-batch submission,
+    i.e. a ``run_batch`` call) the vectorized ``"stabilizer_batched"``
+    engine is chosen over the serial one, since both are exact on this
+    class and the batched engine amortises per-circuit work.
+    ``"stabilizer"`` / ``"stabilizer_batched"`` raise
     :class:`~repro.exceptions.SimulationError` on ineligible input so that
     misconfiguration fails loudly rather than silently approximating.
     """
@@ -237,15 +246,16 @@ def select_backend(
         return _decide(requested, "dense", "dense backend requested")
     if isinstance(circuits, QuantumCircuit):
         circuits = [circuits]
+    forced_stabilizer = requested in _STABILIZER_BACKENDS
 
     non_clifford = next(
         (circuit for circuit in circuits if not circuit_is_clifford(circuit)), None
     )
     if non_clifford is not None:
         reason = f"circuit {non_clifford.name!r} contains non-Clifford gates"
-        if requested == "stabilizer":
+        if forced_stabilizer:
             raise SimulationError(
-                f"simulator_backend='stabilizer' was forced but {reason}"
+                f"simulator_backend={requested!r} was forced but {reason}"
             )
         return _decide(requested, "dense", reason)
 
@@ -262,13 +272,19 @@ def select_backend(
             f"noise model {getattr(noise_model, 'name', 'noise_model')!r} attaches "
             f"non-Pauli errors to circuit {non_pauli.name!r}"
         )
-        if requested == "stabilizer":
+        if forced_stabilizer:
             raise SimulationError(
-                f"simulator_backend='stabilizer' was forced but {reason}; "
+                f"simulator_backend={requested!r} was forced but {reason}; "
                 "consider pauli_twirl_noise_model() for an explicit approximation"
             )
         return _decide(requested, "dense", reason)
 
+    if requested == "stabilizer_batched" or (requested == "auto" and batch):
+        return _decide(
+            requested,
+            "stabilizer_batched",
+            "Clifford circuits with Pauli-diagonal noise (vectorized batch)",
+        )
     return _decide(
         requested, "stabilizer", "Clifford circuits with Pauli-diagonal noise"
     )

@@ -53,7 +53,29 @@ __all__ = [
     "SimulationResult",
     "StatevectorSimulator",
     "DensityMatrixSimulator",
+    "renormalize_readout_probabilities",
 ]
+
+
+def renormalize_readout_probabilities(probabilities: np.ndarray) -> np.ndarray:
+    """Clip and renormalize a readout-folded outcome distribution.
+
+    Confusion-matrix folding (:meth:`NoiseModel.apply_readout_errors`) can
+    leave tiny negative entries from floating-point cancellation; every
+    backend that samples from a folded distribution must repair it the same
+    way — clip to zero, then divide by the sum — or fixed-seed multinomial
+    draws diverge between backends.  This helper is that single byte-exact
+    sequence, shared by the dense, stabilizer and batched-stabilizer
+    samplers (parity asserted by the cross-backend conformance suite).
+    """
+    probabilities = np.clip(probabilities, 0.0, None)
+    total = probabilities.sum()
+    if total <= 0.0:
+        raise SimulationError(
+            "readout-error folding produced an empty distribution; "
+            "check the confusion matrix for invalid entries"
+        )
+    return probabilities / total
 
 
 @dataclass
@@ -565,8 +587,7 @@ class DensityMatrixSimulator:
             probabilities = self.noise_model.apply_readout_errors(
                 probabilities, measured_qubits
             )
-            probabilities = np.clip(probabilities, 0.0, None)
-            probabilities = probabilities / probabilities.sum()
+            probabilities = renormalize_readout_probabilities(probabilities)
 
         samples = generator.multinomial(shots, probabilities)
         counts: dict[str, int] = {}

@@ -52,7 +52,11 @@ from repro.quantum.batch import (
     measurements_are_terminal,
 )
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.simulator import SimulationResult, _format_clbits
+from repro.quantum.simulator import (
+    SimulationResult,
+    _format_clbits,
+    renormalize_readout_probabilities,
+)
 from repro.telemetry import runtime as telemetry
 from repro.utils.rng import as_rng
 
@@ -78,10 +82,17 @@ _GATE_ORDER = {
 
 #: Analytic-path cap on measured qubits: the exact probability vector has
 #: ``2**m`` entries (the same quantity the dense samplers materialise).
+#: The bound is INCLUSIVE — exactly 12 measured qubits still runs
+#: analytically, 13 falls back — matching the "measured qubits ≤ 12" error
+#: message; both sides of the boundary are pinned by
+#: ``tests/quantum/test_analytic_envelope.py``.
 ANALYTIC_MAX_MEASURED_QUBITS = 12
 
 #: Analytic-path cap on random measurement outcomes (symbols): enumerating
-#: the affine outcome subspace costs ``2**r`` rows.
+#: the affine outcome subspace costs ``2**r`` rows.  Inclusive like the
+#: measured-qubit cap: exactly 16 symbols still runs analytically, 17 falls
+#: back ("random outcomes ≤ 16"); boundary pinned by
+#: ``tests/quantum/test_analytic_envelope.py``.
 ANALYTIC_MAX_SYMBOLS = 16
 
 
@@ -645,6 +656,8 @@ class StabilizerSimulator:
                 for qubit, clbit in zip(instruction.qubits, instruction.clbits):
                     measure_map[qubit] = clbit
         measured_qubits = sorted(measure_map)
+        # Strict ">" keeps the documented bound inclusive: exactly
+        # ANALYTIC_MAX_MEASURED_QUBITS measured qubits stays analytic.
         if len(measured_qubits) > ANALYTIC_MAX_MEASURED_QUBITS:
             return None
 
@@ -689,6 +702,7 @@ class StabilizerSimulator:
             elif instruction.kind == "measure":
                 for qubit in instruction.qubits:
                     forms[qubit] = tableau.measure_symbolic(qubit)
+            # Strict ">": exactly ANALYTIC_MAX_SYMBOLS symbols stays analytic.
             if tableau.num_symbols > ANALYTIC_MAX_SYMBOLS:
                 return None
 
@@ -838,8 +852,7 @@ class StabilizerSimulator:
             probabilities = self._noise_model.apply_readout_errors(
                 probabilities, distribution.measured_qubits
             )
-            probabilities = np.clip(probabilities, 0.0, None)
-            probabilities = probabilities / probabilities.sum()
+            probabilities = renormalize_readout_probabilities(probabilities)
         samples = generator.multinomial(shots, probabilities)
         counts: dict[str, int] = {}
         width = len(distribution.measured_qubits)

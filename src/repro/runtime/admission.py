@@ -32,6 +32,19 @@ Backpressure policy matrix
 Expiry is orthogonal to the policy: with an admission timeout every queued
 entry carries a deadline, and entries that exceeded it are resolved as
 ``expired`` rather than executed.
+
+Deadline boundary (all three policies): an entry is expired strictly
+*after* its deadline — at ``now == deadline`` it is still admissible and
+:meth:`AdmissionQueue.pop` dispatches it.  The closed interval matches the
+deadline's construction (``enqueued_at + timeout`` means "may wait *up to*
+``timeout``", so ``timeout=0`` still permits same-tick dispatch) and is
+enforced only at dispatch time: :meth:`AdmissionQueue.offer` never expires
+entries, so under ``block`` a full queue whose head is past its deadline
+still reports ``"full"`` (the head expires on the next ``pop``), and under
+``shed_oldest`` a shed that races an expiry at the same tick resolves the
+head as *shed*, not expired — the entry leaves through exactly one
+accounting channel.  Exact-boundary behaviour for every policy is pinned by
+``tests/runtime/test_admission.py``.
 """
 
 from __future__ import annotations
@@ -108,6 +121,12 @@ class QueueEntry:
     deadline: "float | None" = None
 
     def expired(self, now: float) -> bool:
+        """True strictly after the deadline; ``now == deadline`` is admissible.
+
+        The inclusive boundary makes ``deadline = enqueued_at + timeout``
+        mean "may wait up to *timeout*" (so ``timeout=0`` still allows
+        same-tick dispatch); pinned by ``tests/runtime/test_admission.py``.
+        """
         return self.deadline is not None and now > self.deadline
 
 
@@ -181,7 +200,9 @@ class AdmissionQueue:
         """Dequeue the next live entry, dropping expired ones along the way.
 
         Returns ``(entry, expired_entries)``; ``entry`` is ``None`` when the
-        queue held only expired entries (or nothing).
+        queue held only expired entries (or nothing).  An entry whose
+        ``deadline == now`` is *not* expired — it dispatches on this call
+        (see :meth:`QueueEntry.expired` for the boundary rationale).
         """
         expired: list[QueueEntry] = []
         while self._entries:

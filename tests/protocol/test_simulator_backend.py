@@ -251,3 +251,64 @@ class TestSourceEmissionSharing:
             preparation_noise=depolarizing_channel(0.1)
         ).emit(0)
         assert np.array_equal(shared.matrix, single.matrix)
+
+
+class TestSessionBatchFusion:
+    """Cross-session cache sharing must be invisible in the results.
+
+    ``run_session_batch`` threads one :class:`SessionCaches` through every
+    fast-path session; the caches memoize only configuration-keyed pure
+    measurement statistics, so fused sessions are bit-identical to solo runs.
+    """
+
+    def _sessions(self, seeds, message="0110" * 4):
+        return [
+            (ProtocolConfig.default(len(message), seed=seed), None, message)
+            for seed in seeds
+        ]
+
+    def test_fused_batch_bit_identical_to_solo_sessions(self):
+        from repro.protocol.runner import run_session_batch
+
+        seeds = [0, 1, 7, 11, 2024]
+        message = "0110" * 4
+        solo = [
+            UADIQSDCProtocol(config).run(msg)
+            for config, _attack, msg in self._sessions(seeds, message)
+        ]
+        fused = run_session_batch(self._sessions(seeds, message))
+        assert [_session_fingerprint(r) for r in fused] == [
+            _session_fingerprint(r) for r in solo
+        ]
+
+    def test_fused_attacked_batch_bit_identical(self):
+        from repro.protocol.runner import run_session_batch
+
+        message = "10" * 8
+        config = ProtocolConfig.default(len(message), seed=11)
+        solo = UADIQSDCProtocol(config, attack=InterceptResendAttack()).run(message)
+        fused = run_session_batch(
+            [(config, InterceptResendAttack(), message)] * 3
+        )
+        for result in fused:
+            assert _session_fingerprint(result) == _session_fingerprint(solo)
+
+    def test_shared_caches_populate_across_sessions(self):
+        from repro.protocol.runner import SessionCaches, run_session_batch
+
+        caches = SessionCaches()
+        run_session_batch(self._sessions([0, 1]), caches=caches)
+        assert caches.chsh_branches  # CHSH branch statistics were shared
+        assert caches.bell_probabilities  # Bob's Bell distributions were shared
+
+    def test_caches_are_ignored_on_the_dense_path(self):
+        from repro.protocol.runner import SessionCaches
+
+        message = "01010101"
+        config = ProtocolConfig.default(len(message), seed=0).with_simulator_backend(
+            "dense"
+        )
+        caches = SessionCaches()
+        result = UADIQSDCProtocol(config, caches=caches).run(message)
+        assert result.metadata["session_fast_path"] is False
+        assert not caches.chsh_branches and not caches.bell_probabilities

@@ -1,0 +1,111 @@
+"""Boundary pins for the stabilizer analytic-sampling envelope.
+
+The stabilizer simulator samples measurement distributions analytically only
+while a circuit stays inside the documented envelope — at most
+``ANALYTIC_MAX_MEASURED_QUBITS`` (12) measured qubits and at most
+``ANALYTIC_MAX_SYMBOLS`` (16) random measurement outcomes.  Both bounds are
+*inclusive*: exactly 12 qubits / exactly 16 symbols still run analytically,
+and 13 / 17 fall back to per-shot trajectories.  These tests pin each side of
+both boundaries (the doc comments in ``repro/quantum/stabilizer.py`` point
+here) and cross-check the at-the-boundary analytic results bit for bit
+against the dense backends so an off-by-one regression cannot pass silently.
+"""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+from repro.quantum.stabilizer import (
+    ANALYTIC_MAX_MEASURED_QUBITS,
+    ANALYTIC_MAX_SYMBOLS,
+    StabilizerSimulator,
+)
+
+SHOTS = 2048
+
+
+def ghz_circuit(width: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(width, width, name=f"ghz_{width}")
+    circuit.h(0)
+    for qubit in range(width - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure(range(width), range(width))
+    return circuit
+
+
+def symbol_circuit(reset_cycles: int) -> QuantumCircuit:
+    """A 2-qubit circuit with ``reset_cycles + 1`` random measurement symbols.
+
+    Each ``h``/``reset`` cycle collapses one random outcome and the final
+    Bell measurement adds exactly one more (the second clbit is determined),
+    so ``reset_cycles = 15`` sits exactly at ``ANALYTIC_MAX_SYMBOLS = 16``.
+    """
+    circuit = QuantumCircuit(2, 2, name=f"symbols_{reset_cycles + 1}")
+    for _ in range(reset_cycles):
+        circuit.h(0)
+        circuit.reset(0)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure([0, 1], [0, 1])
+    return circuit
+
+
+class TestMeasuredQubitBoundary:
+    def test_documented_bound_is_twelve(self):
+        assert ANALYTIC_MAX_MEASURED_QUBITS == 12
+
+    def test_exactly_twelve_measured_qubits_stays_analytic(self):
+        result = StabilizerSimulator(seed=11).run(
+            ghz_circuit(ANALYTIC_MAX_MEASURED_QUBITS), shots=SHOTS
+        )
+        assert result.metadata["stabilizer_mode"] == "analytic"
+
+    def test_at_boundary_counts_match_statevector_bit_for_bit(self):
+        circuit = ghz_circuit(ANALYTIC_MAX_MEASURED_QUBITS)
+        stabilizer = StabilizerSimulator(seed=11).run(circuit, shots=SHOTS)
+        dense = StatevectorSimulator(seed=11).run(circuit, shots=SHOTS)
+        assert stabilizer.counts == dense.counts
+
+    def test_thirteen_measured_qubits_falls_back_to_trajectories(self):
+        result = StabilizerSimulator(seed=11).run(
+            ghz_circuit(ANALYTIC_MAX_MEASURED_QUBITS + 1), shots=64
+        )
+        assert result.metadata["stabilizer_mode"] == "trajectory"
+
+    def test_thirteen_measured_qubits_forced_analytic_raises(self):
+        with pytest.raises(SimulationError, match="analytic envelope"):
+            StabilizerSimulator(seed=11).run(
+                ghz_circuit(ANALYTIC_MAX_MEASURED_QUBITS + 1),
+                shots=64,
+                method="analytic",
+            )
+
+
+class TestRandomSymbolBoundary:
+    def test_documented_bound_is_sixteen(self):
+        assert ANALYTIC_MAX_SYMBOLS == 16
+
+    def test_exactly_sixteen_symbols_stays_analytic(self):
+        result = StabilizerSimulator(seed=13).run(
+            symbol_circuit(ANALYTIC_MAX_SYMBOLS - 1), shots=SHOTS
+        )
+        assert result.metadata["stabilizer_mode"] == "analytic"
+
+    def test_at_boundary_counts_match_density_matrix_bit_for_bit(self):
+        circuit = symbol_circuit(ANALYTIC_MAX_SYMBOLS - 1)
+        stabilizer = StabilizerSimulator(seed=13).run(circuit, shots=SHOTS)
+        dense = DensityMatrixSimulator(seed=13).run(circuit, shots=SHOTS)
+        assert stabilizer.counts == dense.counts
+
+    def test_seventeen_symbols_falls_back_to_trajectories(self):
+        result = StabilizerSimulator(seed=13).run(
+            symbol_circuit(ANALYTIC_MAX_SYMBOLS), shots=64
+        )
+        assert result.metadata["stabilizer_mode"] == "trajectory"
+
+    def test_seventeen_symbols_forced_analytic_raises(self):
+        with pytest.raises(SimulationError, match="analytic envelope"):
+            StabilizerSimulator(seed=13).run(
+                symbol_circuit(ANALYTIC_MAX_SYMBOLS), shots=64, method="analytic"
+            )

@@ -307,3 +307,160 @@ class TestBackendDispatchConformance:
         )
         stab = StabilizerSimulator(noise_model=model, seed=11).run(circuit, shots=SHOTS)
         assert stab.counts == dense.counts
+
+
+# -- batched-stabilizer conformance ----------------------------------------------------
+class TestBatchedStabilizerConformance:
+    """The vectorized batched backend reproduces the serial stabilizer path.
+
+    Bit-identical counts across batch sizes {1, 7, 64} under three seeds: the
+    batched analytic plan hoists the serial path's pure post-processing
+    (readout fold, renormalize, key rendering) and draws the same single
+    multinomial per circuit in submission order, so equal seeds mean equal
+    histograms — including under Pauli noise and deep η-repeat chains.
+    """
+
+    def _battery_circuits(self, count: int, noisy: bool) -> list:
+        battery = NOISY_BATTERY if noisy else NOISELESS_BATTERY
+        builders = [param.values[0] for param in battery]
+        return [builders[i % len(builders)]() for i in range(count)]
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_noiseless_batches_bit_identical_to_serial(self, seed, batch_size):
+        from repro.quantum.tableau_batch import BatchedStabilizerSimulator
+
+        circuits = self._battery_circuits(batch_size, noisy=False)
+        serial = StabilizerSimulator(seed=seed).run_batch(circuits, shots=SHOTS)
+        batched = BatchedStabilizerSimulator(seed=seed).run_batch(circuits, shots=SHOTS)
+        assert [r.counts for r in batched.results] == [
+            r.counts for r in serial.results
+        ]
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_pauli_noise_batches_bit_identical_to_serial(self, seed, batch_size):
+        from repro.quantum.tableau_batch import BatchedStabilizerSimulator
+
+        model = pauli_noise_model()
+        circuits = self._battery_circuits(batch_size, noisy=True)
+        serial = StabilizerSimulator(noise_model=model, seed=seed).run_batch(
+            circuits, shots=SHOTS
+        )
+        batched = BatchedStabilizerSimulator(noise_model=model, seed=seed).run_batch(
+            circuits, shots=SHOTS
+        )
+        assert [r.counts for r in batched.results] == [
+            r.counts for r in serial.results
+        ]
+
+    def test_eta_repeat_compression_parity(self):
+        # Deep identity chains exercise the η-repeat compression on both
+        # paths; the batched backend must agree bit for bit and with dense.
+        from repro.quantum.tableau_batch import BatchedStabilizerSimulator
+
+        model = pauli_noise_model()
+        circuit = message_transfer("10", eta=120)
+        dense = DensityMatrixSimulator(noise_model=model, seed=41).run(
+            circuit, shots=SHOTS
+        )
+        batched = BatchedStabilizerSimulator(noise_model=model, seed=41).run(
+            circuit, shots=SHOTS
+        )
+        assert batched.counts == dense.counts
+
+    def test_batched_trajectory_statistically_equivalent(self):
+        from repro.quantum.tableau_batch import BatchedStabilizerSimulator
+
+        model = pauli_noise_model()
+        circuit = reset_circuit()
+        analytic = StabilizerSimulator(noise_model=model, seed=7).run(
+            circuit, shots=4096
+        )
+        trajectory = BatchedStabilizerSimulator(noise_model=model, seed=8).run(
+            circuit, shots=4096, method="trajectory"
+        )
+        assert trajectory.metadata["stabilizer_mode"] == "trajectory"
+        assert_statistically_equivalent(analytic.counts, trajectory.counts)
+
+    def test_auto_batch_routes_ideal_device_to_batched_backend(self):
+        backend = NoisyBackend(DeviceModel.ideal(2), seed=5)
+        circuits = [message_transfer(m) for m in ("00", "01", "10", "11")]
+        counts = backend.run_batch(circuits, shots=512)
+        for job in backend.jobs[-len(circuits):]:
+            assert job.metadata["backend"] == "stabilizer_batched"
+        dense_backend = NoisyBackend(
+            DeviceModel.ideal(2), seed=5, simulator_backend="dense"
+        )
+        dense_counts = dense_backend.run_batch(
+            [message_transfer(m) for m in ("00", "01", "10", "11")], shots=512
+        )
+        assert [dict(c.items()) for c in counts] == [
+            dict(c.items()) for c in dense_counts
+        ]
+
+    def test_forced_batched_raises_on_non_clifford_circuit(self):
+        from repro.exceptions import SimulationError
+        from repro.quantum.dispatch import select_backend
+
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.measure_all()
+        with pytest.raises(SimulationError, match="forced"):
+            select_backend("stabilizer_batched", circuit, None)
+
+    def test_forced_batched_raises_on_thermal_relaxation_device(self):
+        from repro.exceptions import SimulationError
+
+        backend = NoisyBackend(
+            DeviceModel.ibm_brisbane(), seed=5, simulator_backend="stabilizer_batched"
+        )
+        with pytest.raises(SimulationError, match="forced"):
+            backend.run(message_transfer("01"), shots=64)
+
+
+# -- readout-error renormalization parity ----------------------------------------------
+class TestReadoutRenormalizationParity:
+    """All backends share one clip-to-renormalize helper for readout folding.
+
+    The dense sampler, the stabilizer analytic sampler, and the batched plan
+    all call :func:`renormalize_readout_probabilities`, so float-noise
+    handling at the clip boundary cannot diverge between backends.
+    """
+
+    def test_helper_clips_negative_float_noise(self):
+        from repro.quantum.simulator import renormalize_readout_probabilities
+
+        probabilities = np.array([0.5, -1e-17, 0.5 - 1e-17])
+        cleaned = renormalize_readout_probabilities(probabilities)
+        assert (cleaned >= 0.0).all()
+        assert cleaned.sum() == pytest.approx(1.0)
+        assert cleaned[1] == 0.0
+
+    def test_helper_rejects_all_nonpositive_distribution(self):
+        from repro.exceptions import SimulationError
+        from repro.quantum.simulator import renormalize_readout_probabilities
+
+        with pytest.raises(SimulationError, match="empty distribution"):
+            renormalize_readout_probabilities(np.array([0.0, -1e-18]))
+
+    def test_extreme_asymmetric_readout_parity_across_backends(self):
+        # An adversarially skewed confusion matrix stresses the clip-and-
+        # renormalize path; all three exact backends must stay bit-identical.
+        from repro.quantum.tableau_batch import BatchedStabilizerSimulator
+
+        model = NoiseModel("extreme_readout")
+        model.add_all_qubit_error(depolarizing_channel(0.004), "id")
+        model.add_readout_error(ReadoutError(0.49, 0.002))
+        circuit = message_transfer("11", eta=40)
+        dense = DensityMatrixSimulator(noise_model=model, seed=17).run(
+            circuit, shots=SHOTS
+        )
+        serial = StabilizerSimulator(noise_model=model, seed=17).run(
+            circuit, shots=SHOTS
+        )
+        batched = BatchedStabilizerSimulator(noise_model=model, seed=17).run(
+            circuit, shots=SHOTS
+        )
+        assert serial.counts == dense.counts
+        assert batched.counts == dense.counts

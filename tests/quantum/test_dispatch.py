@@ -241,4 +241,4 @@ class TestProtocolEligibility:
             config.validate()
 
     def test_backend_choices_contract(self):
-        assert BACKEND_CHOICES == ("auto", "dense", "stabilizer")
+        assert BACKEND_CHOICES == ("auto", "dense", "stabilizer", "stabilizer_batched")

@@ -122,6 +122,73 @@ class TestAdmissionQueue:
             AdmissionQueue(timeout=-1.0)
 
 
+class TestDeadlineBoundary:
+    """Exact-boundary pins for timeout expiry across all three policies.
+
+    The contract (documented in ``repro/runtime/admission.py``): an entry is
+    expired strictly *after* its deadline, so ``now == deadline`` still
+    dispatches; expiry is enforced only at ``pop``; and a ``shed_oldest``
+    eviction racing an expiry at the same tick resolves the head as shed.
+    """
+
+    def test_pop_at_exact_deadline_dispatches(self):
+        queue = AdmissionQueue(timeout=1.0)
+        queue.offer("edge", 0.0)
+        entry, expired = queue.pop(1.0)  # now == deadline
+        assert entry is not None and entry.item == "edge"
+        assert not expired
+
+    def test_pop_just_after_deadline_expires(self):
+        queue = AdmissionQueue(timeout=1.0)
+        queue.offer("late", 0.0)
+        entry, expired = queue.pop(1.0 + 1e-9)
+        assert entry is None
+        assert [e.item for e in expired] == ["late"]
+
+    def test_zero_timeout_still_allows_same_tick_dispatch(self):
+        # deadline = enqueued_at + 0: "may wait up to 0" admits the entry
+        # when offer and pop land on the same tick.
+        queue = AdmissionQueue(timeout=0.0)
+        queue.offer("now", 5.0)
+        entry, expired = queue.pop(5.0)
+        assert entry is not None and entry.item == "now"
+        assert not expired
+
+    def test_expired_entry_is_admissible_at_its_own_deadline_via_remove_expired(self):
+        queue = AdmissionQueue(timeout=2.0)
+        queue.offer("a", 0.0)
+        assert queue.remove_expired(2.0) == []  # boundary: still live
+        assert [e.item for e in queue.remove_expired(2.0 + 1e-9)] == ["a"]
+
+    def test_block_policy_reports_full_even_with_expirable_head(self):
+        # offer() never expires entries: the head past its deadline still
+        # occupies its slot until the next pop observes it.
+        queue = AdmissionQueue(capacity=1, policy="block", timeout=1.0)
+        queue.offer("stale", 0.0)
+        verdict, shed = queue.offer("fresh", 10.0)
+        assert verdict == "full" and not shed
+        entry, expired = queue.pop(10.0)
+        assert entry is None
+        assert [e.item for e in expired] == ["stale"]
+
+    def test_reject_policy_refuses_even_with_expirable_head(self):
+        queue = AdmissionQueue(capacity=1, policy="reject", timeout=1.0)
+        queue.offer("stale", 0.0)
+        assert queue.offer("fresh", 10.0)[0] == "rejected"
+
+    def test_shed_racing_expiry_at_same_tick_resolves_as_shed(self):
+        # The head is both past its deadline and the shed victim; it must
+        # leave through exactly one accounting channel — the shed list.
+        queue = AdmissionQueue(capacity=1, policy="shed_oldest", timeout=1.0)
+        queue.offer("victim", 0.0)
+        verdict, shed = queue.offer("fresh", 10.0)  # head expired long ago
+        assert verdict == "queued"
+        assert [e.item for e in shed] == ["victim"]
+        entry, expired = queue.pop(10.0)
+        assert entry.item == "fresh"
+        assert not expired  # the victim was shed, never double-counted
+
+
 class TestNodeCapacityLedger:
     @pytest.fixture
     def topology(self):
