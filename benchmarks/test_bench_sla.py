@@ -1,0 +1,68 @@
+"""Bench ``fig_sla``: the SLA sweep under time-varying conditions.
+
+Tracks the cost of the dynamic reservation pass plus QoS-weighted admission
+on top of the static scheduler: a quick offered-load × condition-profile
+sweep (static and drift_outage cells) with three priority classes.  Records
+the goodput knee per profile and the delivery/reroute totals so the
+trajectory gate catches both performance and behavioural drift of the
+network digital twin.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_result
+from repro.experiments.fig_sla import run_fig_sla
+
+
+def test_bench_sla(benchmark, record, capsys):
+    started = time.perf_counter()
+    result = run_once(
+        benchmark,
+        run_fig_sla,
+        num_sessions=24,
+        loads=(0.6, 1.5, 3.0),
+        profiles=("static", "drift_outage"),
+        check_pairs=16,
+        executor="thread",
+        seed=13,
+    )
+    elapsed = time.perf_counter() - started
+
+    with capsys.disabled():
+        print()
+        print(render_result(result))
+
+    # Shape: the full 2-profile × 3-load grid, every session accounted for.
+    assert len(result.points) == 6
+    for point in result.points:
+        network = point.result
+        assert (
+            network.delivered_count + network.aborted_count + network.rejected_count
+            == 24
+        )
+    # The sweep must deliver traffic and the dynamic cells must disturb it.
+    delivered = sum(point.result.delivered_count for point in result.points)
+    reroutes = sum(
+        point.result.reroute_count
+        for point in result.points
+        if point.profile == "drift_outage"
+    )
+    assert delivered >= 20
+    assert reroutes > 0
+    # CI-quick budget: the whole sweep stays under 10 s of wall clock.
+    assert elapsed < 10.0
+
+    record(
+        delivered=delivered,
+        reroutes=reroutes,
+        static_knee_load=result.goodput_knee("static"),
+        drift_outage_knee_load=result.goodput_knee("drift_outage"),
+        static_goodput_light=result.point("static", 0.6).goodput_bits,
+        static_goodput_heavy=result.point("static", 3.0).goodput_bits,
+        drift_outage_goodput_light=result.point("drift_outage", 0.6).goodput_bits,
+        drift_outage_goodput_heavy=result.point("drift_outage", 3.0).goodput_bits,
+        wall_clock_points_per_s=len(result.points) / elapsed,
+    )

@@ -136,6 +136,17 @@ class DeviceCalibration:
         self.version += 1
         return self
 
+    def set_qubit_defaults(self, calibration: QubitCalibration) -> "DeviceCalibration":
+        """Replace the fallback qubit record (aging support).
+
+        Like every mutation, bumps ``version`` so memoised noise models
+        invalidate — :class:`repro.network.dynamics.CalibrationAging` uses
+        this to age a device in place.
+        """
+        self.qubit_defaults = calibration
+        self.version += 1
+        return self
+
     def eplg(self, chain_length: int = 100) -> float:
         """Error per layered gate over a chain of the given length.
 

@@ -106,6 +106,7 @@ def _populate_registry() -> None:
     from repro.experiments.fig3_channel_length import run_fig3
     from repro.experiments.fig_load import run_fig_load
     from repro.experiments.fig_security import run_fig_security
+    from repro.experiments.fig_sla import run_fig_sla
     from repro.experiments.mitigation_study import run_mitigation_study
     from repro.experiments.network_scale import run_network_scale
     from repro.experiments.table1_comparison import run_table1
@@ -229,6 +230,21 @@ def _populate_registry() -> None:
                 "messages": 3000,
                 "queue_capacity": 48,
                 "calibration_sends": 8,
+            },
+        )
+    )
+    register(
+        Experiment(
+            experiment_id="fig_sla",
+            paper_artifact="System extension (SLA under time-varying conditions)",
+            description="Offered load × condition-profile sweep with QoS classes: "
+            "goodput knee, per-class latency percentiles, outage-tail decomposition",
+            runner=run_fig_sla,
+            quick_kwargs={
+                "num_sessions": 24,
+                "loads": (0.6, 1.5, 3.0),
+                "profiles": ("static", "drift_outage"),
+                "check_pairs": 16,
             },
         )
     )

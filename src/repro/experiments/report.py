@@ -19,13 +19,14 @@ from repro.experiments.fig2_message_counts import Fig2Result
 from repro.experiments.fig3_channel_length import Fig3Result
 from repro.experiments.fig_load import LoadStudyResult
 from repro.experiments.fig_security import SecurityStudyResult
+from repro.experiments.fig_sla import SLAStudyResult
 from repro.experiments.mitigation_study import MitigationStudyResult
 from repro.experiments.table1_comparison import Table1Result
 from repro.network.metrics import NetworkResult
 
 __all__ = ["render_result", "render_fig2", "render_fig3", "render_table1_result",
            "render_attacks", "render_chsh", "render_e2e", "render_load",
-           "render_network", "render_security"]
+           "render_network", "render_security", "render_sla"]
 
 
 def render_fig2(result: Fig2Result) -> str:
@@ -262,6 +263,35 @@ def render_load(result: LoadStudyResult) -> str:
     return "\n".join(lines)
 
 
+def render_sla(result: SLAStudyResult) -> str:
+    """Render the SLA sweep: one goodput/latency row per (profile, load)."""
+    lines = [
+        f"SLA study — {result.topology_name} ({result.num_nodes} nodes, "
+        f"{result.num_links} links, {result.num_sessions} sessions/point, "
+        f"capacity ≈ {result.base_rate:.0f} sessions/s)",
+        "  QoS weights: "
+        + ", ".join(f"{name}={weight:g}" for name, weight in sorted(result.qos_weights.items())),
+        "  profile        load  goodput    delivered  lost (abrt/rej)  reroutes  ctl p95    bulk p95",
+    ]
+    for point in result.points:
+        network = point.result
+        percentiles = network.class_latency_percentiles()
+
+        def p95(name: str) -> str:
+            entry = percentiles.get(name)
+            return "n/a" if entry is None else f"{entry['p95'] * 1e3:.2f}ms"
+
+        lines.append(
+            f"  {point.profile:<13} {point.load:>4.1f}  "
+            f"{point.goodput_bits:>7.0f}b/s {network.delivered_count:>9}  "
+            f"{network.aborted_count:>5}/{network.rejected_count:<8}  "
+            f"{network.reroute_count:>8}  {p95('control'):>8}  {p95('bulk'):>8}"
+        )
+    for profile in result.profiles:
+        lines.append(f"  {profile}: goodput knee at load {result.goodput_knee(profile):g}")
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     Fig2Result: render_fig2,
     Fig3Result: render_fig3,
@@ -273,6 +303,7 @@ _RENDERERS = {
     NetworkResult: render_network,
     SecurityStudyResult: render_security,
     LoadStudyResult: render_load,
+    SLAStudyResult: render_sla,
 }
 
 

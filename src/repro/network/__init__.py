@@ -12,13 +12,19 @@ Layers (bottom up):
   optional compromise), links (quantum + classical channel per edge) and the
   standard generators (line, star, ring, grid, random geometric).
 * :mod:`repro.network.routing` — deterministic shortest-hop / lowest-loss
-  path selection.
+  path selection (with element exclusion for outage re-routing).
+* :mod:`repro.network.dynamics` — time-varying conditions: drift curves,
+  calibration aging, link/node failure + recovery windows, and the
+  :class:`~repro.network.dynamics.NetworkDynamics` bundle the scheduler
+  evaluates at each session's admission time.
 * :mod:`repro.network.sessions` — trusted-relay session execution: one full
   UA-DI-QSDC run per hop, relays re-encoding the decoded bits; compromised
   relays mount attacks through the existing :mod:`repro.attacks` hooks.
 * :mod:`repro.network.scheduler` — deterministic discrete-event admission
   and timing plus parallel execution of admitted sessions through the
-  :func:`repro.experiments.sweep.run_sweep` worker pool.
+  :func:`repro.experiments.sweep.run_sweep` worker pool; optional
+  time-varying conditions (``dynamics=``) and weighted-fair priority
+  classes (``qos=``).
 * :mod:`repro.network.metrics` — per-session records aggregated into a
   :class:`~repro.network.metrics.NetworkResult` (throughput, latency, abort
   and rejection rates, QBER).
@@ -35,11 +41,24 @@ Quickstart::
 See ``docs/network.md`` for the architecture and event model.
 """
 
+from repro.network.dynamics import (
+    CONDITION_PROFILES,
+    CalibrationAging,
+    DriftProfile,
+    NetworkDynamics,
+    OutageSchedule,
+    OutageWindow,
+    condition_profile,
+    evolve_channel,
+    link_key,
+)
 from repro.network.metrics import NetworkResult, SessionRecord
 from repro.network.routing import ROUTING_POLICIES, Route, RoutingTable, find_route
 from repro.network.scheduler import (
+    DEFAULT_QOS_WEIGHTS,
     NetworkScheduler,
     PoissonTraffic,
+    QoSPolicy,
     TraceTraffic,
     simulate_network,
 )
@@ -67,14 +86,25 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "CONDITION_PROFILES",
+    "CalibrationAging",
+    "DriftProfile",
+    "NetworkDynamics",
+    "OutageSchedule",
+    "OutageWindow",
+    "condition_profile",
+    "evolve_channel",
+    "link_key",
     "NetworkResult",
     "SessionRecord",
     "ROUTING_POLICIES",
     "Route",
     "RoutingTable",
     "find_route",
+    "DEFAULT_QOS_WEIGHTS",
     "NetworkScheduler",
     "PoissonTraffic",
+    "QoSPolicy",
     "TraceTraffic",
     "simulate_network",
     "STATUS_ABORTED",

@@ -26,6 +26,7 @@ property the determinism tests (serial vs. threaded execution) assert via
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -64,6 +65,8 @@ class SessionRecord:
     sent_message: str | None = None
     delivered_message: str | None = None
     hop_reports: list[HopReport] = field(default_factory=list)
+    priority: str = "bulk"
+    rerouted: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -108,6 +111,8 @@ class SessionRecord:
             "sent_message": self.sent_message,
             "delivered_message": self.delivered_message,
             "hops": [report.summary() for report in self.hop_reports],
+            "priority": self.priority,
+            "rerouted": self.rerouted,
         }
 
 
@@ -115,6 +120,14 @@ def _mean(values: list[float]) -> float | None:
     if not values:
         return None
     return sum(values) / len(values)
+
+
+def _percentile(sorted_values: list[float], pct: float) -> float | None:
+    """Nearest-rank percentile of an ascending-sorted sample (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(pct / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
 @dataclass
@@ -273,6 +286,89 @@ class NetworkResult:
                 histogram[record.abort_reason] = histogram.get(record.abort_reason, 0) + 1
         return histogram
 
+    # -- QoS breakdowns ----------------------------------------------------------------
+    def priority_classes(self) -> list[str]:
+        """Sorted distinct priority classes present in the traffic."""
+        return sorted({record.priority for record in self.records})
+
+    def class_counts(self) -> dict[str, dict[str, int]]:
+        """Per-class session/admitted/delivered/aborted/rejected counts."""
+        counts: dict[str, dict[str, int]] = {}
+        for record in self.records:
+            entry = counts.setdefault(
+                record.priority,
+                {"sessions": 0, "admitted": 0, "delivered": 0, "aborted": 0, "rejected": 0},
+            )
+            entry["sessions"] += 1
+            if record.admitted:
+                entry["admitted"] += 1
+            if record.delivered:
+                entry["delivered"] += 1
+            elif record.status == STATUS_ABORTED:
+                entry["aborted"] += 1
+            elif record.status == STATUS_REJECTED:
+                entry["rejected"] += 1
+        return {name: counts[name] for name in sorted(counts)}
+
+    def class_shares(self) -> dict[str, float]:
+        """Each class's share of admitted capacity-time (the fairness figure).
+
+        Work is measured as ``message_length × reservation duration`` per
+        admitted session — the quantity weighted-fair queueing divides under
+        saturation, so under sustained backlog the shares approach the QoS
+        weight ratios (the invariant battery asserts this with tolerance).
+        """
+        work: dict[str, float] = {}
+        for record in self.records:
+            if not record.admitted or record.finish_time is None:
+                continue
+            span = record.finish_time - record.start_time
+            work[record.priority] = work.get(record.priority, 0.0) + (
+                record.message_length * span
+            )
+        total = sum(work.values())
+        if total <= 0:
+            return {}
+        return {name: work[name] / total for name in sorted(work)}
+
+    def class_latency_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 95.0, 99.0)
+    ) -> dict[str, dict[str, float]]:
+        """Nearest-rank latency percentiles of delivered sessions, per class."""
+        samples: dict[str, list[float]] = {}
+        for record in self.records:
+            if record.delivered and record.latency is not None:
+                samples.setdefault(record.priority, []).append(record.latency)
+        result: dict[str, dict[str, float]] = {}
+        for name in sorted(samples):
+            values = sorted(samples[name])
+            result[name] = {
+                f"p{pct:g}": _percentile(values, pct) for pct in percentiles
+            }
+        return result
+
+    def outage_decomposition(self) -> dict[str, int]:
+        """Why sessions did not deliver, as a ``status:reason`` histogram.
+
+        Splits the non-delivered tail into scheduling losses (``rejected:*``
+        — no route, capacity exhaustion, patience expiry, outage-blocked
+        patience expiry) and quantum losses (``aborted:*`` — per abort
+        reason), the decomposition the SLA experiment reports.
+        """
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            if record.delivered:
+                continue
+            reason = record.abort_reason or "unknown"
+            key = f"{record.status}:{reason}"
+            histogram[key] = histogram.get(key, 0) + 1
+        return {key: histogram[key] for key in sorted(histogram)}
+
+    @property
+    def reroute_count(self) -> int:
+        """Sessions that left their originally prepared route (outage re-routing)."""
+        return sum(1 for record in self.records if record.rerouted)
+
     def summary(self) -> dict[str, Any]:
         """Canonical JSON-friendly view of the whole simulation.
 
@@ -300,5 +396,9 @@ class NetworkResult:
             "mean_qber": self.mean_qber,
             "mean_chsh": self.mean_chsh,
             "abort_reasons": self.abort_reasons(),
+            "class_counts": self.class_counts(),
+            "class_latency_percentiles": self.class_latency_percentiles(),
+            "outage_decomposition": self.outage_decomposition(),
+            "reroutes": self.reroute_count,
             "records": [record.summary() for record in self.records],
         }

@@ -88,12 +88,21 @@ def link_loss_weight(link: NetworkLink) -> float:
 
 
 def find_route(
-    topology: NetworkTopology, source: str, target: str, policy: str = "hops"
+    topology: NetworkTopology,
+    source: str,
+    target: str,
+    policy: str = "hops",
+    *,
+    exclude_nodes: "frozenset[str] | set[str]" = frozenset(),
+    exclude_links: "frozenset[tuple[str, str]] | set[tuple[str, str]]" = frozenset(),
 ) -> Route:
     """Best route from *source* to *target* under the given policy.
 
-    Raises :class:`NetworkError` for unknown nodes, unknown policies, or when
-    no path exists.
+    ``exclude_nodes``/``exclude_links`` remove elements from consideration
+    (link keys are sorted endpoint pairs) — the re-routing hook the
+    scheduler uses to steer sessions around failure windows.  Raises
+    :class:`NetworkError` for unknown nodes, unknown policies, or when no
+    path exists through the remaining elements.
     """
     if policy not in ROUTING_POLICIES:
         raise NetworkError(f"unknown routing policy {policy!r}; known: {ROUTING_POLICIES}")
@@ -101,6 +110,10 @@ def find_route(
     topology.node(target)
     if source == target:
         raise NetworkError("source and target must differ")
+    if source in exclude_nodes or target in exclude_nodes:
+        raise NetworkError(
+            f"no route from {source!r} to {target!r}: an endpoint is unavailable"
+        )
 
     def weight(link: NetworkLink) -> float:
         return 1.0 if policy == "hops" else link_loss_weight(link)
@@ -118,7 +131,9 @@ def find_route(
             continue
         settled.add(current)
         for neighbor in topology.neighbors(current):
-            if neighbor in settled:
+            if neighbor in settled or neighbor in exclude_nodes:
+                continue
+            if tuple(sorted((current, neighbor))) in exclude_links:
                 continue
             link = topology.link(current, neighbor)
             heapq.heappush(frontier, (cost + weight(link), path + (neighbor,)))
@@ -142,12 +157,34 @@ class RoutingTable:
         self.policy = policy
         self._routes: dict[tuple[str, str], Route] = {}
 
-    def route(self, source: str, target: str) -> Route:
-        """The (cached) route between two endpoints."""
-        key = (source, target)
+    def route(
+        self,
+        source: str,
+        target: str,
+        *,
+        exclude_nodes: "frozenset[str]" = frozenset(),
+        exclude_links: "frozenset[tuple[str, str]]" = frozenset(),
+    ) -> Route:
+        """The (cached) route between two endpoints.
+
+        Exclusion sets participate in the cache key, so availability-aware
+        lookups (the dynamics scheduler re-routing around outages) memoise
+        per distinct failure pattern.
+        """
+        key = (
+            source,
+            target,
+            tuple(sorted(exclude_nodes)),
+            tuple(sorted(exclude_links)),
+        )
         if key not in self._routes:
             self._routes[key] = find_route(
-                self.topology, source, target, policy=self.policy
+                self.topology,
+                source,
+                target,
+                policy=self.policy,
+                exclude_nodes=frozenset(exclude_nodes),
+                exclude_links=frozenset(exclude_links),
             )
         return self._routes[key]
 

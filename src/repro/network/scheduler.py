@@ -30,16 +30,31 @@ independent of quantum outcomes — the property that allows phase 2 to run in
 parallel at all.  Queueing delay is fed back into the quantum layer as
 memory hold time on the session's first hop, so congestion physically
 degrades stored qubits when node memories are non-ideal.
+
+**Time-varying conditions and QoS.**  When the scheduler is given a
+:class:`~repro.network.dynamics.NetworkDynamics` (drift curves, calibration
+aging, failure/recovery windows) or a :class:`QoSPolicy` (weighted-fair
+priority classes), the reservation pass switches to a superset discrete-event
+loop that additionally (a) evaluates channel conditions at each session's
+*admission* time and snapshots the drifted per-hop channels for the execution
+pass, (b) re-routes sessions around elements whose failure windows intersect
+the reservation interval (growing an exclusion set to a fixed point), and
+(c) services the waiting queue by per-class virtual time instead of FIFO.
+The static path is kept verbatim and is taken whenever neither feature is
+configured, so existing simulations are bit-identical run to run; a dynamics
+object whose conditions are all trivial reproduces the static schedule
+exactly through the dynamic loop (the metamorphic tests pin this).
 """
 
 from __future__ import annotations
 
 import heapq
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.exceptions import NetworkError
+from repro.network.dynamics import NetworkDynamics
 from repro.network.metrics import NetworkResult, SessionRecord
 from repro.network.routing import ROUTING_POLICIES, Route, RoutingTable
 from repro.network.sessions import (
@@ -49,7 +64,7 @@ from repro.network.sessions import (
     run_session,
 )
 from repro.network.topology import NetworkTopology
-from repro.runtime.admission import NodeCapacityLedger
+from repro.runtime.admission import NodeCapacityLedger, WeightedFairSelector
 from repro.telemetry import runtime as telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
@@ -57,8 +72,10 @@ from repro.utils.rng import as_rng
 _log = get_logger("network.scheduler")
 
 __all__ = [
+    "DEFAULT_QOS_WEIGHTS",
     "PoissonTraffic",
     "TraceTraffic",
+    "QoSPolicy",
     "NetworkScheduler",
     "simulate_network",
 ]
@@ -69,9 +86,19 @@ __all__ = [
 #:-heavy protocol sessions well.
 SCHEDULER_EXECUTORS = ("serial", "thread")
 
+#: Default weighted-fair weights of the conventional priority classes.
+DEFAULT_QOS_WEIGHTS = {"control": 4.0, "interactive": 2.0, "bulk": 1.0}
+
 # Event-kind priorities at equal timestamps: completions free capacity before
 # timeouts give up on queued sessions, and both precede new arrivals.
 _COMPLETION, _TIMEOUT, _ARRIVAL = 0, 1, 2
+
+# Dynamic-pass event kinds.  Recovery (an outage window ending) slots between
+# completions and timeouts: freed elements are visible before any co-timed
+# patience expiry.  Static runs have no recovery events, so the relative
+# order completion < timeout < arrival — the one the static pass uses — is
+# preserved, which the bit-identity contract relies on.
+_DYN_COMPLETION, _DYN_RECOVERY, _DYN_TIMEOUT, _DYN_ARRIVAL = 0, 1, 2, 3
 
 
 class PoissonTraffic:
@@ -85,18 +112,35 @@ class PoissonTraffic:
         Mean arrivals per unit time (λ of the Poisson process).
     message_length:
         Secret bits per session.
+    priority_mix:
+        Optional ``{class: weight}`` distribution of QoS classes over
+        sessions (weights need not sum to 1).  ``None`` — the default, and
+        the historical RNG stream — tags every request ``"bulk"`` without
+        consuming generator state, so existing seeded traffic is unchanged.
     """
 
-    def __init__(self, num_sessions: int, rate: float = 100.0, message_length: int = 8):
+    def __init__(
+        self,
+        num_sessions: int,
+        rate: float = 100.0,
+        message_length: int = 8,
+        priority_mix: Mapping[str, float] | None = None,
+    ):
         if num_sessions < 1:
             raise NetworkError("num_sessions must be positive")
         if rate <= 0:
             raise NetworkError("rate must be positive")
         if message_length < 1:
             raise NetworkError("message_length must be positive")
+        if priority_mix is not None:
+            if not priority_mix:
+                raise NetworkError("priority_mix must name at least one class")
+            if any(weight <= 0 for weight in priority_mix.values()):
+                raise NetworkError("priority_mix weights must be positive")
         self.num_sessions = num_sessions
         self.rate = rate
         self.message_length = message_length
+        self.priority_mix = None if priority_mix is None else dict(priority_mix)
 
     def generate(self, topology: NetworkTopology, rng: Any = None) -> list[SessionRequest]:
         """Draw the request list (deterministic for a given generator state)."""
@@ -104,6 +148,12 @@ class PoissonTraffic:
         names = topology.node_names
         if len(names) < 2:
             raise NetworkError("traffic needs at least two nodes")
+        classes: list[str] = []
+        probabilities: list[float] = []
+        if self.priority_mix is not None:
+            classes = sorted(self.priority_mix)
+            total = sum(self.priority_mix.values())
+            probabilities = [self.priority_mix[name] / total for name in classes]
         requests = []
         clock = 0.0
         for session_id in range(self.num_sessions):
@@ -112,6 +162,9 @@ class PoissonTraffic:
                 names[int(index)]
                 for index in generator.choice(len(names), size=2, replace=False)
             )
+            priority = "bulk"
+            if classes:
+                priority = classes[int(generator.choice(len(classes), p=probabilities))]
             requests.append(
                 SessionRequest(
                     session_id=session_id,
@@ -119,24 +172,51 @@ class PoissonTraffic:
                     target=target,
                     message_length=self.message_length,
                     arrival_time=clock,
+                    priority=priority,
                 )
             )
         return requests
 
 
 class TraceTraffic:
-    """Trace-driven traffic: explicit ``(time, source, target, length)`` entries."""
+    """Trace-driven traffic: explicit ``(time, source, target, length)`` entries.
 
-    def __init__(self, entries: Sequence[tuple[float, str, str, int]]):
+    Entries may carry a fifth element, the QoS class (default ``"bulk"``).
+    Traces are normalised at construction: every entry becomes a canonical
+    ``(time, source, target, length, priority)`` tuple and the list is
+    sorted by the *full* tuple, not just the timestamp.  Sorting by time
+    alone left session-id assignment (and therefore every derived session
+    seed) sensitive to the input order of entries sharing a timestamp —
+    two permutations of the same trace could simulate different networks.
+    """
+
+    def __init__(self, entries: Sequence[Sequence[Any]]):
         if not entries:
             raise NetworkError("a trace needs at least one entry")
-        self.entries = [tuple(entry) for entry in entries]
+        normalized: list[tuple[float, str, str, int, str]] = []
+        for entry in entries:
+            entry = tuple(entry)
+            if len(entry) == 4:
+                time, source, target, length = entry
+                priority = "bulk"
+            elif len(entry) == 5:
+                time, source, target, length, priority = entry
+            else:
+                raise NetworkError(
+                    "trace entries are (time, source, target, length[, priority]) "
+                    f"tuples, got {entry!r}"
+                )
+            normalized.append(
+                (float(time), str(source), str(target), int(length), str(priority))
+            )
+        self.entries = sorted(normalized)
 
     def generate(self, topology: NetworkTopology, rng: Any = None) -> list[SessionRequest]:
         """Materialise the trace (validates node names; ignores *rng*)."""
-        ordered = sorted(self.entries, key=lambda entry: entry[0])
         requests = []
-        for session_id, (time, source, target, message_length) in enumerate(ordered):
+        for session_id, (time, source, target, message_length, priority) in enumerate(
+            self.entries
+        ):
             topology.node(source)
             topology.node(target)
             requests.append(
@@ -144,16 +224,68 @@ class TraceTraffic:
                     session_id=session_id,
                     source=source,
                     target=target,
-                    message_length=int(message_length),
-                    arrival_time=float(time),
+                    message_length=message_length,
+                    arrival_time=time,
+                    priority=priority,
                 )
             )
         return requests
 
 
+@dataclass(frozen=True)
+class QoSPolicy:
+    """Weighted-fair service of priority classes in the reservation pass.
+
+    ``weights`` maps class names to positive service weights; classes absent
+    from the map get weight 1.0.  The scheduler serves the waiting queue by
+    per-class *virtual time* (work served divided by weight, implemented by
+    :class:`~repro.runtime.admission.WeightedFairSelector`), so under
+    saturation each backlogged class receives capacity proportional to its
+    weight — and uniformly scaling every weight leaves the admission order
+    unchanged (the metamorphic tests pin this).
+    """
+
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_QOS_WEIGHTS)
+    )
+
+    def __post_init__(self):
+        weights = dict(self.weights)
+        if not weights:
+            raise NetworkError("a QoS policy needs at least one class weight")
+        for name, weight in weights.items():
+            if not name:
+                raise NetworkError("QoS class names must be non-empty")
+            if not weight > 0:
+                raise NetworkError(f"QoS weight for {name!r} must be positive")
+        object.__setattr__(self, "weights", weights)
+
+    def weight(self, priority: str) -> float:
+        return self.weights.get(priority, 1.0)
+
+    def selector(self) -> WeightedFairSelector:
+        """A fresh virtual-time selector for one reservation pass."""
+        return WeightedFairSelector(self.weights)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"weights": {name: self.weights[name] for name in sorted(self.weights)}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QoSPolicy":
+        return cls(weights={k: float(v) for k, v in data.get("weights", {}).items()})
+
+
 @dataclass
 class _Pending:
-    """Scheduling state of one request during the reservation pass."""
+    """Scheduling state of one request during the reservation pass.
+
+    The dynamic pass additionally tracks admission-time channel snapshots
+    (``channels`` — the drifted per-hop channels the execution pass runs
+    over), whether the session left its originally prepared route
+    (``rerouted``), and whether its latest failed admission attempt was
+    blocked by an outage rather than capacity (``outage_blocked`` — which
+    turns a patience expiry into an ``outage_timeout`` rejection).
+    """
 
     request: SessionRequest
     record: SessionRecord
@@ -162,6 +294,9 @@ class _Pending:
     duration: float
     admitted: bool = False
     resolved: bool = False
+    channels: tuple[Any, ...] | None = None
+    rerouted: bool = False
+    outage_blocked: bool = False
 
 
 class NetworkScheduler:
@@ -192,6 +327,14 @@ class NetworkScheduler:
         ``"serial"`` or ``"thread"`` — both produce identical results.
     max_workers:
         Worker-pool size for the ``"thread"`` executor.
+    dynamics:
+        Optional :class:`~repro.network.dynamics.NetworkDynamics` — drift,
+        aging and outage conditions evaluated at each session's admission
+        time.  ``None`` (default) keeps the environment frozen and takes
+        the original reservation pass verbatim.
+    qos:
+        Optional :class:`QoSPolicy` — weighted-fair service of priority
+        classes in the waiting queue.  ``None`` (default) serves FIFO.
     """
 
     def __init__(
@@ -206,6 +349,8 @@ class NetworkScheduler:
         seed: int = 0,
         executor: str = "serial",
         max_workers: int | None = None,
+        dynamics: NetworkDynamics | None = None,
+        qos: QoSPolicy | None = None,
     ):
         if routing_policy not in ROUTING_POLICIES:
             raise NetworkError(
@@ -223,6 +368,12 @@ class NetworkScheduler:
             raise NetworkError("hold_time_unit must be positive")
         if max_wait is not None and max_wait < 0:
             raise NetworkError("max_wait must be non-negative or None")
+        if dynamics is not None and not isinstance(dynamics, NetworkDynamics):
+            raise NetworkError(
+                f"dynamics must be a NetworkDynamics, got {type(dynamics).__name__}"
+            )
+        if qos is not None and not isinstance(qos, QoSPolicy):
+            raise NetworkError(f"qos must be a QoSPolicy, got {type(qos).__name__}")
         self.topology = topology
         self.routing = RoutingTable(topology, policy=routing_policy)
         self.session_params = session_params or SessionParameters()
@@ -232,6 +383,8 @@ class NetworkScheduler:
         self.seed = int(seed)
         self.executor = executor
         self.max_workers = max_workers
+        self.dynamics = dynamics
+        self.qos = qos
 
     # -- public API --------------------------------------------------------------------
     def run(self, traffic: Any) -> NetworkResult:
@@ -251,7 +404,14 @@ class NetworkScheduler:
             requests = sorted(requests, key=lambda r: (r.arrival_time, r.session_id))
             pendings = [self._prepare(request) for request in requests]
             with telemetry.span("network.reservation", "network"):
-                sim_time = self._reservation_pass(pendings)
+                # The original pass is kept verbatim for the frozen
+                # configuration (bit-identical to every earlier release);
+                # any dynamics/QoS — even trivial ones — take the superset
+                # loop, which the metamorphic tests hold to the same output.
+                if self.dynamics is None and self.qos is None:
+                    sim_time = self._reservation_pass(pendings)
+                else:
+                    sim_time = self._dynamic_reservation_pass(pendings)
             with telemetry.span(
                 "network.execution",
                 "network",
@@ -268,6 +428,20 @@ class NetworkScheduler:
         )
 
     # -- phase 1: reservation ------------------------------------------------------------
+    def _route_needs(self, route: Route, message_length: int) -> tuple[dict[str, int], float]:
+        """Capacity map and reservation duration of one route."""
+        pairs = self.session_params.pairs_per_hop(message_length)
+        qubits_needed: dict[str, int] = {}
+        for sender, receiver in route.hops():
+            qubits_needed[sender] = qubits_needed.get(sender, 0) + pairs
+            qubits_needed[receiver] = qubits_needed.get(receiver, 0) + pairs
+        duration = sum(
+            pairs * self.topology.link(sender, receiver).quantum_channel.duration()
+            + self.hop_overhead
+            for sender, receiver in route.hops()
+        )
+        return qubits_needed, duration
+
     def _prepare(self, request: SessionRequest) -> _Pending:
         """Route one request and precompute its capacity and duration needs."""
         record = SessionRecord(
@@ -276,6 +450,7 @@ class NetworkScheduler:
             target=request.target,
             message_length=request.message_length,
             arrival_time=request.arrival_time,
+            priority=request.priority,
         )
         try:
             route = self.routing.route(request.source, request.target)
@@ -291,16 +466,7 @@ class NetworkScheduler:
             return _Pending(request, record, None, {}, 0.0)
         record.route_nodes = route.nodes
 
-        pairs = self.session_params.pairs_per_hop(request.message_length)
-        qubits_needed: dict[str, int] = {}
-        for sender, receiver in route.hops():
-            qubits_needed[sender] = qubits_needed.get(sender, 0) + pairs
-            qubits_needed[receiver] = qubits_needed.get(receiver, 0) + pairs
-        duration = sum(
-            pairs * self.topology.link(sender, receiver).quantum_channel.duration()
-            + self.hop_overhead
-            for sender, receiver in route.hops()
-        )
+        qubits_needed, duration = self._route_needs(route, request.message_length)
         return _Pending(request, record, route, qubits_needed, duration)
 
     def _reservation_pass(self, pendings: list[_Pending]) -> float:
@@ -420,6 +586,247 @@ class NetworkScheduler:
                 pending.record.abort_reason = "capacity_timeout"
         return sim_time
 
+    def _dynamic_reservation_pass(self, pendings: list[_Pending]) -> float:
+        """Reservation under time-varying conditions and/or priority QoS.
+
+        A superset of :meth:`_reservation_pass` — same heap discipline, same
+        ledger, same admission bookkeeping — plus three condition-aware
+        behaviours, each evaluated at the session's admission time ``now``
+        so the pass stays a pure serial function of the seed:
+
+        * **re-routing**: a session whose route has a failure window
+          intersecting ``[now, now + duration]`` is re-routed around the
+          blocked elements, growing an exclusion set to a fixed point
+          (exclusions only grow, so the loop terminates); if no feasible
+          route remains the session waits for a recovery event;
+        * **channel snapshots**: the drifted per-hop channels at ``now``
+          are captured on the pending (``NetworkDynamics.channel_at``
+          returns the link's own object when every factor is 1.0, keeping
+          trivial dynamics bit-identical) and handed to the execution pass;
+        * **weighted-fair service**: with a :class:`QoSPolicy`, the waiting
+          queue is served by per-class virtual time instead of FIFO; every
+          admission charges its capacity footprint to its class.
+
+        Invariant (pinned by the scheduler test battery): no admitted
+        session's route crosses a link or node inside a failure window at
+        any point of its reservation interval.
+        """
+        dynamics = self.dynamics if self.dynamics is not None else NetworkDynamics.static()
+        selector = None if self.qos is None else self.qos.selector()
+        ledger = NodeCapacityLedger(self.topology)
+        events: list[tuple[float, int, int, _Pending | None]] = []
+        sequence = 0
+
+        def push(time: float, kind: int, pending: "_Pending | None") -> None:
+            nonlocal sequence
+            heapq.heappush(events, (time, kind, sequence, pending))
+            sequence += 1
+
+        for pending in pendings:
+            if pending.route is None:
+                pending.resolved = True  # rejected outright: no route
+                continue
+            push(pending.request.arrival_time, _DYN_ARRIVAL, pending)
+            if self.max_wait is not None:
+                push(pending.request.arrival_time + self.max_wait, _DYN_TIMEOUT, pending)
+        for recovery_time in dynamics.recovery_times():
+            push(recovery_time, _DYN_RECOVERY, None)
+
+        queue: list[_Pending] = []
+        sim_time = max((p.request.arrival_time for p in pendings), default=0.0)
+
+        def reroute(pending: _Pending, now: float) -> bool:
+            """Settle a feasible route for *pending* at *now* (False = outage-blocked)."""
+            request = pending.request
+            if not dynamics.node_available(request.source, now) or not (
+                dynamics.node_available(request.target, now)
+            ):
+                pending.outage_blocked = True
+                return False
+            route = pending.route
+            qubits_needed, duration = pending.qubits_needed, pending.duration
+            exclude_nodes: set[str] = set()
+            exclude_links: set[tuple[str, str]] = set()
+            while True:
+                blocked = dynamics.route_blocked(route, now, now + duration)
+                if not blocked:
+                    break
+                for element, key in blocked:
+                    if element == "node":
+                        if key in (request.source, request.target):
+                            pending.outage_blocked = True
+                            return False
+                        exclude_nodes.add(key)
+                    else:
+                        # link keys are already sorted "a|b" strings — the
+                        # tuple form find_route excludes on.
+                        exclude_links.add(tuple(key.split("|")))
+                try:
+                    route = self.routing.route(
+                        request.source,
+                        request.target,
+                        exclude_nodes=frozenset(exclude_nodes),
+                        exclude_links=frozenset(exclude_links),
+                    )
+                except NetworkError:
+                    pending.outage_blocked = True
+                    return False
+                qubits_needed, duration = self._route_needs(
+                    route, request.message_length
+                )
+            if route is not pending.route:
+                pending.rerouted = True
+                pending.route = route
+                pending.qubits_needed = qubits_needed
+                pending.duration = duration
+                pending.record.route_nodes = route.nodes
+                pending.record.rerouted = True
+            pending.outage_blocked = False
+            return True
+
+        def reject(pending: _Pending, reason: str) -> None:
+            pending.resolved = True
+            pending.record.abort_reason = reason
+            telemetry.counter_inc("scheduler.rejections", reason=reason)
+            _log.debug(
+                "session %d rejected: %s", pending.request.session_id, reason
+            )
+
+        def admit(pending: _Pending, now: float) -> None:
+            record = pending.record
+            request = pending.request
+            session_id = request.session_id
+            telemetry.counter_inc("scheduler.admitted")
+            telemetry.counter_inc("scheduler.admitted_by_class", priority=request.priority)
+            telemetry.counter_inc(
+                "scheduler.qubits_reserved", sum(pending.qubits_needed.values())
+            )
+            if pending.rerouted:
+                telemetry.counter_inc("scheduler.reroutes")
+            _log.debug(
+                "session %d (%s) admitted at t=%g (queued %g, %d qubits)",
+                session_id,
+                request.priority,
+                now,
+                now - request.arrival_time,
+                sum(pending.qubits_needed.values()),
+            )
+            ledger.reserve(session_id, pending.qubits_needed)
+            record.start_time = now
+            record.finish_time = now + pending.duration
+            record.hold_time = (now - request.arrival_time) / self.hold_time_unit
+            pending.admitted = True
+            pending.resolved = True
+            pending.channels = tuple(
+                dynamics.channel_at(self.topology.link(sender, receiver), now)
+                for sender, receiver in pending.route.hops()
+            )
+            if selector is not None:
+                selector.charge(
+                    request.priority, cost=float(sum(pending.qubits_needed.values()))
+                )
+            for sender, receiver in pending.route.hops():
+                self.topology.link(sender, receiver).classical_channel.broadcast(
+                    "scheduler",
+                    "route_reserved",
+                    {"session": session_id, "start": now, "finish": record.finish_time},
+                )
+            push(record.finish_time, _DYN_COMPLETION, pending)
+
+        def service_queue(now: float) -> None:
+            nonlocal queue
+            if selector is None:
+                # FIFO — the static pass's discipline, with outage checks.
+                still_waiting = []
+                for waiting in queue:
+                    if waiting.resolved:
+                        continue
+                    if not reroute(waiting, now):
+                        still_waiting.append(waiting)
+                    elif not ledger.viable(waiting.qubits_needed):
+                        # Only reachable when re-routing grew the capacity
+                        # footprint past every node (static runs never hit
+                        # this: queued sessions were viable on arrival).
+                        reject(waiting, "insufficient_capacity")
+                    elif ledger.fits(waiting.qubits_needed):
+                        admit(waiting, now)
+                    else:
+                        still_waiting.append(waiting)
+                queue = still_waiting
+                return
+            # Weighted-fair: serve one admissible head-of-class at a time,
+            # lowest virtual time first, until no class can start.
+            while True:
+                candidates: dict[str, _Pending] = {}
+                for waiting in queue:
+                    if waiting.resolved or waiting.request.priority in candidates:
+                        continue
+                    if not reroute(waiting, now):
+                        continue
+                    if not ledger.viable(waiting.qubits_needed):
+                        reject(waiting, "insufficient_capacity")
+                        continue
+                    if ledger.fits(waiting.qubits_needed):
+                        candidates[waiting.request.priority] = waiting
+                choice = selector.pick(candidates)
+                if choice is None:
+                    queue = [w for w in queue if not w.resolved]
+                    return
+                admit(candidates[choice], now)
+                queue = [w for w in queue if not w.resolved]
+
+        while events:
+            now, kind, _, pending = heapq.heappop(events)
+            if kind == _DYN_RECOVERY:
+                # An outage window ended: retry the queue.  Advances
+                # sim_time only when there is work to retry, so recovery
+                # events on an idle network don't pad the horizon.
+                if any(not w.resolved for w in queue):
+                    sim_time = max(sim_time, now)
+                    service_queue(now)
+                continue
+            assert pending is not None
+            if kind == _DYN_TIMEOUT and pending.resolved:
+                # Stale timeout of an already-scheduled session (see the
+                # static pass for why it must not advance sim_time).
+                continue
+            sim_time = max(sim_time, now)
+            if kind == _DYN_ARRIVAL:
+                if not reroute(pending, now):
+                    queue.append(pending)
+                    telemetry.observe("scheduler.queue_depth", len(queue))
+                elif not ledger.viable(pending.qubits_needed):
+                    reject(pending, "insufficient_capacity")
+                elif ledger.fits(pending.qubits_needed):
+                    admit(pending, now)
+                else:
+                    queue.append(pending)
+                    telemetry.observe("scheduler.queue_depth", len(queue))
+            elif kind == _DYN_COMPLETION:
+                session_id = pending.request.session_id
+                ledger.release(session_id, pending.qubits_needed)
+                for sender, receiver in pending.route.hops():
+                    self.topology.link(sender, receiver).classical_channel.broadcast(
+                        "scheduler", "route_released", {"session": session_id}
+                    )
+                service_queue(now)
+            elif kind == _DYN_TIMEOUT:
+                reject(
+                    pending,
+                    "outage_timeout" if pending.outage_blocked else "capacity_timeout",
+                )
+                queue = [waiting for waiting in queue if waiting is not pending]
+
+        # Defensive sweep (see the static pass); outage-blocked stragglers
+        # are labelled as such so the SLA decomposition attributes them.
+        for pending in queue:
+            if not pending.resolved:
+                pending.resolved = True
+                pending.record.abort_reason = (
+                    "outage_timeout" if pending.outage_blocked else "capacity_timeout"
+                )
+        return sim_time
+
     # -- phase 2: execution ----------------------------------------------------------------
     def _execution_pass(self, pendings: list[_Pending]) -> None:
         """Run every admitted session through the sweep worker pool."""
@@ -444,6 +851,9 @@ class NetworkScheduler:
                 self.session_params,
                 seed=seed,
                 hold_time=pending.record.hold_time,
+                # Admission-time condition snapshots (None for static runs;
+                # the links' own channel objects under trivial dynamics).
+                channel_overrides=pending.channels,
             )
 
         grid = [{"session": pending.request.session_id} for pending in admitted]
@@ -477,6 +887,8 @@ def simulate_network(
     seed: int = 0,
     executor: str = "serial",
     max_workers: int | None = None,
+    dynamics: NetworkDynamics | None = None,
+    qos: QoSPolicy | None = None,
 ) -> NetworkResult:
     """One-call wrapper around :class:`NetworkScheduler` (see its docs)."""
     scheduler = NetworkScheduler(
@@ -489,5 +901,7 @@ def simulate_network(
         seed=seed,
         executor=executor,
         max_workers=max_workers,
+        dynamics=dynamics,
+        qos=qos,
     )
     return scheduler.run(traffic)

@@ -99,6 +99,12 @@ class SessionRequest:
         ``relay`` → only hops of multi-hop routes); a compromised node's
         own ``attack_factory`` takes precedence on the hops it touches.
         ``None`` (default) leaves the session honest.
+    priority:
+        QoS class of the request (conventionally ``control`` /
+        ``interactive`` / ``bulk``, but any non-empty label works).  The
+        scheduler's weighted-fair admission uses it only when a
+        :class:`~repro.network.scheduler.QoSPolicy` is configured; without
+        one every class is served FIFO exactly as before.
     """
 
     session_id: int
@@ -109,10 +115,13 @@ class SessionRequest:
     message: "str | None" = None
     seed: "int | None" = None
     scenario: Any = None
+    priority: str = "bulk"
 
     def __post_init__(self):
         if self.source == self.target:
             raise NetworkError("session source and target must differ")
+        if not self.priority:
+            raise NetworkError("priority must be a non-empty class name")
         if self.message_length < 1:
             raise NetworkError("message_length must be positive")
         if self.arrival_time < 0:
@@ -277,6 +286,7 @@ def run_session(
     params: SessionParameters,
     seed: int,
     hold_time: float = 0.0,
+    channel_overrides: "tuple[Any, ...] | None" = None,
 ) -> SessionOutcome:
     """Execute one session hop by hop along *route* (trusted-relay forwarding).
 
@@ -298,11 +308,22 @@ def run_session(
     hold_time:
         Memory time units the source held its qubits while the session was
         queued; applied as storage hold on the first hop.
+    channel_overrides:
+        Optional per-hop quantum channels (route order), replacing each
+        link's static channel.  The dynamics scheduler snapshots drifted
+        channel conditions at admission time and passes them here, which
+        keeps the topology itself immutable during (possibly threaded)
+        execution.  ``None`` uses the links' own channels.
     """
     if route.source != request.source or route.target != request.target:
         raise NetworkError(
             f"route {route.nodes} does not serve request "
             f"{request.source!r} -> {request.target!r}"
+        )
+    if channel_overrides is not None and len(channel_overrides) != route.num_hops:
+        raise NetworkError(
+            f"channel_overrides holds {len(channel_overrides)} channels for a "
+            f"{route.num_hops}-hop route"
         )
     with telemetry.span(
         "network.session",
@@ -314,7 +335,9 @@ def run_session(
             "hops": len(route.nodes) - 1,
         },
     ) as span:
-        outcome = _run_hops(topology, route, request, params, seed, hold_time)
+        outcome = _run_hops(
+            topology, route, request, params, seed, hold_time, channel_overrides
+        )
         span.attributes["status"] = outcome.status
     return outcome
 
@@ -326,6 +349,7 @@ def _run_hops(
     params: SessionParameters,
     seed: int,
     hold_time: float,
+    channel_overrides: "tuple[Any, ...] | None" = None,
 ) -> SessionOutcome:
     rng = as_rng(int(seed))
     if request.message is not None:
@@ -368,9 +392,14 @@ def _run_hops(
             if hop_schedule is not None:
                 attack = hop_schedule.build(derive_rng(rng, "scenario", index))
 
+        channel = (
+            channel_overrides[index]
+            if channel_overrides is not None
+            else link.quantum_channel
+        )
         config = params.hop_config(
             message_length=len(current),
-            channel=link.quantum_channel,
+            channel=channel,
             seed=hop_seed,
             memory_decoherence=topology.node(sender).memory_decoherence,
             memory_hold_time=hold_time if index == 0 else 0.0,

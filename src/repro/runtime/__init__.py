@@ -47,6 +47,7 @@ __all__ = [
     "SendRequest",
     "ServiceTimeModel",
     "TokenBucket",
+    "WeightedFairSelector",
     "replay_engine",
     "serial_reference",
     "simulate_load",
@@ -60,6 +61,7 @@ _LAZY_EXPORTS = {
     "AdmissionQueue": "repro.runtime.admission",
     "NodeCapacityLedger": "repro.runtime.admission",
     "TokenBucket": "repro.runtime.admission",
+    "WeightedFairSelector": "repro.runtime.admission",
     "AsyncDeliveryEngine": "repro.runtime.engine",
     "Delivery": "repro.runtime.engine",
     "DeliveryEngine": "repro.runtime.engine",

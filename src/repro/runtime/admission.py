@@ -1,6 +1,6 @@
 """Admission-control building blocks for the concurrent delivery runtime.
 
-Three composable pieces, each clock-agnostic (every method takes ``now`` so
+Four composable pieces, each clock-agnostic (every method takes ``now`` so
 the same classes drive both the wall-clock engine and the virtual-clock load
 simulation):
 
@@ -15,6 +15,9 @@ simulation):
   used by) the network scheduler's reservation pass, so the runtime and the
   discrete-event network simulator share one definition of "this node has
   capacity".
+* :class:`WeightedFairSelector` — deterministic virtual-time weighted-fair
+  queuing across priority classes (``control``/``interactive``/``bulk`` by
+  convention); the network scheduler's QoS admission builds on it.
 
 Backpressure policy matrix
 --------------------------
@@ -57,15 +60,22 @@ from repro.exceptions import ConfigurationError
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "PRIORITY_CLASSES",
     "AdmissionQueue",
     "NodeCapacityLedger",
     "QueueEntry",
     "TokenBucket",
+    "WeightedFairSelector",
 ]
 
 #: Backpressure policies accepted by :class:`AdmissionQueue` (and everything
 #: built on it: the delivery engine and the load harness).
 BACKPRESSURE_POLICIES = ("block", "reject", "shed_oldest")
+
+#: Conventional priority-class names, highest urgency first.  Weighted-fair
+#: consumers (:class:`WeightedFairSelector`, the network scheduler's QoS
+#: policy) accept arbitrary class names; these are the documented defaults.
+PRIORITY_CLASSES = ("control", "interactive", "bulk")
 
 
 class TokenBucket:
@@ -239,6 +249,70 @@ class AdmissionQueue:
         except ValueError:
             return False
         return True
+
+
+class WeightedFairSelector:
+    """Deterministic weighted-fair queuing across priority classes.
+
+    Classic virtual-time WFQ reduced to the admission problem: every class
+    carries a *virtual time* — normalised work served so far,
+    ``work / weight`` — and :meth:`pick` selects, among the classes that
+    currently have eligible work, the one with the smallest virtual time
+    (ties broken lexicographically by class name, so selection is a pure
+    function of the charge history).  :meth:`charge` advances the winner's
+    virtual time by ``cost / weight``; over a saturated period each class
+    therefore receives service proportional to its weight — the fairness
+    property the scheduler's invariant battery asserts within tolerance.
+
+    Classes never seen before default to weight 1.0 (documented leniency:
+    operators can introduce a new traffic class without re-deploying the
+    selector).  Scaling every weight by one positive constant leaves the
+    selection order unchanged (pinned by the metamorphic tests).
+    """
+
+    def __init__(self, weights: "Mapping[str, float] | None" = None):
+        self.weights: dict[str, float] = {}
+        for name, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"priority weight for {name!r} must be positive, got {weight}"
+                )
+            self.weights[str(name)] = float(weight)
+        self._virtual: dict[str, float] = {}
+
+    def weight(self, priority: str) -> float:
+        """The class's weight (1.0 for classes never configured)."""
+        return self.weights.get(priority, 1.0)
+
+    def virtual_time(self, priority: str) -> float:
+        """Normalised work served to the class so far (``work / weight``)."""
+        return self._virtual.get(priority, 0.0)
+
+    def pick(self, eligible: Iterable[str]) -> "str | None":
+        """The eligible class to serve next (None when *eligible* is empty).
+
+        Deterministic: smallest ``(virtual_time, class_name)`` wins.
+        """
+        best: "str | None" = None
+        for priority in eligible:
+            if best is None or (
+                (self.virtual_time(priority), priority)
+                < (self.virtual_time(best), best)
+            ):
+                best = priority
+        return best
+
+    def charge(self, priority: str, cost: float = 1.0) -> None:
+        """Record *cost* units of service delivered to the class."""
+        if cost < 0:
+            raise ConfigurationError("service cost must be non-negative")
+        self._virtual[priority] = self.virtual_time(priority) + cost / self.weight(priority)
+
+    def served(self) -> "OrderedDict[str, float]":
+        """Per-class normalised service, in sorted class order (telemetry)."""
+        return OrderedDict(
+            (priority, self._virtual[priority]) for priority in sorted(self._virtual)
+        )
 
 
 class NodeCapacityLedger:

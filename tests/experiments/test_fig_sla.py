@@ -1,0 +1,132 @@
+"""Tests for the ``fig_sla`` SLA-under-dynamics experiment."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.fig_sla import (
+    DEFAULT_PRIORITY_MIX,
+    SLAStudyResult,
+    run_fig_sla,
+    sla_artifact_metrics,
+)
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import render_result
+
+QUICK = dict(
+    num_sessions=16,
+    loads=(0.6, 2.5),
+    profiles=("static", "drift_outage"),
+    check_pairs=16,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> SLAStudyResult:
+    return run_fig_sla(**QUICK)
+
+
+class TestRunFigSla:
+    def test_covers_the_sweep_grid(self, result):
+        assert len(result.points) == len(QUICK["loads"]) * len(QUICK["profiles"])
+        for profile in QUICK["profiles"]:
+            for load in QUICK["loads"]:
+                point = result.point(profile, load)
+                assert point.result.num_sessions == QUICK["num_sessions"]
+                assert point.horizon > 0
+        with pytest.raises(ExperimentError):
+            result.point("static", 99.0)
+
+    def test_rates_scale_with_load(self, result):
+        assert result.base_rate > 0
+        for point in result.points:
+            assert point.rate == pytest.approx(point.load * result.base_rate)
+
+    def test_goodput_curve_in_load_order(self, result):
+        curve = result.goodput_curve("static")
+        assert [load for load, _ in curve] == list(QUICK["loads"])
+        assert all(goodput >= 0 for _, goodput in curve)
+
+    def test_knee_is_a_swept_load(self, result):
+        for profile in QUICK["profiles"]:
+            assert result.goodput_knee(profile) in QUICK["loads"]
+        with pytest.raises(ExperimentError):
+            result.goodput_knee("missing")
+
+    def test_priority_mix_reaches_the_traffic(self, result):
+        priorities = {
+            record.priority
+            for point in result.points
+            for record in point.result.records
+        }
+        assert priorities <= set(DEFAULT_PRIORITY_MIX)
+        assert len(priorities) > 1  # the mix actually produced several classes
+
+    def test_dynamic_profile_disturbs_the_network(self, result):
+        """The drift_outage cells must show dynamics at work somewhere."""
+        disturbed = sum(
+            point.result.reroute_count
+            + sum(
+                1
+                for record in point.result.records
+                if record.abort_reason == "outage_timeout"
+            )
+            for point in result.points
+            if point.profile == "drift_outage"
+        )
+        assert disturbed > 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_fig_sla(num_sessions=0)
+        with pytest.raises(ExperimentError):
+            run_fig_sla(loads=())
+        with pytest.raises(ExperimentError):
+            run_fig_sla(profiles=("stormy",))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [13, 29, 47])
+    def test_serial_and_thread_metrics_identical(self, seed):
+        kwargs = dict(QUICK, num_sessions=10, loads=(0.8, 2.0), seed=seed)
+        serial = run_fig_sla(executor="serial", **kwargs)
+        threaded = run_fig_sla(executor="thread", **kwargs)
+        assert json.dumps(
+            sla_artifact_metrics(serial), sort_keys=True
+        ) == json.dumps(sla_artifact_metrics(threaded), sort_keys=True)
+
+    def test_rerun_is_byte_identical(self, result):
+        again = run_fig_sla(**QUICK)
+        assert json.dumps(sla_artifact_metrics(again), sort_keys=True) == json.dumps(
+            sla_artifact_metrics(result), sort_keys=True
+        )
+
+
+class TestArtifactMetrics:
+    def test_expected_keys_present(self, result):
+        metrics = sla_artifact_metrics(result)
+        assert metrics["num_sessions"] == QUICK["num_sessions"]
+        for profile in QUICK["profiles"]:
+            assert metrics[f"{profile}_knee_load"] in QUICK["loads"]
+            for load in QUICK["loads"]:
+                prefix = f"{profile}_load{load:g}"
+                assert f"{prefix}_delivered" in metrics
+                assert f"{prefix}_goodput_bits_per_s" in metrics
+                assert f"{prefix}_reroutes" in metrics
+
+    def test_metrics_are_json_serialisable(self, result):
+        json.dumps(sla_artifact_metrics(result))
+
+
+class TestRegistryAndReport:
+    def test_registered(self):
+        experiment = get_experiment("fig_sla")
+        assert experiment.quick_kwargs["profiles"] == ("static", "drift_outage")
+
+    def test_render(self, result):
+        text = render_result(result)
+        assert "fig_sla" in text or "SLA" in text
+        for profile in QUICK["profiles"]:
+            assert profile in text
+        assert "knee" in text
